@@ -1,0 +1,90 @@
+"""Ablations for the extension subsystems: ξ family and self-join budget.
+
+Claims asserted:
+
+* the BCH parity-check ξ construction (the paper's) and the polynomial
+  hashing family deliver statistically comparable accuracy — both are
+  four-wise independent, so Theorem 1 makes no distinction;
+* top-k tracking removes the bulk of the stream's self-join size under
+  skew, and the synopsis' own F2 estimate of the residual agrees with
+  the exact accounting within the estimator's tolerance — the foundation
+  of the self-reported error bars.
+"""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+def test_ablation_xi_family(benchmark, scale, save_result):
+    result = benchmark.pedantic(
+        ablations.run_xi_family, args=(scale,), rounds=1, iterations=1
+    )
+    save_result("ablation_xi_family", ablations.render_xi_family(result))
+    assert result.polynomial_mean_error < 10
+    assert result.bch_mean_error < 10
+    # Comparable accuracy: neither construction wins by a large factor.
+    ratio = result.bch_mean_error / max(result.polynomial_mean_error, 1e-9)
+    assert 0.4 < ratio < 2.5
+
+
+def test_ablation_false_positives(benchmark, scale, save_result):
+    result = benchmark.pedantic(
+        ablations.run_false_positives, args=(scale,), rounds=1, iterations=1
+    )
+    save_result(
+        "ablation_false_positives", ablations.render_false_positives(result)
+    )
+    # Equation 10's consequence: phantoms are almost never estimated as
+    # frequent, and their typical estimate is far below the heavy tail.
+    assert result.false_frequent_rate <= 0.02
+    assert result.mean_absolute_estimate < result.frequent_threshold
+
+
+def test_ablation_query_size(benchmark, scale, save_result):
+    result = benchmark.pedantic(
+        ablations.run_query_size, args=(scale,), rounds=1, iterations=1
+    )
+    save_result("ablation_query_size", ablations.render_query_size(result))
+    assert len(result.points) >= 3
+    # The size effect is a frequency effect: mean counts fall with size...
+    actuals = [p.mean_actual for p in result.points]
+    assert actuals[-1] < actuals[0]
+    # ...and relative error is (weakly) worse for the largest patterns
+    # than the smallest, at fixed memory.
+    errors = [p.mean_relative_error for p in result.points]
+    assert errors[-1] >= errors[0] * 0.8
+
+
+def test_ablation_stream_scaling(benchmark, scale, save_result):
+    result = benchmark.pedantic(
+        ablations.run_stream_scaling, args=(scale,), rounds=1, iterations=1
+    )
+    save_result(
+        "ablation_stream_scaling", ablations.render_stream_scaling(result)
+    )
+    errors = [
+        p.mean_relative_error
+        for p in result.points
+        if p.mean_relative_error == p.mean_relative_error
+    ]
+    assert len(errors) >= 2
+    # Fixed memory, growing stream: relative error for fixed-selectivity
+    # queries stays bounded (no blow-up with stream length).
+    assert max(errors) <= 3.0 * min(errors) + 0.05
+
+
+def test_ablation_self_join(benchmark, scale, save_result):
+    result = benchmark.pedantic(
+        ablations.run_self_join, args=(scale,), rounds=1, iterations=1
+    )
+    save_result("ablation_self_join", ablations.render_self_join(result))
+
+    off, on = result.points
+    # Top-k removes a substantial share of the self-join mass.
+    assert on.true_residual_self_join < 0.7 * off.true_residual_self_join
+    # The synopsis' own F2 estimate tracks the exact accounting.
+    for point in result.points:
+        assert point.sketch_estimated_self_join == pytest.approx(
+            point.true_residual_self_join, rel=0.5
+        )

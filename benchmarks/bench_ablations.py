@@ -1,0 +1,59 @@
+"""Ablations: virtual streams, CountSketch, mapping function, Theorem 2.
+
+Design-choice claims asserted (DESIGN.md's ablation index):
+
+* more virtual streams → lower error (Section 5.3's self-join argument);
+* AMS + virtual streams is competitive with an equal-memory CountSketch
+  (the paper's reduction is estimator-agnostic);
+* Rabin fingerprints are word-sized and collision-free in practice,
+  while exact pairing values overflow any machine word (Section 6.1's
+  motivation);
+* Theorem 2's combined sum estimator is not worse than summing
+  per-pattern estimates (Section 3.2's comparison).
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_virtual_streams(benchmark, scale, save_result):
+    result = benchmark.pedantic(
+        ablations.run_virtual_streams,
+        args=(scale,),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("ablation_virtual_streams", ablations.render_virtual_streams(result))
+    errors = {p.n_streams: p.mean_error for p in result.points}
+    counts = sorted(errors)
+    assert errors[counts[-1]] < errors[counts[0]]
+
+
+def test_ablation_countsketch(benchmark, scale, save_result):
+    result = benchmark.pedantic(
+        ablations.run_countsketch, args=(scale,), rounds=1, iterations=1
+    )
+    save_result("ablation_countsketch", ablations.render_countsketch(result))
+    # Same memory order; both estimators deliver sane errors and neither
+    # is catastrophically worse — the reduction is estimator-agnostic.
+    assert result.countsketch_memory_bytes <= 1.2 * result.ams_memory_bytes
+    assert result.ams_mean_error < 10
+    assert result.countsketch_mean_error < 10
+
+
+def test_ablation_mapping(benchmark, scale, save_result):
+    result = benchmark.pedantic(
+        ablations.run_mapping, args=(scale,), rounds=1, iterations=1
+    )
+    save_result("ablation_mapping", ablations.render_mapping(result))
+    assert result.pairing_collisions == 0          # injective by theorem
+    assert result.rabin_collisions <= 3            # ~n^2/2^32 expected
+    assert result.rabin_max_value_bits <= 31       # fits a machine word
+    assert result.pairing_max_value_bits > 64      # overflows any word
+
+
+def test_ablation_sum_estimator(benchmark, scale, save_result):
+    result = benchmark.pedantic(
+        ablations.run_sum_estimator, args=(scale,), rounds=1, iterations=1
+    )
+    save_result("ablation_sum_estimator", ablations.render_sum_estimator(result))
+    assert result.combined_mean_error <= result.naive_mean_error * 1.2

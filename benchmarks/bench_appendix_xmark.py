@@ -1,0 +1,41 @@
+"""Appendix: the Figure 10 protocol on the XMark-like third corpus.
+
+Claims asserted:
+
+* the XMark-like stream's shape interpolates the two paper corpora on
+  both axes (depth between DBLP and TREEBANK; fan-out between TREEBANK
+  and DBLP) — so this genuinely probes the middle of the shape spectrum;
+* the Figure 10 trends hold there too: error falls with top-k and with
+  lower selectivity — the algorithm's behaviour, not a shape artifact.
+"""
+
+import math
+
+from repro.experiments import appendix_xmark
+
+
+def finite(series):
+    return [value for value in series if not math.isnan(value)]
+
+
+def test_appendix_xmark(benchmark, scale, save_result):
+    result = benchmark.pedantic(
+        appendix_xmark.run, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    save_result("appendix_xmark", appendix_xmark.render(result))
+
+    assert result.shapes.depth_interpolates()
+    assert result.shapes.fanout_interpolates()
+
+    accuracy = result.accuracy
+    n_buckets = len(accuracy.points[0].bucket_errors)
+    # Top-k helps in every populated bucket.
+    for bucket in range(n_buckets):
+        series = finite(accuracy.errors_for_bucket(bucket))
+        if len(series) >= 2:
+            assert min(series[1:]) <= series[0]
+    # Less selective estimates better.
+    first = finite(accuracy.errors_for_bucket(0))
+    last = finite(accuracy.errors_for_bucket(n_buckets - 1))
+    if first and last:
+        assert sum(last) / len(last) < sum(first) / len(first)

@@ -1,0 +1,89 @@
+"""Figure 10(c,d): DBLP estimation error vs top-k at s1 = 50 and 75.
+
+Paper claims asserted, beyond the shared trends (error falls with top-k
+and with selectivity, rises with fewer s1):
+
+* the *drastic* improvement at a small top-k: DBLP's pattern
+  distribution is more skewed, so deleting few frequent patterns already
+  collapses the error (Section 7.7: 248% → 11% at top-k 1 → 50).  We
+  assert the first non-zero top-k point captures most of the total
+  improvement, unlike TREEBANK's gradual curve.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import fig10
+
+
+def finite(series):
+    return [value for value in series if not math.isnan(value)]
+
+
+@pytest.fixture(scope="module")
+def results(scale):
+    s1_low, s1_high = scale.dblp_s1
+    return {
+        s1: fig10.run("dblp", s1=s1, scale=scale) for s1 in (s1_low, s1_high)
+    }
+
+
+def test_fig10c_dblp_low_s1(benchmark, scale, save_result, results):
+    result = benchmark.pedantic(
+        lambda: results[scale.dblp_s1[0]], rounds=1, iterations=1
+    )
+    save_result("fig10c_dblp_s1low", fig10.render(result))
+    _assert_trends(result)
+
+
+def test_fig10d_dblp_high_s1(benchmark, scale, save_result, results):
+    result = benchmark.pedantic(
+        lambda: results[scale.dblp_s1[1]], rounds=1, iterations=1
+    )
+    save_result("fig10d_dblp_s1high", fig10.render(result))
+    _assert_trends(result)
+    # Headline: the least selective *populated* bucket reaches the
+    # paper's regime (quantitative claims need the default scale or more).
+    if scale.name != "smoke":
+        last = finite(
+            result.errors_for_bucket(len(result.points[0].bucket_errors) - 1)
+        )
+        assert last and min(last) < 0.25
+
+
+def test_fig10_dblp_sharp_early_improvement(benchmark, scale, results):
+    """The skew signature: the first small top-k captures >= 60% of the
+    total error reduction in the aggregate (DBLP's 'drastic' drop)."""
+
+    def early_share():
+        result = results[scale.dblp_s1[0]]
+        per_point = []
+        for point in result.points:
+            values = [
+                b.mean_relative_error
+                for b in point.bucket_errors
+                if b.n_queries and not math.isnan(b.mean_relative_error)
+            ]
+            per_point.append(sum(values) / len(values))
+        total_drop = per_point[0] - min(per_point)
+        first_drop = per_point[0] - per_point[1]
+        return first_drop / total_drop if total_drop > 0 else 1.0
+
+    share = benchmark.pedantic(early_share, rounds=1, iterations=1)
+    # The sharp drop needs enough stream for the skew to materialise.
+    assert share >= (0.6 if scale.name != "smoke" else 0.2)
+
+
+def _assert_trends(result):
+    n_buckets = len(result.points[0].bucket_errors)
+    memories = [p.memory_bytes for p in result.points]
+    assert memories == sorted(memories)
+    for bucket in range(n_buckets):
+        series = finite(result.errors_for_bucket(bucket))
+        if len(series) >= 2:
+            assert min(series[1:]) <= series[0]
+    first = finite(result.errors_for_bucket(0))
+    last = finite(result.errors_for_bucket(n_buckets - 1))
+    if first and last:
+        assert sum(last) / len(last) < sum(first) / len(first)

@@ -1,0 +1,112 @@
+"""Figure 10(a,b): TREEBANK estimation error vs top-k at s1 = 25 and 50.
+
+Paper claims asserted:
+
+* average relative error drops as the top-k size grows (frequent-value
+  deletion shrinks the virtual streams' self-join sizes) — gradually, as
+  reported for TREEBANK's moderate skew;
+* less selective buckets estimate better (Theorem 1);
+* raising ``s1`` (25 → 50) lowers error at matched top-k;
+* the reproduction reaches the paper's headline 10–15%-error regime in
+  its least selective bucket;
+* the paper-style memory accounting grows linearly in the top-k size.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import fig10
+
+
+def finite(series):
+    return [value for value in series if not math.isnan(value)]
+
+
+@pytest.fixture(scope="module")
+def results(scale):
+    s1_low, s1_high = scale.treebank_s1
+    return {
+        s1: fig10.run("treebank", s1=s1, scale=scale)
+        for s1 in (s1_low, s1_high)
+    }
+
+
+def test_fig10a_treebank_low_s1(benchmark, scale, save_result, results):
+    s1_low = scale.treebank_s1[0]
+    result = benchmark.pedantic(
+        lambda: results[s1_low], rounds=1, iterations=1
+    )
+    save_result("fig10a_treebank_s1low", fig10.render(result))
+    _assert_topk_and_selectivity_trends(result)
+
+
+def test_fig10b_treebank_high_s1(benchmark, scale, save_result, results):
+    s1_high = scale.treebank_s1[1]
+    result = benchmark.pedantic(
+        lambda: results[s1_high], rounds=1, iterations=1
+    )
+    save_result("fig10b_treebank_s1high", fig10.render(result))
+    _assert_topk_and_selectivity_trends(result)
+
+    # Headline claim: 10-15% error is reachable in the least selective
+    # bucket at the higher s1 with a healthy top-k (quantitative claims
+    # need the default scale or more).
+    if scale.name != "smoke":
+        last_bucket = result.errors_for_bucket(
+            len(result.points[0].bucket_errors) - 1
+        )
+        assert min(finite(last_bucket)) < 0.20
+
+
+def test_fig10_higher_s1_is_more_accurate(benchmark, scale, results):
+    s1_low, s1_high = scale.treebank_s1
+
+    def mean_errors():
+        out = {}
+        for s1, result in results.items():
+            values = [
+                b.mean_relative_error
+                for p in result.points
+                for b in p.bucket_errors
+                if b.n_queries and not math.isnan(b.mean_relative_error)
+            ]
+            out[s1] = sum(values) / len(values)
+        return out
+
+    means = benchmark.pedantic(mean_errors, rounds=1, iterations=1)
+    assert means[s1_high] < means[s1_low]
+
+
+def _assert_topk_and_selectivity_trends(result):
+    n_buckets = len(result.points[0].bucket_errors)
+
+    # Memory grows with top-k (the paper's x-axis annotation).
+    memories = [p.memory_bytes for p in result.points]
+    assert memories == sorted(memories)
+    assert memories[-1] > memories[0]
+
+    # Top-k trend: the best swept top-k beats top-k = 0 in every
+    # populated bucket, and the largest top-k beats it in the aggregate.
+    for bucket in range(n_buckets):
+        series = finite(result.errors_for_bucket(bucket))
+        if len(series) >= 2:
+            assert min(series[1:]) <= series[0]
+    per_point = []
+    for point in result.points:
+        values = [
+            b.mean_relative_error
+            for b in point.bucket_errors
+            if b.n_queries and not math.isnan(b.mean_relative_error)
+        ]
+        if values:
+            per_point.append(sum(values) / len(values))
+    if len(per_point) >= 2:
+        assert per_point[-1] < per_point[0]
+
+    # Selectivity trend: the least selective bucket beats the most
+    # selective one at every top-k (Theorem 1: error ∝ 1/f_q).
+    first = finite(result.errors_for_bucket(0))
+    last = finite(result.errors_for_bucket(n_buckets - 1))
+    if first and last:
+        assert sum(last) / len(last) < sum(first) / len(first)

@@ -1,0 +1,35 @@
+"""Figure 11: SUM and PRODUCT composite workload histograms.
+
+Paper claims asserted: the composite workloads exist at the expected
+sizes, every query combines the right number of *distinct* patterns, and
+selectivities follow the paper's definitions (sum resp. product of
+actual counts over total sequences processed).
+"""
+
+import pytest
+
+from repro.experiments import fig11
+from repro.experiments.data import prepared
+
+
+@pytest.mark.parametrize("kind,n_patterns", [("sum", 3), ("product", 2)])
+def test_fig11_composite_workload(benchmark, scale, save_result, kind, n_patterns):
+    result = benchmark.pedantic(
+        fig11.run, args=(kind, scale), rounds=1, iterations=1
+    )
+    save_result(f"fig11_{kind}_workload", fig11.render(result))
+
+    assert result.n_queries > 0
+    workload = fig11.composite_workload(kind, scale)
+    exact = prepared("treebank", scale).exact
+    for query in workload.all_queries():
+        assert len(set(query.patterns)) == n_patterns
+        counts = [exact.count_ordered(p) for p in query.patterns]
+        if kind == "sum":
+            assert query.actual == sum(counts)
+        else:
+            product = 1
+            for count in counts:
+                product *= count
+            assert query.actual == product
+        assert query.selectivity == pytest.approx(query.actual / exact.n_values)

@@ -1,0 +1,62 @@
+"""Figure 12(c,d): PRODUCT workload estimation error (TREEBANK).
+
+Paper claims asserted: error falls with top-k and with larger ``s1``,
+and — the Section 7.9.2 comparison — PRODUCT errors exceed SUM errors at
+matched settings, because the X²/2! estimator's variance is larger
+(Appendix B bounds it by ``(1+2n)/4 · SJ²`` against the sum's linear
+``2(t−1) · SJ``).
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import fig12
+
+
+@pytest.fixture(scope="module")
+def results(scale):
+    return {
+        s1: fig12.run("product", s1=s1, scale=scale)
+        for s1 in scale.treebank_s1
+    }
+
+
+def test_fig12c_product_low_s1(benchmark, scale, save_result, results):
+    result = benchmark.pedantic(
+        lambda: results[scale.treebank_s1[0]], rounds=1, iterations=1
+    )
+    save_result("fig12c_product_s1low", fig12.render(result))
+    _assert_topk_trend(result)
+
+
+def test_fig12d_product_high_s1(benchmark, scale, save_result, results):
+    result = benchmark.pedantic(
+        lambda: results[scale.treebank_s1[1]], rounds=1, iterations=1
+    )
+    save_result("fig12d_product_s1high", fig12.render(result))
+    _assert_topk_trend(result)
+
+
+def test_fig12_product_error_exceeds_sum_error(benchmark, scale, results):
+    def compare():
+        sum_result = fig12.run("sum", s1=scale.treebank_s1[1], scale=scale)
+        product_result = results[scale.treebank_s1[1]]
+        return sum_result.overall_mean_error(), product_result.overall_mean_error()
+
+    sum_error, product_error = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert product_error > sum_error
+
+
+def _assert_topk_trend(result):
+    per_point = []
+    for point in result.points:
+        values = [
+            b.mean_relative_error
+            for b in point.bucket_errors
+            if b.n_queries and not math.isnan(b.mean_relative_error)
+        ]
+        if values:
+            per_point.append(sum(values) / len(values))
+    assert len(per_point) >= 2
+    assert per_point[-1] < per_point[0]

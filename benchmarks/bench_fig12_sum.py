@@ -1,0 +1,64 @@
+"""Figure 12(a,b): SUM workload estimation error (TREEBANK).
+
+Paper claims asserted: average relative error falls steadily with the
+top-k size and falls when ``s1`` grows — the same trends as Figure 10,
+now for the Theorem 2 multi-pattern estimator.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import fig12
+
+
+def finite(series):
+    return [value for value in series if not math.isnan(value)]
+
+
+@pytest.fixture(scope="module")
+def results(scale):
+    return {
+        s1: fig12.run("sum", s1=s1, scale=scale) for s1 in scale.treebank_s1
+    }
+
+
+def test_fig12a_sum_low_s1(benchmark, scale, save_result, results):
+    result = benchmark.pedantic(
+        lambda: results[scale.treebank_s1[0]], rounds=1, iterations=1
+    )
+    save_result("fig12a_sum_s1low", fig12.render(result))
+    _assert_topk_trend(result)
+
+
+def test_fig12b_sum_high_s1(benchmark, scale, save_result, results):
+    result = benchmark.pedantic(
+        lambda: results[scale.treebank_s1[1]], rounds=1, iterations=1
+    )
+    save_result("fig12b_sum_s1high", fig12.render(result))
+    _assert_topk_trend(result)
+
+
+def test_fig12_sum_s1_improves_accuracy(benchmark, scale, results):
+    s1_low, s1_high = scale.treebank_s1
+    means = benchmark.pedantic(
+        lambda: {s1: results[s1].overall_mean_error() for s1 in results},
+        rounds=1,
+        iterations=1,
+    )
+    assert means[s1_high] < means[s1_low]
+
+
+def _assert_topk_trend(result):
+    per_point = []
+    for point in result.points:
+        values = [
+            b.mean_relative_error
+            for b in point.bucket_errors
+            if b.n_queries and not math.isnan(b.mean_relative_error)
+        ]
+        if values:
+            per_point.append(sum(values) / len(values))
+    assert len(per_point) >= 2
+    assert min(per_point[1:]) < per_point[0]
+    assert per_point[-1] < per_point[0]

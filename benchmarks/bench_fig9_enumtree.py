@@ -1,0 +1,47 @@
+"""Figure 9: EnumTree cost and generated-pattern counts vs k.
+
+Paper claims asserted:
+
+* the number of generated patterns grows with ``k`` (Figure 9(b));
+* processing time grows *almost linearly* with the number of patterns
+  (Figures 9(a) vs 9(b) have the same shape) — asserted as the
+  per-pattern cost staying within a small factor across ``k``;
+* DBLP generates more patterns than TREEBANK per tree at its ``k``
+  because of its larger fan-out ("more choices for picking child edges").
+"""
+
+import pytest
+
+from repro.experiments import fig09
+
+
+@pytest.mark.parametrize("dataset", ["treebank", "dblp"])
+def test_fig9_enumtree(benchmark, scale, save_result, dataset):
+    result = benchmark.pedantic(
+        fig09.run, args=(dataset, scale), rounds=1, iterations=1
+    )
+    save_result(f"fig09_enumtree_{dataset}", fig09.render(result))
+
+    counts = [p.n_patterns for p in result.points]
+    times = [p.total_seconds for p in result.points]
+    assert counts == sorted(counts)
+    assert counts[-1] > counts[0]
+    assert all(t > 0 for t in times)
+
+    # Linearity: per-pattern cost within a small factor across k (ignore
+    # tiny-k points where fixed per-tree overhead dominates).
+    rates = [p.microseconds_per_pattern for p in result.points
+             if p.n_patterns > 10_000]
+    if len(rates) >= 2:
+        assert max(rates) <= 5 * min(rates)
+
+
+def test_fig9_dblp_generates_more_patterns_per_tree(benchmark, scale):
+    def run_both():
+        return fig09.run("treebank", scale), fig09.run("dblp", scale)
+
+    treebank, dblp = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    k = min(scale.treebank_k, scale.dblp_k)
+    per_tree_treebank = treebank.points[k - 1].n_patterns / scale.treebank_trees
+    per_tree_dblp = dblp.points[k - 1].n_patterns / scale.dblp_trees
+    assert per_tree_dblp > per_tree_treebank

@@ -1,0 +1,105 @@
+"""Component micro-benchmarks: throughput of the pipeline's stages.
+
+Unlike the figure benches (single-shot experiment regenerations), these
+use pytest-benchmark's statistics properly — many rounds over small
+units — to characterise the substrate:
+
+* EnumTree enumeration rate (patterns/second) on both dataset shapes;
+* extended Prüfer construction;
+* Rabin fingerprinting of pattern sequences;
+* ξ evaluation (both families) over a value batch;
+* AMS batch updates and point estimates;
+* end-to-end ``SketchTree.update`` per tree.
+
+No paper claims here — these are the engineering numbers a downstream
+user would ask for.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SketchTree, SketchTreeConfig
+from repro.core.encoding import PatternEncoder
+from repro.datasets import DblpGenerator, TreebankGenerator
+from repro.enumtree import enumerate_patterns
+from repro.prufer import prufer_of_nested
+from repro.sketch import BchXiGenerator, SketchMatrix, XiGenerator
+
+
+@pytest.fixture(scope="module")
+def treebank_tree():
+    return next(iter(TreebankGenerator(seed=1).generate(1)))
+
+
+@pytest.fixture(scope="module")
+def dblp_tree():
+    return next(iter(DblpGenerator(seed=1).generate(1)))
+
+
+@pytest.fixture(scope="module")
+def sample_patterns(treebank_tree):
+    return enumerate_patterns(treebank_tree, 4)
+
+
+def test_micro_enumtree_treebank(benchmark, treebank_tree):
+    patterns = benchmark(enumerate_patterns, treebank_tree, 4)
+    assert patterns
+
+
+def test_micro_enumtree_dblp(benchmark, dblp_tree):
+    patterns = benchmark(enumerate_patterns, dblp_tree, 4)
+    assert patterns
+
+
+def test_micro_prufer(benchmark, sample_patterns):
+    def encode_all():
+        return [prufer_of_nested(p) for p in sample_patterns]
+
+    sequences = benchmark(encode_all)
+    assert len(sequences) == len(sample_patterns)
+
+
+def test_micro_rabin_encoding(benchmark, sample_patterns):
+    def encode_all():
+        encoder = PatternEncoder(seed=1)  # fresh: defeat the memo
+        return [encoder.encode(p) for p in sample_patterns]
+
+    values = benchmark(encode_all)
+    assert len(values) == len(sample_patterns)
+
+
+@pytest.mark.parametrize(
+    "family", ["polynomial", "bch"], ids=["xi-polynomial", "xi-bch"]
+)
+def test_micro_xi_batch(benchmark, family):
+    if family == "polynomial":
+        generator = XiGenerator(350, independence=4, seed=1)
+    else:
+        generator = BchXiGenerator(350, seed=1)
+    values = np.arange(1024, dtype=np.int64) * 7919 % (1 << 31)
+    signs = benchmark(generator.xi_batch, values)
+    assert signs.shape == (350, 1024)
+
+
+def test_micro_ams_batch_update(benchmark):
+    matrix = SketchMatrix(50, 7, seed=1)
+    values = np.arange(1024, dtype=np.int64) * 104729 % (1 << 31)
+
+    benchmark(matrix.update_batch, values)
+    assert matrix.counters.any()
+
+
+def test_micro_ams_estimate(benchmark):
+    matrix = SketchMatrix(50, 7, seed=1)
+    matrix.update_counts({v: 3 for v in range(500)})
+    estimate = benchmark(matrix.estimate, 42)
+    assert isinstance(estimate, float)
+
+
+def test_micro_sketchtree_update(benchmark, treebank_tree):
+    config = SketchTreeConfig(
+        s1=50, s2=7, max_pattern_edges=4, n_virtual_streams=229, seed=1
+    )
+    synopsis = SketchTree(config)
+    benchmark(synopsis.update, treebank_tree)
+    assert synopsis.n_trees > 0

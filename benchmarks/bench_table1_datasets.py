@@ -1,0 +1,31 @@
+"""Table 1: dataset statistics (trees, k, distinct pattern counts).
+
+Paper claims asserted:
+
+* the deterministic approach needs one counter per distinct pattern, a
+  number in the millions at paper scale — here, far exceeding the
+  SketchTree synopsis size at the same stream scale;
+* TREEBANK is deep/narrow, DBLP shallow/bushy.
+"""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, scale, save_result):
+    result = benchmark.pedantic(table1.run, args=(scale,), rounds=1, iterations=1)
+    save_result("table1_datasets", table1.render(result))
+
+    by_name = {row.dataset: row for row in result.rows}
+    treebank, dblp = by_name["TREEBANK"], by_name["DBLP"]
+
+    # Shape signatures of the two corpora.
+    assert treebank.mean_depth > dblp.mean_depth
+    assert dblp.mean_fanout > treebank.mean_fanout
+    assert treebank.max_pattern_size == scale.treebank_k
+    assert dblp.max_pattern_size == scale.dblp_k
+
+    # The deterministic-counting burden: distinct patterns vastly exceed
+    # what a fixed synopsis would store (the Section 1 motivation).
+    for row in result.rows:
+        assert row.n_distinct_patterns > 1000
+        assert row.n_distinct_patterns <= row.n_occurrences

@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+synthetic streams, asserts the paper's *qualitative* claims (who wins,
+what falls, where the crossovers are), and writes the rendered table to
+``benchmarks/results/`` for side-by-side comparison with the paper (see
+EXPERIMENTS.md).
+
+Scale selection: set ``REPRO_BENCH_SCALE`` to ``smoke`` / ``default`` /
+``paper`` (default: ``default``).  Dataset preparation is cached across
+benches within the session, so the first bench of a session pays it once.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.scale import by_name
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The experiment scale for this benchmark session."""
+    return by_name(os.environ.get("REPRO_BENCH_SCALE", "default"))
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Writes a rendered experiment table to benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _save

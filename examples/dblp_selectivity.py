@@ -1,0 +1,87 @@
+"""Selectivity estimation over a bibliography stream (DBLP-like).
+
+The paper's closing use case: SketchTree as a *selectivity estimator*
+for tree-pattern queries "especially when the data is very large and
+multiple passes over the data is impractically expensive".  This example
+streams DBLP-like records once, then:
+
+* estimates selectivities of value queries (element names + CDATA);
+* answers extended queries with ``//`` and ``*`` by resolving them
+  against the online structural summary (Section 6.2);
+* shows the arithmetic-expression interface on a difference query
+  (paper Example 6's "A but not under B" shape).
+
+Run:  python examples/dblp_selectivity.py
+"""
+
+from repro import Count, ExactCounter, QueryNode, SketchTree, SketchTreeConfig
+from repro.datasets import DblpGenerator
+from repro.query.pattern import pattern_from_sexpr
+
+N_RECORDS = 1500
+K = 3
+
+
+def main() -> None:
+    config = SketchTreeConfig(
+        s1=75, s2=7, max_pattern_edges=K, n_virtual_streams=229,
+        topk_size=8, maintain_summary=True, seed=4,
+    )
+    synopsis = SketchTree(config)
+    exact = ExactCounter(K)
+
+    print(f"streaming {N_RECORDS} bibliography records ...")
+    for tree in DblpGenerator(seed=8).generate(N_RECORDS):
+        synopsis.update(tree)
+        exact.update(tree)
+    print(f"synopsis: {synopsis.memory_report().format()}")
+    print(f"structural summary: {synopsis.summary.n_paths} label paths\n")
+
+    # ------------------------------------------------------------------
+    # Value queries: which venue / author combinations are common?
+    # ------------------------------------------------------------------
+    print("Selectivity of value queries (estimate vs actual):")
+    queries = [
+        "(article (journal (venue_000)))",
+        "(inproceedings (booktitle (venue_001)))",
+        "(article (author (author_0000)) (year))",
+        "(inproceedings (author (author_0001)))",
+    ]
+    total = exact.n_values
+    for sexpr in queries:
+        pattern = pattern_from_sexpr(sexpr)
+        estimate = synopsis.estimate_ordered(pattern)
+        actual = exact.count_ordered(pattern)
+        print(f"  {sexpr:<46} est {estimate / total:.2e}  "
+              f"actual {actual / total:.2e}  (counts {estimate:.0f} vs {actual})")
+
+    # ------------------------------------------------------------------
+    # Extended queries: '//' and '*' via the structural summary
+    # ------------------------------------------------------------------
+    print("\nExtended queries (resolved against the structural summary):")
+    extended = [
+        ("(article (//venue_000))", "article //venue_000"),
+        ("(inproceedings (*))", "inproceedings / *"),
+    ]
+    for sexpr, label in extended:
+        query = QueryNode.from_sexpr(sexpr)
+        resolved = synopsis.summary.resolve(query, max_edges=K)
+        estimate = synopsis.estimate_extended(query)
+        actual = exact.count_sum(resolved) if resolved else 0
+        print(f"  {label:<28} -> {len(resolved)} concrete pattern(s), "
+              f"est {estimate:.0f}, actual {actual}")
+
+    # ------------------------------------------------------------------
+    # Expression: articles with an ee link MINUS those also giving pages
+    # ------------------------------------------------------------------
+    with_ee = pattern_from_sexpr("(article (ee))")
+    with_both = pattern_from_sexpr("(article (pages) (ee))")  # document order
+    expression = Count(with_ee) - Count(with_both)
+    estimate = synopsis.estimate_expression(expression)
+    actual = exact.evaluate_expression(expression)
+    print(f"\nCOUNT(article/ee) - COUNT(article[pages][ee]):")
+    print(f"  estimate = {estimate:.1f}   actual = {actual}")
+
+
+if __name__ == "__main__":
+    main()

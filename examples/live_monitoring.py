@@ -1,0 +1,82 @@
+"""Live monitoring: checkpoint queries with self-reported error bars.
+
+The paper's Figure 2 model: a synopsis is continuously updated while
+documents stream in, and count queries can be issued *at any moment*.
+This example combines three of the library's streaming features:
+
+* SAX-style ingestion (`repro.stream.sketch_xml_stream` internals):
+  documents are consumed as XML events, never materialised as trees;
+* checkpoint queries: every N documents the monitor asks for the current
+  count of a watched pattern;
+* self-reported confidence intervals
+  (:meth:`SketchTree.estimate_ordered_interval`): the synopsis sizes its
+  own error bars from its F2 (self-join) estimate — no ground truth
+  needed at query time.
+
+A drifting workload is simulated: halfway through, the stream's mix
+shifts towards "alert" documents; the monitor's estimates track the
+change in real time.
+
+Run:  python examples/live_monitoring.py
+"""
+
+from repro import ExactCounter, SketchTree, SketchTreeConfig
+from repro.stream.sax import SaxPatternEnumerator
+from repro.trees import parse_xml
+from repro.trees.xml import iter_events
+
+NORMAL = "<event><kind>page_view</kind><user><id>u</id></user></event>"
+ALERT = "<event><kind>error</kind><source><svc>api</svc></source></event>"
+
+WATCHED = "(event (kind (error)))"
+CHECKPOINT_EVERY = 100
+
+
+def document_stream():
+    """1000 documents; error events surge in the second half."""
+    for index in range(1000):
+        surge = index >= 500
+        if index % (4 if surge else 20) == 0:
+            yield ALERT
+        else:
+            yield NORMAL
+
+
+def main() -> None:
+    # Top-k is left off so the error bars stay visible: with tracking on,
+    # a pattern as frequent as the watched one is pinned exactly by the
+    # tracker and its interval collapses to a point (try topk_size=4).
+    config = SketchTreeConfig(
+        s1=60, s2=7, max_pattern_edges=3, n_virtual_streams=229,
+        topk_size=0, seed=17,
+    )
+    synopsis = SketchTree(config)
+    exact = ExactCounter(config.max_pattern_edges)
+
+    print(f"{'docs':>5} {'estimate':>9} {'interval (80%)':>18} {'actual':>7}")
+    document: list = []
+    enumerator = SaxPatternEnumerator(config.max_pattern_edges, document.append)
+    for index, xml in enumerate(document_stream(), start=1):
+        for event in iter_events(xml):
+            enumerator.feed(event)
+        synopsis.update_from_patterns(document)
+        document.clear()
+        exact.update(parse_xml(xml))  # ground truth, for the printout only
+
+        if index % CHECKPOINT_EVERY == 0:
+            interval = synopsis.estimate_ordered_interval(WATCHED, confidence=0.8)
+            actual = exact.count_ordered(
+                ("event", (("kind", (("error", ()),)),))
+            )
+            print(
+                f"{index:>5} {interval.estimate:>9.1f} "
+                f"[{interval.low:>7.1f}, {interval.high:>7.1f}] {actual:>7}"
+            )
+
+    print("\nthe estimate (and its bar) tracks the mid-stream surge; the "
+          "interval half-width grows with the accumulated self-join size, "
+          "exactly as Theorem 1 predicts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Estimating stochastic-grammar probabilities from a stream (Example 7).
+
+The paper's Section 4 shows that PCFG rule probabilities — ratios of
+rule counts, and parse-tree probabilities — products of rule
+probabilities — reduce to sums and products of tree-pattern counts, all
+of which SketchTree estimates with provable bounds.
+
+Each production rule ``A → B C`` is the depth-1 tree pattern
+``(A (B) (C))``.  This example streams a treebank, then:
+
+1. estimates ``P(rule) = COUNT(rule) / Σ COUNT(rules with the same LHS)``
+   for the most common expansions of S, NP and VP (numerator: a point
+   query; denominator: a Theorem 2 sum);
+2. estimates the probability of a small parse tree as the product of its
+   rule probabilities, comparing against the exact computation.
+
+Run:  python examples/pcfg_probabilities.py
+"""
+
+from collections import Counter
+
+from repro import ExactCounter, SketchTree, SketchTreeConfig
+from repro.datasets import TreebankGenerator
+from repro.trees.tree import Nested
+
+N_SENTENCES = 800
+K = 2  # production rules are depth-1 patterns; k=2 covers 1- and 2-child rules
+
+
+def rules_with_lhs(exact: ExactCounter, lhs: str) -> list[Nested]:
+    """All depth-1 patterns in the data whose root is ``lhs``."""
+    rules = []
+    for pattern in exact.counts:
+        label, children = pattern
+        if label == lhs and children and all(not c[1] for c in children):
+            rules.append(pattern)
+    return rules
+
+
+def main() -> None:
+    config = SketchTreeConfig(
+        s1=80, s2=7, max_pattern_edges=K, n_virtual_streams=229,
+        topk_size=8, seed=13,
+    )
+    synopsis = SketchTree(config)
+    exact = ExactCounter(K)
+    print(f"streaming {N_SENTENCES} parsed sentences ...")
+    for tree in TreebankGenerator(seed=5).generate(N_SENTENCES):
+        synopsis.update(tree)
+        exact.update(tree)
+    print(f"synopsis: {synopsis.memory_report().format()}\n")
+
+    # ------------------------------------------------------------------
+    # Rule probabilities per left-hand side
+    # ------------------------------------------------------------------
+    print("Estimated production-rule probabilities:")
+    estimated_probability: dict[Nested, float] = {}
+    exact_probability: dict[Nested, float] = {}
+    for lhs in ("S", "NP", "VP", "PP"):
+        rules = rules_with_lhs(exact, lhs)
+        denominator_estimate = synopsis.estimate_sum(rules)
+        denominator_actual = exact.count_sum(rules)
+        shown = 0
+        for rule in sorted(rules, key=lambda r: -exact.count_ordered(r)):
+            numerator_estimate = synopsis.estimate_ordered(rule)
+            p_est = max(0.0, numerator_estimate) / max(1.0, denominator_estimate)
+            p_act = exact.count_ordered(rule) / denominator_actual
+            estimated_probability[rule] = p_est
+            exact_probability[rule] = p_act
+            if shown < 3:
+                rhs = " ".join(c[0] for c in rule[1])
+                print(f"  {lhs} -> {rhs:<16} P_est = {p_est:.3f}   P = {p_act:.3f}")
+                shown += 1
+    print()
+
+    # ------------------------------------------------------------------
+    # Parse-tree probability: product of its rule probabilities
+    # ------------------------------------------------------------------
+    parse_rules = [
+        ("S", (("NP", ()), ("VP", ()))),
+        ("NP", (("DT", ()), ("NN", ()))),
+        ("VP", (("VBD", ()), ("NP", ()))),
+    ]
+    p_est = 1.0
+    p_act = 1.0
+    for rule in parse_rules:
+        p_est *= estimated_probability[rule]
+        p_act *= exact_probability[rule]
+    chain = "; ".join(f"{r[0]}->{' '.join(c[0] for c in r[1])}" for r in parse_rules)
+    print(f"parse tree using [{chain}]")
+    print(f"  P_est = {p_est:.5f}   P_exact = {p_act:.5f}   "
+          f"relative error = {abs(p_est - p_act) / p_act:.1%}")
+
+
+if __name__ == "__main__":
+    main()

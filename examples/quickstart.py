@@ -1,0 +1,88 @@
+"""Quickstart: sketch an XML stream, count tree patterns approximately.
+
+Builds a SketchTree synopsis over a stream of XML documents (parsed with
+the library's own parser), then answers ordered, unordered, OR-predicate
+and sum count queries — comparing every estimate against exact ground
+truth computed alongside.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ExactCounter, SketchTree, SketchTreeConfig
+from repro.trees import parse_forest
+
+# A small "stream" of XML documents: think personalized-news items, each
+# a labeled tree.  Real deployments would parse documents as they arrive
+# (repro.trees.iter_parse_forest streams lazily).
+STREAM_XML = """
+<item><headline>w1</headline><body><para>w2</para><para>w3</para></body></item>
+<item><headline>w2</headline><body><para>w1</para></body></item>
+<item><body><para>w2</para><para>w2</para></body><headline>w1</headline></item>
+<item><headline>w1</headline><body><para>w2</para><para>w3</para></body></item>
+<alert><headline>w9</headline><body><para>w2</para></body></alert>
+""" * 40  # repeat to make the counts non-trivial
+
+
+def main() -> None:
+    trees = parse_forest(STREAM_XML)
+    print(f"stream: {len(trees)} documents")
+
+    config = SketchTreeConfig(
+        s1=60,                 # accuracy knob (Theorem 1)
+        s2=7,                  # confidence knob (delta = 0.1)
+        max_pattern_edges=3,   # k: the largest query pattern supported
+        n_virtual_streams=31,  # prime partition count (Section 5.3)
+        topk_size=4,           # frequent patterns tracked per stream
+        seed=11,
+    )
+    synopsis = SketchTree(config)
+    exact = ExactCounter(config.max_pattern_edges)  # ground truth (unbounded memory!)
+
+    # --- single pass over the stream --------------------------------
+    for tree in trees:
+        synopsis.update(tree)
+        exact.update(tree)
+
+    report = synopsis.memory_report()
+    print(f"synopsis memory: {report.format()}")
+    print(f"exact counting would need {exact.n_distinct_patterns} counters\n")
+
+    # --- queries: any pattern, any time ------------------------------
+    queries = [
+        ("ordered",   "(item (headline) (body))"),
+        ("ordered",   "(body (para) (para))"),
+        ("ordered",   "(item (body (para)))"),
+        ("unordered", "(item (body) (headline))"),   # matches both sibling orders
+    ]
+    print(f"{'kind':<10} {'query':<38} {'estimate':>9} {'actual':>7}")
+    for kind, sexpr in queries:
+        from repro.trees import from_sexpr
+
+        pattern = from_sexpr(sexpr).to_nested()
+        if kind == "ordered":
+            estimate = synopsis.estimate_ordered(pattern)
+            actual = exact.count_ordered(pattern)
+        else:
+            estimate = synopsis.estimate_unordered(pattern)
+            actual = exact.count_unordered(pattern)
+        print(f"{kind:<10} {sexpr:<38} {estimate:>9.1f} {actual:>7}")
+
+    # --- OR predicates (paper Example 5) ------------------------------
+    or_query = "(item|alert (headline))"
+    estimate = synopsis.estimate_or(or_query)
+    actual = exact.count_sum(
+        [("item", (("headline", ()),)), ("alert", (("headline", ()),))]
+    )
+    print(f"{'OR':<10} {or_query:<38} {estimate:>9.1f} {actual:>7}")
+
+    # --- sum of distinct patterns (Theorem 2) -------------------------
+    patterns = ["(body (para))", "(item (headline))"]
+    estimate = synopsis.estimate_sum(patterns)
+    from repro.trees import from_sexpr
+
+    actual = exact.count_sum([from_sexpr(p).to_nested() for p in patterns])
+    print(f"{'sum':<10} {' + '.join(patterns):<38} {estimate:>9.1f} {actual:>7}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` works on minimal offline environments that lack
+the ``wheel`` package (pip then falls back to the legacy
+``setup.py develop`` editable path, which needs nothing but setuptools).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""SketchTree: approximate tree pattern counts over streaming labeled trees.
+
+A complete reproduction of Rao & Moon's SketchTree system (ICDE 2006):
+an online synopsis that, in a single pass over a stream of labeled trees
+(e.g. XML documents) and using a limited amount of memory, supports
+approximate counting of *any* ordered or unordered tree pattern, sums and
+arithmetic expressions of pattern counts, with the paper's probabilistic
+error guarantees.
+
+Quickstart
+----------
+
+>>> from repro import SketchTree, SketchTreeConfig
+>>> from repro.trees import from_sexpr
+>>> st = SketchTree(SketchTreeConfig(s1=30, s2=5, max_pattern_edges=3,
+...                                  n_virtual_streams=31, seed=7))
+>>> st.update(from_sexpr("(A (B) (C))"))
+>>> st.update(from_sexpr("(A (C) (B))"))
+>>> round(st.estimate_ordered("(A (B) (C))"))   # ordered: only the first
+1
+>>> round(st.estimate_unordered("(A (B) (C))"))  # unordered: both
+2
+
+Package map
+-----------
+
+======================  ====================================================
+``repro.core``          SketchTree itself, top-k, virtual streams,
+                        expressions, the exact-counting baseline
+``repro.trees``         ordered labeled trees + XML parsing
+``repro.prufer``        extended Prüfer sequence encoding (PRIX-style)
+``repro.hashing``       pairing functions, GF(2) / Rabin fingerprints
+``repro.sketch``        AMS sketches, CountSketch, k-wise ξ generators,
+                        Theorem 1/2 sizing formulas
+``repro.enumtree``      EnumTree pattern enumeration (Algorithm 3)
+``repro.query``         pattern helpers, exact matching oracle,
+                        structural summary for ``*`` / ``//`` queries
+``repro.datasets``      synthetic TREEBANK-like / DBLP-like streams
+``repro.workload``      selectivity-bucketed query workload generation
+``repro.stream``        stream-processing engine with timing
+``repro.experiments``   one module per paper table/figure
+======================  ====================================================
+"""
+
+from repro.core.config import SketchTreeConfig
+from repro.core.exact import ExactCounter
+from repro.core.expressions import Count, Expression
+from repro.core.sketchtree import SketchTree
+from repro.errors import (
+    ConfigError,
+    HashingError,
+    PatternError,
+    QueryError,
+    ReproError,
+    TreeError,
+    XmlParseError,
+)
+from repro.query.summary import QueryNode, StructuralSummary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigError",
+    "Count",
+    "ExactCounter",
+    "Expression",
+    "HashingError",
+    "PatternError",
+    "QueryError",
+    "QueryNode",
+    "ReproError",
+    "SketchTree",
+    "SketchTreeConfig",
+    "StructuralSummary",
+    "TreeError",
+    "XmlParseError",
+    "__version__",
+]

@@ -1,0 +1,176 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    sketchtree-experiments table1 --scale default
+    sketchtree-experiments fig10 --dataset dblp --s1 75 --scale smoke
+    sketchtree-experiments all --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    ablations,
+    appendix_xmark,
+    cost,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    table1,
+)
+from repro.experiments.scale import by_name
+
+_EXPERIMENTS = (
+    "table1",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "cost",
+    "ablations",
+    "xmark",
+    "export",
+    "all",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sketchtree-experiments",
+        description="Regenerate the SketchTree paper's tables and figures "
+        "on synthetic streams (see DESIGN.md for the substitutions).",
+    )
+    parser.add_argument("experiment", choices=_EXPERIMENTS)
+    parser.add_argument(
+        "--scale",
+        default="default",
+        choices=("smoke", "default", "paper"),
+        help="stream sizes and sweep widths (default: default)",
+    )
+    parser.add_argument(
+        "--dataset",
+        default=None,
+        choices=("treebank", "dblp", "xmark"),
+        help="restrict dataset-parameterised experiments (default: the "
+        "paper's two corpora; 'xmark' selects the appendix dataset)",
+    )
+    parser.add_argument(
+        "--s1",
+        type=int,
+        default=None,
+        help="override the s1 sweep with a single value (fig10/fig12)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also append all rendered tables to FILE; for the 'export' "
+        "experiment, the XML output path (default <dataset>.xml)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    scale = by_name(args.scale)
+    datasets = (args.dataset,) if args.dataset else ("treebank", "dblp")
+    sink = open(args.out, "a") if args.out else None
+
+    def emit(text: str = "") -> None:
+        print(text)
+        if sink is not None:
+            sink.write(text + "\n")
+
+    def run_one(name: str) -> None:
+        if name == "table1":
+            emit(table1.render(table1.run(scale)))
+        elif name == "fig8":
+            for dataset in datasets:
+                emit(fig08.render(fig08.run(dataset, scale)))
+                emit("")
+        elif name == "fig9":
+            for dataset in datasets:
+                emit(fig09.render(fig09.run(dataset, scale)))
+                emit("")
+        elif name == "fig10":
+            for dataset in datasets:
+                s1_values = (
+                    (args.s1,)
+                    if args.s1
+                    else (scale.treebank_s1 if dataset == "treebank" else scale.dblp_s1)
+                )
+                for s1 in s1_values:
+                    emit(fig10.render(fig10.run(dataset, s1=s1, scale=scale)))
+                    emit("")
+        elif name == "fig11":
+            for kind in ("sum", "product"):
+                emit(fig11.render(fig11.run(kind, scale)))
+                emit("")
+        elif name == "fig12":
+            for kind in ("sum", "product"):
+                s1_values = (args.s1,) if args.s1 else scale.treebank_s1
+                for s1 in s1_values:
+                    emit(fig12.render(fig12.run(kind, s1=s1, scale=scale)))
+                    emit("")
+        elif name == "cost":
+            for dataset in datasets:
+                emit(cost.render(cost.run(dataset, scale)))
+                emit("")
+        elif name == "ablations":
+            emit(ablations.render_virtual_streams(ablations.run_virtual_streams(scale)))
+            emit("")
+            emit(ablations.render_countsketch(ablations.run_countsketch(scale)))
+            emit("")
+            emit(ablations.render_mapping(ablations.run_mapping(scale)))
+            emit("")
+            emit(ablations.render_sum_estimator(ablations.run_sum_estimator(scale)))
+            emit("")
+            emit(ablations.render_xi_family(ablations.run_xi_family(scale)))
+            emit("")
+            emit(ablations.render_self_join(ablations.run_self_join(scale)))
+            emit("")
+            emit(
+                ablations.render_false_positives(
+                    ablations.run_false_positives(scale)
+                )
+            )
+            emit("")
+            emit(
+                ablations.render_stream_scaling(
+                    ablations.run_stream_scaling(scale)
+                )
+            )
+            emit("")
+            emit(ablations.render_query_size(ablations.run_query_size(scale)))
+        elif name == "xmark":
+            emit(appendix_xmark.render(appendix_xmark.run(scale=scale)))
+        elif name == "export":
+            from repro.experiments.data import export_xml
+
+            for dataset in datasets:
+                path = args.out or f"{dataset}.xml"
+                count = export_xml(dataset, path, scale)
+                print(f"wrote {count} trees to {path}")
+
+    try:
+        if args.experiment == "all":
+            # 'export' writes XML files rather than tables; not part of 'all'.
+            for name in _EXPERIMENTS[:-2]:
+                run_one(name)
+                emit("")
+        else:
+            run_one(args.experiment)
+    finally:
+        if sink is not None:
+            sink.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,139 @@
+"""Configuration for the SketchTree synopsis.
+
+Defaults mirror the paper's experimental setup where one exists: ``s2 = 7``
+(computed from Theorem 1 for δ = 0.1), 229 virtual streams, Rabin
+fingerprints of degree 31.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+_MAPPINGS = ("rabin", "pairing")
+
+
+@dataclass(frozen=True)
+class SketchTreeConfig:
+    """All knobs of a :class:`~repro.core.sketchtree.SketchTree`.
+
+    Attributes
+    ----------
+    s1:
+        AMS instances averaged per group — estimation *accuracy*
+        (Theorem 1: ``s1 = 8·SJ(S)/(ε² f_q²)``).
+    s2:
+        Groups whose averages are median-combined — *confidence*
+        (``s2 = 2·lg(1/δ)``; 7 matches the paper's δ = 0.1).
+    max_pattern_edges:
+        ``k``: EnumTree enumerates patterns with 1..k edges; queries
+        larger than ``k`` are rejected (the paper's future-work boundary).
+    n_virtual_streams:
+        The prime ``p`` of Section 5.3; 1 disables partitioning.
+        229 is the paper's experimental value.
+    topk_size:
+        Frequent patterns tracked *per virtual stream* (Section 5.2);
+        0 disables tracking.
+    topk_probability:
+        Probability of invoking top-k processing per enumerated pattern
+        during streaming updates — the paper's suggested relief valve when
+        per-pattern processing is infeasible.  1.0 = always.
+    independence:
+        k-wise independence of the ξ families.  4 suffices for point and
+        sum queries; product expressions of degree ``d`` need ``2d``
+        (see :mod:`repro.core.expressions`).
+    mapping:
+        ``"rabin"`` — degree-``fingerprint_degree`` Rabin residues (the
+        paper's experimental configuration); ``"pairing"`` — exact Cantor
+        pairing values (lossless; for validation and small demos).
+    fingerprint_degree:
+        Degree of the irreducible polynomial in ``"rabin"`` mode.
+    maintain_summary:
+        When ``True`` the synopsis also maintains the Section 6.2
+        structural summary online, enabling ``*`` and ``//`` queries via
+        :meth:`~repro.core.sketchtree.SketchTree.estimate_extended`.
+    xi_family:
+        ``"polynomial"`` — degree-(k−1) polynomial hashing (fast,
+        arbitrary independence); ``"bch"`` — the BCH parity-check
+        construction the paper cites (exactly four-wise; limits
+        ``independence`` to 4, so product expressions of degree ≥ 2 are
+        unavailable under it).
+    seed:
+        Master seed; every random component (ξ coefficients, fingerprint
+        polynomial) derives deterministically from it.
+    encoder_seed:
+        When set, pins the pattern-encoder randomness (fingerprint
+        polynomial / label hashing) independently of ``seed``, so that
+        multiple synopses with different sketch seeds agree on the
+        pattern → value mapping.  Experiment harnesses use this to
+        pre-encode a stream once and replay it under many sketch draws.
+    """
+
+    s1: int = 50
+    s2: int = 7
+    max_pattern_edges: int = 4
+    n_virtual_streams: int = 229
+    topk_size: int = 0
+    topk_probability: float = 1.0
+    independence: int = 4
+    mapping: str = "rabin"
+    fingerprint_degree: int = 31
+    maintain_summary: bool = False
+    xi_family: str = "polynomial"
+    seed: int = 0
+    encoder_seed: int | None = None
+
+    def __post_init__(self):
+        if self.s1 < 1 or self.s2 < 1:
+            raise ConfigError(f"s1, s2 must be >= 1 (got {self.s1}, {self.s2})")
+        if self.max_pattern_edges < 1:
+            raise ConfigError(
+                f"max_pattern_edges must be >= 1, got {self.max_pattern_edges}"
+            )
+        if self.n_virtual_streams < 1:
+            raise ConfigError(
+                f"n_virtual_streams must be >= 1, got {self.n_virtual_streams}"
+            )
+        if self.topk_size < 0:
+            raise ConfigError(f"topk_size must be >= 0, got {self.topk_size}")
+        if not 0.0 <= self.topk_probability <= 1.0:
+            raise ConfigError(
+                f"topk_probability must be in [0, 1], got {self.topk_probability}"
+            )
+        if self.independence < 4:
+            raise ConfigError(
+                f"independence must be >= 4 (AMS needs four-wise), "
+                f"got {self.independence}"
+            )
+        if self.mapping not in _MAPPINGS:
+            raise ConfigError(
+                f"mapping must be one of {_MAPPINGS}, got {self.mapping!r}"
+            )
+        if self.xi_family not in ("polynomial", "bch"):
+            raise ConfigError(
+                f"xi_family must be 'polynomial' or 'bch', got {self.xi_family!r}"
+            )
+        if self.xi_family == "bch" and self.independence != 4:
+            raise ConfigError(
+                "the BCH construction is exactly four-wise independent; "
+                "set independence=4 or use xi_family='polynomial'"
+            )
+        if self.mapping == "rabin" and not 8 <= self.fingerprint_degree <= 61:
+            raise ConfigError(
+                f"fingerprint_degree must be in [8, 61], got {self.fingerprint_degree}"
+            )
+        if self.n_virtual_streams > 1:
+            from repro.core.virtual import is_prime
+
+            if not is_prime(self.n_virtual_streams):
+                raise ConfigError(
+                    f"n_virtual_streams must be prime (Section 5.3), got "
+                    f"{self.n_virtual_streams}; try "
+                    f"repro.core.next_prime({self.n_virtual_streams})"
+                )
+
+    @property
+    def n_instances(self) -> int:
+        """Total AMS instances per virtual stream (``s1 × s2``)."""
+        return self.s1 * self.s2

@@ -1,0 +1,134 @@
+"""Exact pattern counting: the deterministic strawman and the oracle.
+
+Section 1 motivates SketchTree by costing the exact approach: one counter
+per distinct labeled pattern, i.e. up to
+``(1/n)·C(2n−2, n−1)·|Σ|^n`` counters for patterns of ``n`` nodes.
+:class:`ExactCounter` *is* that approach — a hash table over canonical
+pattern forms — with the same query interface as
+:class:`~repro.core.sketchtree.SketchTree`, so experiments use it both as
+the ground truth and as the memory-comparison baseline (Table 1's
+"7M / 11M counters" observation).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable
+
+from repro.core.expressions import Expression
+from repro.enumtree.enumerate import iter_pattern_multiset
+from repro.errors import QueryError
+from repro.query.pattern import arrangements, pattern_edges, validate_pattern
+from repro.trees.tree import LabeledTree, Nested
+
+
+class ExactCounter:
+    """Exact occurrence counts of every pattern with 1..k edges."""
+
+    def __init__(self, max_pattern_edges: int):
+        if max_pattern_edges < 1:
+            raise QueryError(
+                f"max_pattern_edges must be >= 1, got {max_pattern_edges}"
+            )
+        self.max_pattern_edges = max_pattern_edges
+        self.counts: Counter[Nested] = Counter()
+        self.n_trees = 0
+        self.n_values = 0  # total pattern occurrences (sequences processed)
+
+    # ------------------------------------------------------------------
+    # Stream side
+    # ------------------------------------------------------------------
+    def update(self, tree: LabeledTree) -> None:
+        """Count every pattern occurrence of one arriving tree."""
+        n = 0
+        for pattern in iter_pattern_multiset(tree, self.max_pattern_edges):
+            self.counts[pattern] += 1
+            n += 1
+        self.n_trees += 1
+        self.n_values += n
+
+    def ingest(self, trees: Iterable[LabeledTree]) -> "ExactCounter":
+        for tree in trees:
+            self.update(tree)
+        return self
+
+    # ------------------------------------------------------------------
+    # Query side (same semantics as SketchTree, but exact)
+    # ------------------------------------------------------------------
+    def count_ordered(self, pattern: Nested) -> int:
+        """Exact ``COUNT_ord(Q)`` over the stream so far."""
+        self._check(pattern)
+        return self.counts.get(pattern, 0)
+
+    def count_unordered(self, pattern: Nested) -> int:
+        """Exact ``COUNT(Q)``: sum over distinct ordered arrangements."""
+        self._check(pattern)
+        return sum(self.counts.get(a, 0) for a in arrangements(pattern))
+
+    def count_sum(self, patterns: Iterable[Nested]) -> int:
+        """Exact total frequency of a set of *distinct* patterns."""
+        distinct = list(dict.fromkeys(patterns))
+        for pattern in distinct:
+            self._check(pattern)
+        return sum(self.counts.get(p, 0) for p in distinct)
+
+    def evaluate_expression(self, expression: Expression) -> int:
+        """Exact value of a Section 4 query expression."""
+        total = 0
+        for coeff, atoms in expression.expand():
+            product = coeff
+            for atom in atoms:
+                self._check(atom)
+                product *= self.counts.get(atom, 0)
+            total += product
+        return total
+
+    def selectivity(self, pattern: Nested) -> float:
+        """``COUNT_ord(Q) / n_values`` — the paper's workload metric."""
+        if self.n_values == 0:
+            return 0.0
+        return self.counts.get(pattern, 0) / self.n_values
+
+    def _check(self, pattern: Nested) -> None:
+        validate_pattern(pattern)
+        edges = pattern_edges(pattern)
+        if edges < 1 or edges > self.max_pattern_edges:
+            raise QueryError(
+                f"pattern has {edges} edges; countable range is "
+                f"1..{self.max_pattern_edges}"
+            )
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def n_distinct_patterns(self) -> int:
+        """Table 1's "# of distinct tree patterns" column."""
+        return len(self.counts)
+
+    def self_join_size(self) -> int:
+        """``Σ f² `` of the induced one-dimensional stream (collision-free)."""
+        return sum(f * f for f in self.counts.values())
+
+    def memory_bytes(self) -> int:
+        """Counter-array memory of the deterministic approach.
+
+        The paper's accounting: one ``lg(m)``-bit counter per distinct
+        pattern, ``m`` the stream length — the quantity SketchTree's
+        fixed-size synopsis is traded against.
+        """
+        if not self.counts:
+            return 0
+        bits_per_counter = max(1, math.ceil(math.log2(max(2, self.n_values))))
+        return math.ceil(len(self.counts) * bits_per_counter / 8)
+
+    def top(self, k: int) -> list[tuple[Nested, int]]:
+        """The ``k`` most frequent patterns with their counts."""
+        return self.counts.most_common(k)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExactCounter(k={self.max_pattern_edges}, "
+            f"distinct={len(self.counts)}, occurrences={self.n_values})"
+        )

@@ -1,0 +1,123 @@
+"""Self-reported error bars and adaptive sketch sizing.
+
+Theorem 1 bounds the estimator's variance by the stream's self-join size
+``SJ(S)``; since an AMS sketch also *estimates* ``SJ(S)`` (its original
+F2 purpose — ``E[X²] = Σf²``), a SketchTree synopsis can report a
+confidence interval around every point estimate using nothing but its
+own counters:
+
+    Var[Y] ≤ SJ(S) / s1                (Y = mean over an s1-group)
+    Chebyshev:  P(|Y − f_q| ≥ a) ≤ SJ(S) / (s1 a²)
+
+so ``a = sqrt(SJ / (s1 · γ))`` is a ``1 − γ`` half-width per group, and
+the median-of-s2-groups sharpens the confidence further (the paper's
+boosting argument).  These bars are conservative — Chebyshev always is —
+but they are *sound* and come for free.
+
+:func:`recommend_config` closes the loop: given a target (ε, δ) and an
+observed or estimated self-join size and query frequency, it sizes
+``s1``/``s2`` per Theorems 1/2 and reports the paper-style memory the
+configuration would occupy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+
+from repro.errors import ConfigError
+from repro.sketch.estimators import (
+    s1_for_point_query,
+    s1_for_sum_query,
+    s2_for_confidence,
+)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A point estimate with a conservative (Chebyshev) confidence bar."""
+
+    estimate: float
+    half_width: float
+    confidence: float
+    self_join_estimate: float
+
+    @property
+    def low(self) -> float:
+        return self.estimate - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.estimate + self.half_width
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __repr__(self) -> str:
+        return (
+            f"Interval({self.estimate:.1f} ± {self.half_width:.1f} "
+            f"@ {self.confidence:.0%})"
+        )
+
+
+def chebyshev_half_width(
+    self_join_size: float, s1: int, confidence: float = 0.9
+) -> float:
+    """Half-width ``a`` with ``P(|Y − f_q| < a) ≥ confidence`` per group.
+
+    From ``Var[Y] ≤ SJ/s1`` and Chebyshev's inequality with failure
+    budget ``γ = 1 − confidence``.
+    """
+    if not 0 < confidence < 1:
+        raise ConfigError(f"confidence must be in (0, 1), got {confidence}")
+    if s1 < 1:
+        raise ConfigError(f"s1 must be >= 1, got {s1}")
+    if self_join_size < 0:
+        raise ConfigError(f"self-join size must be >= 0, got {self_join_size}")
+    gamma = 1 - confidence
+    return sqrt(self_join_size / (s1 * gamma))
+
+
+@dataclass(frozen=True)
+class ConfigRecommendation:
+    """Theorem 1/2-derived sketch dimensions for a target guarantee."""
+
+    s1: int
+    s2: int
+    epsilon: float
+    delta: float
+    #: paper-style counter memory for ``n_virtual_streams`` streams
+    sketch_bytes: int
+
+    def __repr__(self) -> str:
+        return (
+            f"ConfigRecommendation(s1={self.s1}, s2={self.s2}, "
+            f"~{self.sketch_bytes // 1024} KB)"
+        )
+
+
+def recommend_config(
+    self_join_size: float,
+    frequency: float,
+    epsilon: float,
+    delta: float,
+    n_patterns: int = 1,
+    n_virtual_streams: int = 229,
+) -> ConfigRecommendation:
+    """Size ``s1``/``s2`` for estimating a (sum of) count(s) of a given
+    magnitude within relative error ``epsilon`` at confidence ``1−delta``.
+
+    ``frequency`` is the (anticipated) total count of the query
+    pattern(s); ``self_join_size`` the stream's (estimated) ``Σf²`` —
+    e.g. from :meth:`repro.sketch.ams.SketchMatrix.estimate_self_join_size`
+    on a pilot synopsis.
+    """
+    s1 = s1_for_sum_query(self_join_size, frequency, n_patterns, epsilon)
+    s2 = s2_for_confidence(delta)
+    return ConfigRecommendation(
+        s1=s1,
+        s2=s2,
+        epsilon=epsilon,
+        delta=delta,
+        sketch_bytes=s1 * s2 * n_virtual_streams * 8,
+    )

@@ -1,0 +1,59 @@
+"""Memory accounting matching the paper's reported totals.
+
+Section 7.5: "The total memory allocated for the synopses in SketchTree
+is equal to sum of the memory required for s1 × s2 iid instances of AMS
+sketches, top-k data structures and independent random seeds".  With the
+paper's parameters (s1 = 25, s2 = 7, p = 229 virtual streams) the sketch
+component alone is ``25 · 7 · 229 · 8 B ≈ 320 KB`` — matching the 316 KB
+plotted in Figure 10(a) — so we use the same unit costs: 8 bytes per
+counter, 16 bytes per top-k slot, 8 bytes per ξ seed coefficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Breakdown of a synopsis' memory, in bytes.
+
+    ``provisioned_*`` is the paper-style total for a fully allocated
+    synopsis (all ``p`` virtual streams); ``allocated_*`` is what this
+    process actually holds given lazy stream allocation.
+    """
+
+    provisioned_sketch_bytes: int
+    provisioned_topk_bytes: int
+    seed_bytes: int
+    allocated_sketch_bytes: int
+    allocated_topk_bytes: int
+
+    @property
+    def provisioned_total(self) -> int:
+        """The paper's "total memory allocated" figure."""
+        return (
+            self.provisioned_sketch_bytes
+            + self.provisioned_topk_bytes
+            + self.seed_bytes
+        )
+
+    @property
+    def allocated_total(self) -> int:
+        return self.allocated_sketch_bytes + self.allocated_topk_bytes + self.seed_bytes
+
+    def format(self) -> str:
+        """Human-readable one-liner (KB/MB like the paper's captions)."""
+        return (
+            f"sketches {_fmt(self.provisioned_sketch_bytes)} + "
+            f"top-k {_fmt(self.provisioned_topk_bytes)} + "
+            f"seeds {_fmt(self.seed_bytes)} = {_fmt(self.provisioned_total)}"
+        )
+
+
+def _fmt(n_bytes: int) -> str:
+    if n_bytes >= 1 << 20:
+        return f"{n_bytes / (1 << 20):.2f} MB"
+    if n_bytes >= 1 << 10:
+        return f"{n_bytes / (1 << 10):.0f} KB"
+    return f"{n_bytes} B"

@@ -1,0 +1,518 @@
+"""The SketchTree synopsis: the paper's primary contribution, end to end.
+
+Per arriving tree (Algorithm 1): EnumTree enumerates every pattern
+occurrence with 1..k edges; each becomes extended Prüfer sequences, then a
+one-dimensional value (Rabin residue or pairing value); the value routes
+to a virtual stream by residue mod ``p`` and updates that stream's
+``s1 × s2`` AMS instances; optionally, top-k tracking (Algorithm 4) runs
+per value.
+
+Per query (Algorithm 2 + extensions): the query pattern(s) are encoded
+identically, the relevant virtual-stream sketches are summed, deleted
+top-k mass of queried values is compensated, and the median-of-means
+estimator answers — for single patterns, unordered patterns (Section 3.3),
+sums of distinct patterns (Theorem 2), arithmetic expressions (Section 4),
+and ``*``/``//`` queries resolved against a structural summary
+(Section 6.2).
+
+Two ingestion paths are provided:
+
+* :meth:`update` — the faithful streaming path, tree at a time.
+* :meth:`ingest_counts` — a bulk path loading a pattern frequency table.
+  Because AMS sketches are linear projections, the resulting *sketch*
+  state is bit-identical to streaming the same multiset in any order;
+  top-k state is emulated with randomised passes over the distinct
+  values.  Experiments use this path to sweep configurations quickly.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+from collections import Counter
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.config import SketchTreeConfig
+from repro.core.encoding import PatternEncoder
+from repro.core.expressions import Expression, required_independence
+from repro.core.memory import MemoryReport
+from repro.core.virtual import VirtualStreams
+from repro.enumtree.enumerate import iter_pattern_multiset
+from repro.errors import ConfigError, QueryError
+from repro.query.pattern import arrangements, pattern_edges, validate_pattern
+from repro.query.summary import QueryNode, StructuralSummary
+from repro.sketch.ams import SketchMatrix
+from repro.sketch.xi import MERSENNE_31
+from repro.trees.tree import LabeledTree, Nested
+
+
+def _any_label_has_or(pattern: Nested) -> bool:
+    from repro.query.pattern import OR_SEPARATOR
+
+    stack = [pattern]
+    while stack:
+        label, children = stack.pop()
+        if OR_SEPARATOR in label:
+            return True
+        stack.extend(children)
+    return False
+
+
+def coerce_pattern(query) -> Nested:
+    """Accept a nested tuple, s-expression string, tree, or plain
+    :class:`QueryNode`, and return the canonical nested-tuple pattern."""
+    if isinstance(query, str):
+        from repro.trees.builders import from_sexpr
+
+        return from_sexpr(query).to_nested()
+    if isinstance(query, LabeledTree):
+        return query.to_nested()
+    if isinstance(query, QueryNode):
+        return query.to_pattern()
+    if isinstance(query, tuple):
+        return query
+    raise QueryError(f"cannot interpret {type(query).__name__} as a tree pattern")
+
+
+class SketchTree:
+    """The streaming synopsis for approximate tree pattern counts.
+
+    >>> st = SketchTree(SketchTreeConfig(s1=30, s2=5, max_pattern_edges=3,
+    ...                                  n_virtual_streams=31, seed=7))
+    >>> from repro.trees import from_sexpr
+    >>> st.update(from_sexpr("(A (B) (C))"))
+    >>> round(st.estimate_ordered("(A (B))"))
+    1
+    """
+
+    def __init__(self, config: SketchTreeConfig | None = None, **overrides):
+        if config is None:
+            config = SketchTreeConfig(**overrides)
+        elif overrides:
+            raise ConfigError("pass either a config object or keyword overrides")
+        self.config = config
+        encoder_seed = (
+            config.encoder_seed if config.encoder_seed is not None else config.seed
+        )
+        self._encoder = PatternEncoder(
+            mapping=config.mapping,
+            degree=config.fingerprint_degree,
+            seed=encoder_seed,
+        )
+        self._streams = VirtualStreams(
+            n_streams=config.n_virtual_streams,
+            s1=config.s1,
+            s2=config.s2,
+            independence=config.independence,
+            seed=config.seed + 101,
+            topk_size=config.topk_size,
+            xi_family=config.xi_family,
+        )
+        self._rng = random.Random(config.seed ^ 0x53EED)
+        self.summary: StructuralSummary | None = (
+            StructuralSummary() if config.maintain_summary else None
+        )
+        self.n_trees = 0
+        self.n_values = 0  # pattern occurrences processed ("sequences")
+
+    # ------------------------------------------------------------------
+    # Stream side
+    # ------------------------------------------------------------------
+    def update(self, tree: LabeledTree) -> None:
+        """Process one arriving tree (paper Algorithm 1)."""
+        self.update_from_patterns(
+            iter_pattern_multiset(tree, self.config.max_pattern_edges)
+        )
+        if self.summary is not None:
+            self.summary.add_tree(tree)
+
+    def update_from_patterns(self, patterns: Iterable[Nested]) -> None:
+        """Process one tree given its already-enumerated pattern multiset.
+
+        The public hook for external enumerators (the SAX-style streaming
+        path in :mod:`repro.stream.sax`, custom parsers, test harnesses):
+        callers hand over exactly what ``EnumTree(T, k)`` would have
+        produced for one arriving tree, and the synopsis advances as if
+        :meth:`update` had seen the tree — same sketch state, same top-k
+        processing, same bookkeeping.  The structural summary (which
+        needs whole trees) is not updated on this path.
+        """
+        values = self._encoder.encode_many(patterns)
+        self._apply_values(values, count=1)
+        self.n_trees += 1
+        self.n_values += len(values)
+        if self.config.topk_size:
+            probability = self.config.topk_probability
+            for value in values:
+                if probability >= 1.0 or self._rng.random() < probability:
+                    self._streams.tracker(self._streams.residue(value)).process(value)
+
+    def delete_tree(self, tree: LabeledTree) -> None:
+        """Remove a previously streamed tree from the synopsis.
+
+        Exploits AMS deletability (Section 3).  Top-k tracked frequencies
+        are *not* revised (they remain estimates of what was deleted when
+        tracking ran); the structural summary, being monotone, is also
+        left unchanged.
+        """
+        k = self.config.max_pattern_edges
+        values = self._encoder.encode_many(iter_pattern_multiset(tree, k))
+        self._apply_values(values, count=-1)
+        self.n_trees -= 1
+        self.n_values -= len(values)
+
+    def ingest(self, trees: Iterable[LabeledTree]) -> "SketchTree":
+        """Stream a whole iterable of trees through :meth:`update`."""
+        for tree in trees:
+            self.update(tree)
+        return self
+
+    def ingest_counts(
+        self,
+        counts: dict[Nested, int] | Counter,
+        n_trees: int = 0,
+    ) -> "SketchTree":
+        """Bulk-load a pattern → occurrence-count table.
+
+        The sketch state equals streaming the same occurrences one at a
+        time (linearity of the AMS projection).  When top-k is enabled,
+        Algorithm 4 is emulated per stream with
+        :meth:`~repro.core.topk.TopKTracker.bulk_build` — by the end of a
+        real stream the tracker likewise holds the values with the largest
+        estimated frequencies, so the emulation preserves the strategy's
+        effect (the self-join-size reduction) without replaying every
+        occurrence.
+        """
+        by_value: dict[int, int] = {}
+        for pattern, count in counts.items():
+            value = self._encoder.encode(pattern)
+            by_value[value] = by_value.get(value, 0) + count
+        return self.ingest_value_counts(by_value, n_trees=n_trees)
+
+    def ingest_value_counts(
+        self, counts_by_value: dict[int, int], n_trees: int = 0
+    ) -> "SketchTree":
+        """Bulk-load an already-encoded value → count table.
+
+        Advanced path for harnesses that pre-encode a stream once (with a
+        pinned ``encoder_seed``) and replay it under many sketch seeds.
+        The caller is responsible for having produced the values with an
+        encoder identical to this synopsis' (same mapping, degree and
+        encoder seed) — otherwise queries will not line up.
+        """
+        by_residue: dict[int, dict[int, int]] = {}
+        total = 0
+        for value, count in counts_by_value.items():
+            by_residue.setdefault(self._streams.residue(value), {})[value] = count
+            total += count
+        for residue, stream_counts in by_residue.items():
+            self._streams.sketch(residue).update_counts(stream_counts)
+        self.n_trees += n_trees
+        self.n_values += total
+        if self.config.topk_size:
+            for residue, stream_counts in by_residue.items():
+                self._streams.tracker(residue).bulk_build(list(stream_counts))
+        return self
+
+    def _apply_values(self, values: list[int], count: int) -> None:
+        by_residue: dict[int, list[int]] = {}
+        for value in values:
+            by_residue.setdefault(self._streams.residue(value), []).append(value)
+        for residue, stream_values in by_residue.items():
+            arr = np.fromiter(
+                (v % MERSENNE_31 for v in stream_values),
+                dtype=np.int64,
+                count=len(stream_values),
+            )
+            counts = np.full(len(stream_values), count, dtype=np.int64)
+            self._streams.sketch(residue).update_batch(arr, counts)
+
+    # ------------------------------------------------------------------
+    # Query side
+    # ------------------------------------------------------------------
+    def estimate_ordered(self, query) -> float:
+        """Approximate ``COUNT_ord(Q)`` (Theorem 1 estimator)."""
+        pattern = self._checked(query)
+        value = self._encoder.encode(pattern)
+        view = self._view_for([value])
+        return view.estimate(value)
+
+    def estimate_ordered_interval(self, query, confidence: float = 0.9):
+        """``COUNT_ord(Q)`` with a self-reported Chebyshev error bar.
+
+        The half-width comes from Theorem 1's variance bound with the
+        *residual* self-join size of the query's virtual stream, which
+        the sketch estimates about itself (AMS's original F2 purpose) —
+        no extra state, conservative by construction.  See
+        :mod:`repro.core.intervals`.
+        """
+        from repro.core.intervals import Interval, chebyshev_half_width
+
+        pattern = self._checked(query)
+        value = self._encoder.encode(pattern)
+        residue = self._streams.residue(value)
+        matrix = self._streams.sketch_if_allocated(residue)
+        if matrix is None:
+            return Interval(0.0, 0.0, confidence, 0.0)
+        tracker = (
+            self._streams.tracker(residue) if self.config.topk_size else None
+        )
+        adjust = tracker.adjustment([value]) if tracker else None
+        estimate = matrix.estimate(value, adjust=adjust)
+        # The residual stream (top-k mass deleted) drives the noise.
+        self_join = max(0.0, matrix.estimate_self_join_size())
+        half_width = chebyshev_half_width(self_join, self.config.s1, confidence)
+        return Interval(estimate, half_width, confidence, self_join)
+
+    def estimate_self_join_size(self) -> float:
+        """Self-reported residual ``SJ(S) = Σ_r SJ(S_r)`` across streams.
+
+        "Residual" because top-k-deleted mass is excluded — which is
+        exactly the quantity Theorem 1's error bound depends on after the
+        Section 5.2 optimisation.
+        """
+        total = 0.0
+        for _, matrix in self._streams.iter_sketches():
+            total += max(0.0, matrix.estimate_self_join_size())
+        return total
+
+    def estimate_unordered(self, query) -> float:
+        """Approximate ``COUNT(Q)``: the Section 3.3 sum over the distinct
+        ordered arrangements of the pattern."""
+        pattern = self._checked(query)
+        return self._estimate_distinct_sum(
+            [self._encoder.encode(p) for p in arrangements(pattern)]
+        )
+
+    def estimate_sum(self, queries) -> float:
+        """Approximate ``Σ_j COUNT_ord(Q_j)`` for distinct patterns
+        (Theorem 2 estimator — a single combined sketch product, not a sum
+        of per-pattern estimates)."""
+        patterns = [self._checked(q) for q in queries]
+        distinct = list(dict.fromkeys(patterns))
+        if len(distinct) != len(patterns):
+            raise QueryError(
+                "estimate_sum requires distinct patterns (Theorem 2); "
+                "duplicates were passed"
+            )
+        return self._estimate_distinct_sum(
+            [self._encoder.encode(p) for p in distinct]
+        )
+
+    def estimate_or(self, query) -> float:
+        """Approximate the count of a pattern with ``|`` OR-predicates in
+        its labels (paper Example 5): the sum over the expanded distinct
+        patterns."""
+        from repro.query.pattern import expand_or_labels
+
+        pattern = coerce_pattern(query)
+        expanded = expand_or_labels(pattern)
+        for p in expanded:
+            self._check_size(p)
+        return self._estimate_distinct_sum(
+            [self._encoder.encode(p) for p in expanded]
+        )
+
+    def estimate_expression(self, expression: Expression) -> float:
+        """Approximate a Section 4 query expression (``+``, ``−``, ``×``).
+
+        Accepts an :class:`~repro.core.expressions.Expression` or a
+        string such as ``"COUNT(A/B) * COUNT(A/C) - COUNT(B/C)"``
+        (parsed by :func:`~repro.core.expressions.parse_expression`).
+        Raises :class:`~repro.errors.ConfigError` when the configured ξ
+        independence is below the expression's requirement
+        (:func:`~repro.core.expressions.required_independence`).
+        """
+        if isinstance(expression, str):
+            from repro.core.expressions import parse_expression
+
+            expression = parse_expression(expression)
+        needed = required_independence(expression)
+        if self.config.independence < needed:
+            raise ConfigError(
+                f"expression needs {needed}-wise independent xi; synopsis was "
+                f"built with independence={self.config.independence}"
+            )
+        terms = expression.expand()
+        atoms = expression.atoms()
+        for atom in atoms:
+            self._check_size(atom)
+        atom_values = {atom: self._encoder.encode(atom) for atom in atoms}
+        view = self._view_for(list(atom_values.values()))
+        counters = view.counters.astype(np.float64)
+        z = np.zeros_like(counters)
+        from math import factorial
+
+        for coeff, term_atoms in terms:
+            degree = len(term_atoms)
+            xi_prod = view.xi.xi_values(
+                [atom_values[a] for a in term_atoms]
+            ).prod(axis=1)
+            z += coeff * (counters**degree) / factorial(degree) * xi_prod
+        return view.boost(z)
+
+    def estimate_extended(
+        self, query: QueryNode, summary: StructuralSummary | None = None
+    ) -> float:
+        """Approximate the count of a ``*`` / ``//`` query (Section 6.2).
+
+        Resolves the query against the structural summary (the synopsis'
+        own when built with ``maintain_summary=True``, or one supplied by
+        the caller) into distinct parent-child patterns and estimates
+        their total frequency.
+        """
+        summary = summary if summary is not None else self.summary
+        if summary is None:
+            raise QueryError(
+                "extended queries need a structural summary: construct the "
+                "synopsis with maintain_summary=True or pass one explicitly"
+            )
+        resolved = summary.resolve(query, max_edges=self.config.max_pattern_edges)
+        if not resolved:
+            return 0.0
+        return self._estimate_distinct_sum(
+            [self._encoder.encode(p) for p in resolved]
+        )
+
+    def estimate_xpath(self, text: str) -> float:
+        """Approximate the count of an XPath-subset query.
+
+        Parses ``text`` with :func:`repro.query.xpath.parse_xpath` and
+        dispatches: plain paths (names and predicates only) go through
+        the ordered estimator (with OR-label expansion, Example 5);
+        queries using ``*`` or ``//`` go through the Section 6.2
+        resolution and therefore need a structural summary.
+
+        Remember the paper's semantic note: this is the *pattern
+        occurrence* count, not XPath's target-node count.
+        """
+        from repro.query.xpath import parse_xpath
+
+        query = parse_xpath(text)
+        if not query.is_plain():
+            return self.estimate_extended(query)
+        pattern = query.to_pattern()
+        if _any_label_has_or(pattern):
+            return self.estimate_or(pattern)
+        return self.estimate_ordered(pattern)
+
+    def _estimate_distinct_sum(self, values: list[int]) -> float:
+        if not values:
+            return 0.0
+        return self._streams.estimate_sum_grouped(values)
+
+    def _view_for(self, values: list[int]) -> SketchMatrix:
+        residues = [self._streams.residue(v) for v in values]
+        return self._streams.view(residues, values)
+
+    def _checked(self, query) -> Nested:
+        pattern = coerce_pattern(query)
+        self._check_size(pattern)
+        return pattern
+
+    def _check_size(self, pattern: Nested) -> None:
+        validate_pattern(pattern)
+        edges = pattern_edges(pattern)
+        if edges < 1 or edges > self.config.max_pattern_edges:
+            raise QueryError(
+                f"pattern has {edges} edges; this synopsis counts patterns "
+                f"with 1..{self.config.max_pattern_edges} edges "
+                f"(larger patterns are the paper's stated future work)"
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection / persistence
+    # ------------------------------------------------------------------
+    def memory_report(self) -> MemoryReport:
+        """Paper-style memory accounting (see :mod:`repro.core.memory`)."""
+        cfg = self.config
+        per_stream_sketch = cfg.s1 * cfg.s2 * 8
+        per_stream_topk = cfg.topk_size * 16
+        allocated_topk = sum(
+            tracker.memory_bytes() for _, tracker in self._streams.iter_trackers()
+        )
+        return MemoryReport(
+            provisioned_sketch_bytes=cfg.n_virtual_streams * per_stream_sketch,
+            provisioned_topk_bytes=cfg.n_virtual_streams * per_stream_topk,
+            seed_bytes=cfg.s1 * cfg.s2 * cfg.independence * 8,
+            allocated_sketch_bytes=self._streams.n_allocated * per_stream_sketch,
+            allocated_topk_bytes=allocated_topk,
+        )
+
+    @property
+    def streams(self) -> VirtualStreams:
+        """The underlying virtual-stream partition (read-mostly access)."""
+        return self._streams
+
+    @property
+    def encoder(self) -> PatternEncoder:
+        """The pattern → value encoder (shared with analyses)."""
+        return self._encoder
+
+    def merge(self, other: "SketchTree") -> "SketchTree":
+        """Merge another synopsis built with the *same config and seed*
+        over a disjoint sub-stream (distributed-ingest scenario).
+
+        Top-k state cannot be merged soundly (deletions are per-synopsis
+        estimates), so merging requires ``topk_size = 0``.
+        """
+        if other.config != self.config:
+            raise ConfigError("can only merge synopses with identical configs")
+        if self.config.topk_size:
+            raise ConfigError("cannot merge synopses with top-k tracking enabled")
+        merged = SketchTree(self.config)
+        for source in (self, other):
+            for residue, matrix in source._streams.iter_sketches():
+                merged._streams.sketch(residue).counters += matrix.counters
+        merged.n_trees = self.n_trees + other.n_trees
+        merged.n_values = self.n_values + other.n_values
+        if self.summary is not None:
+            merged.summary = StructuralSummary()
+            # Summaries are monotone tries; re-adding is not possible from
+            # here, so merging keeps only counts. Documented limitation.
+        return merged
+
+    def to_bytes(self) -> bytes:
+        """Serialise the synopsis (counters, top-k state, bookkeeping).
+
+        Uses :mod:`pickle`; only load snapshots you produced yourself.
+        """
+        state = {
+            "config": self.config,
+            "n_trees": self.n_trees,
+            "n_values": self.n_values,
+            "sketches": {
+                r: m.counters for r, m in self._streams.iter_sketches()
+            },
+            "trackers": {
+                r: t.tracked for r, t in self._streams.iter_trackers()
+            },
+        }
+        return pickle.dumps(state)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "SketchTree":
+        """Restore a synopsis serialised with :meth:`to_bytes`."""
+        state = pickle.loads(blob)
+        synopsis = cls(state["config"])
+        synopsis.n_trees = state["n_trees"]
+        synopsis.n_values = state["n_values"]
+        for residue, counters in state["sketches"].items():
+            synopsis._streams.sketch(residue).counters = counters.copy()
+        for residue, tracked in state["trackers"].items():
+            tracker = synopsis._streams.tracker(residue)
+            if tracker is not None:
+                tracker._freq = dict(tracked)
+                import heapq
+
+                tracker._heap = [(f, v) for v, f in tracked.items()]
+                heapq.heapify(tracker._heap)
+        return synopsis
+
+    def __repr__(self) -> str:
+        return (
+            f"SketchTree(trees={self.n_trees}, values={self.n_values}, "
+            f"{self._streams!r})"
+        )

@@ -1,0 +1,210 @@
+"""Virtual streams: partitioning the value stream to shrink self-join size.
+
+Section 5.3: the one-dimensional stream ``S`` is split into ``p`` (prime)
+disjoint virtual streams by residue ``t mod p``, each sketched separately
+— like COUNT-sketch buckets.  Every per-stream sketch shares one ξ family
+("the sketches can share the same random seed"), so the sketch of a union
+of streams is simply the sum of their counters; that is how queries whose
+values land in different streams (sums, products, unordered counts) are
+served.
+
+When top-k tracking is enabled there is one tracker per virtual stream,
+as the paper prescribes for the combined strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.topk import TopKTracker
+from repro.errors import ConfigError
+from repro.sketch.ams import SketchMatrix
+from repro.sketch.xi import XiGenerator
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality check by trial division (small n)."""
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    d = 3
+    while d * d <= n:
+        if n % d == 0:
+            return False
+        d += 2
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime ``>= n``."""
+    candidate = max(2, n)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+class VirtualStreams:
+    """``p`` lazily-allocated per-residue sketch matrices + top-k trackers.
+
+    Parameters
+    ----------
+    n_streams:
+        The prime ``p``; 1 means a single (non-partitioned) stream.
+    s1, s2:
+        Sketch-matrix dimensions, shared by every stream.
+    independence, seed:
+        ξ-family parameters; one generator is built and shared.
+    topk_size:
+        Per-stream top-k capacity; 0 disables tracking.
+    """
+
+    def __init__(
+        self,
+        n_streams: int,
+        s1: int,
+        s2: int,
+        independence: int = 4,
+        seed: int = 0,
+        topk_size: int = 0,
+        xi_family: str = "polynomial",
+    ):
+        if n_streams > 1 and not is_prime(n_streams):
+            raise ConfigError(f"n_streams must be prime, got {n_streams}")
+        if n_streams < 1:
+            raise ConfigError(f"n_streams must be >= 1, got {n_streams}")
+        self.n_streams = n_streams
+        self.s1 = s1
+        self.s2 = s2
+        self.topk_size = topk_size
+        if xi_family == "polynomial":
+            self.xi = XiGenerator(s1 * s2, independence=independence, seed=seed)
+        elif xi_family == "bch":
+            from repro.sketch.bch import BchXiGenerator
+
+            self.xi = BchXiGenerator(s1 * s2, seed=seed)
+        else:
+            raise ConfigError(f"unknown xi_family {xi_family!r}")
+        self._sketches: dict[int, SketchMatrix] = {}
+        self._trackers: dict[int, TopKTracker] = {}
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def residue(self, value: int) -> int:
+        """Which virtual stream ``value`` belongs to."""
+        return value % self.n_streams
+
+    def sketch(self, residue: int) -> SketchMatrix:
+        """The sketch of stream ``residue``, allocating it on first use."""
+        matrix = self._sketches.get(residue)
+        if matrix is None:
+            matrix = SketchMatrix(self.s1, self.s2, xi=self.xi)
+            self._sketches[residue] = matrix
+            if self.topk_size:
+                self._trackers[residue] = TopKTracker(self.topk_size, matrix)
+        return matrix
+
+    def sketch_if_allocated(self, residue: int) -> SketchMatrix | None:
+        return self._sketches.get(residue)
+
+    def tracker(self, residue: int) -> TopKTracker | None:
+        """The stream's top-k tracker, or ``None`` when disabled/unused."""
+        if not self.topk_size:
+            return None
+        self.sketch(residue)  # ensure allocated
+        return self._trackers[residue]
+
+    # ------------------------------------------------------------------
+    # Query-side combination
+    # ------------------------------------------------------------------
+    def combined_counters(self, residues: Iterable[int]) -> np.ndarray:
+        """Sum of the counters of the given streams (zeros when empty).
+
+        Valid because all streams share one ξ family: the sum sketches
+        the union of the streams.
+        """
+        total = np.zeros(self.s1 * self.s2, dtype=np.int64)
+        for residue in dict.fromkeys(residues):
+            matrix = self._sketches.get(residue)
+            if matrix is not None:
+                total += matrix.counters
+        return total
+
+    def combined_adjustment(self, values: Iterable[int]) -> np.ndarray | None:
+        """Top-k compensation ``Σ ξ_q f_q`` across all streams touched by
+        the query values (``None`` when nothing is tracked)."""
+        if not self.topk_size:
+            return None
+        by_residue: dict[int, list[int]] = {}
+        for value in dict.fromkeys(values):
+            by_residue.setdefault(self.residue(value), []).append(value)
+        total: np.ndarray | None = None
+        for residue, stream_values in by_residue.items():
+            tracker = self._trackers.get(residue)
+            if tracker is None:
+                continue
+            part = tracker.adjustment(stream_values)
+            if part is not None:
+                total = part if total is None else total + part
+        return total
+
+    def estimate_sum_grouped(self, values: Iterable[int]) -> float:
+        """Estimate ``Σ f_q`` by per-stream partial sums.
+
+        Query values are grouped by residue and each group is estimated
+        with *its own* stream's Theorem 2 estimator (top-k compensated);
+        the partial estimates are added.  This is never worse than summing
+        counters first: it keeps every estimate's variance bounded by its
+        own stream's (small) self-join size instead of the union's, while
+        remaining unbiased — a refinement the partitioning of Section 5.3
+        makes available for purely linear queries.
+        """
+        by_residue: dict[int, list[int]] = {}
+        for value in dict.fromkeys(values):
+            by_residue.setdefault(self.residue(value), []).append(value)
+        total = 0.0
+        for residue, stream_values in by_residue.items():
+            matrix = self._sketches.get(residue)
+            if matrix is None:
+                continue  # stream never received a value: exact zero
+            tracker = self._trackers.get(residue)
+            adjust = tracker.adjustment(stream_values) if tracker else None
+            total += matrix.estimate_sum(stream_values, adjust=adjust)
+        return total
+
+    def view(self, residues: Iterable[int], values: Iterable[int]) -> SketchMatrix:
+        """A temporary sketch over the union of streams, with top-k
+        compensation for the given query values already applied."""
+        combined = SketchMatrix(self.s1, self.s2, xi=self.xi)
+        combined.counters = self.combined_counters(residues)
+        adjust = self.combined_adjustment(values)
+        if adjust is not None:
+            combined.counters = combined.counters + adjust
+        return combined
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_allocated(self) -> int:
+        """Streams that have received at least one value."""
+        return len(self._sketches)
+
+    def iter_sketches(self):
+        """Yield ``(residue, SketchMatrix)`` for allocated streams."""
+        return iter(self._sketches.items())
+
+    def iter_trackers(self):
+        """Yield ``(residue, TopKTracker)`` for allocated trackers."""
+        return iter(self._trackers.items())
+
+    def __repr__(self) -> str:
+        return (
+            f"VirtualStreams(p={self.n_streams}, allocated={len(self._sketches)}, "
+            f"s1={self.s1}, s2={self.s2}, topk={self.topk_size})"
+        )

@@ -1,0 +1,150 @@
+"""Sliding-window pattern counting over the most recent trees.
+
+The paper counts over the *whole* stream; a natural deployment question
+(and a classic stream-processing extension) is "how often did this
+pattern occur in the last W documents?".  Because the synopsis is a
+linear projection, exact landmark differences are trivial — but an exact
+sliding window would require storing per-tree deltas.  The standard
+bucket compromise implemented here keeps memory bounded:
+
+* time is divided into *buckets* of ``bucket_trees`` consecutive trees;
+* each bucket holds its own :class:`~repro.core.sketchtree.SketchTree`
+  (sharing one configuration, and therefore one ξ family per seed);
+* only the most recent ``n_buckets = ceil(window_trees / bucket_trees)``
+  **complete** buckets plus the in-progress bucket are retained; older
+  buckets are dropped whole;
+* a query sums the retained buckets' estimates — linearity again — so
+  the answered window is the last ``W′`` trees where
+  ``window_trees ≤ W′ < window_trees + bucket_trees``; the exact
+  boundary is quantised to a bucket, the usual accuracy/memory trade of
+  bucketed windows.
+
+Memory: ``(n_buckets + 1) ×`` one synopsis.  Top-k tracking is disabled
+inside buckets (tracked deletions would not be additive across bucket
+drops); virtual streams work unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.config import SketchTreeConfig
+from repro.core.sketchtree import SketchTree
+from repro.errors import ConfigError
+from repro.trees.tree import LabeledTree
+
+
+class WindowedSketchTree:
+    """Approximate pattern counts over a sliding window of trees.
+
+    Parameters
+    ----------
+    config:
+        Configuration for the per-bucket synopses (``topk_size`` must be
+        0 — see the module docstring).
+    window_trees:
+        Target window length in trees.
+    bucket_trees:
+        Bucket granularity; smaller buckets track the window boundary
+        more tightly at proportionally more memory.
+    """
+
+    def __init__(
+        self,
+        config: SketchTreeConfig,
+        window_trees: int,
+        bucket_trees: int | None = None,
+    ):
+        if config.topk_size:
+            raise ConfigError(
+                "windowed counting requires topk_size=0: top-k deletions "
+                "are not additive across bucket expiry"
+            )
+        if window_trees < 1:
+            raise ConfigError(f"window_trees must be >= 1, got {window_trees}")
+        if bucket_trees is None:
+            bucket_trees = max(1, window_trees // 8)
+        if not 1 <= bucket_trees <= window_trees:
+            raise ConfigError(
+                f"bucket_trees must be in [1, window_trees], got {bucket_trees}"
+            )
+        self.config = config
+        self.window_trees = window_trees
+        self.bucket_trees = bucket_trees
+        self.n_buckets = -(-window_trees // bucket_trees)  # ceil
+        self._complete: deque[SketchTree] = deque()
+        self._current = SketchTree(config)
+        self.n_trees_seen = 0
+
+    # ------------------------------------------------------------------
+    # Stream side
+    # ------------------------------------------------------------------
+    def update(self, tree: LabeledTree) -> None:
+        """Process one arriving tree; rotates buckets as they fill."""
+        self._current.update(tree)
+        self.n_trees_seen += 1
+        if self._current.n_trees >= self.bucket_trees:
+            self._complete.append(self._current)
+            self._current = SketchTree(self.config)
+            while len(self._complete) > self.n_buckets:
+                self._complete.popleft()  # expire the oldest bucket whole
+
+    def ingest(self, trees) -> "WindowedSketchTree":
+        for tree in trees:
+            self.update(tree)
+        return self
+
+    # ------------------------------------------------------------------
+    # Query side
+    # ------------------------------------------------------------------
+    def _live_buckets(self):
+        yield from self._complete
+        if self._current.n_trees:
+            yield self._current
+
+    def estimate_ordered(self, query) -> float:
+        """Approximate ``COUNT_ord(Q)`` over the current window."""
+        return sum(b.estimate_ordered(query) for b in self._live_buckets())
+
+    def estimate_unordered(self, query) -> float:
+        """Approximate ``COUNT(Q)`` over the current window."""
+        return sum(b.estimate_unordered(query) for b in self._live_buckets())
+
+    def estimate_sum(self, queries) -> float:
+        """Approximate a distinct-pattern sum over the current window."""
+        return sum(b.estimate_sum(queries) for b in self._live_buckets())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def window_size_actual(self) -> int:
+        """Trees currently covered by the retained buckets."""
+        return sum(b.n_trees for b in self._live_buckets())
+
+    @property
+    def n_live_buckets(self) -> int:
+        return len(self._complete) + (1 if self._current.n_trees else 0)
+
+    def memory_report(self):
+        """Aggregate paper-style memory across live buckets (plus the
+        in-progress one)."""
+        from repro.core.memory import MemoryReport
+
+        reports = [b.memory_report() for b in self._live_buckets()]
+        if not reports:
+            reports = [SketchTree(self.config).memory_report()]
+        return MemoryReport(
+            provisioned_sketch_bytes=sum(r.provisioned_sketch_bytes for r in reports),
+            provisioned_topk_bytes=0,
+            seed_bytes=reports[0].seed_bytes,
+            allocated_sketch_bytes=sum(r.allocated_sketch_bytes for r in reports),
+            allocated_topk_bytes=0,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"WindowedSketchTree(window={self.window_trees}, "
+            f"bucket={self.bucket_trees}, live={self.n_live_buckets}, "
+            f"covering={self.window_size_actual})"
+        )

@@ -1,0 +1,31 @@
+"""Synthetic dataset substrate standing in for the paper's XML corpora.
+
+The paper evaluates on two real XML collections from the UW repository:
+
+* **TREEBANK** — 28,699 parsed-sentence trees, *narrow and deep* with
+  recursive element names; values encrypted, so queries use element names
+  only.
+* **DBLP** — 98,061 bibliography records, *shallow and bushy*; queries
+  mix element names and CDATA values; the pattern distribution is highly
+  skewed (a few record shapes dominate).
+
+Neither corpus ships with this reproduction, so we implement generators
+producing streams with the same structural signatures (see DESIGN.md §3
+for the substitution argument):
+
+* :class:`~repro.datasets.treebank.TreebankGenerator` — a probabilistic
+  English-like phrase grammar yielding deep, narrow, recursive trees over
+  Penn-Treebank-style tags.
+* :class:`~repro.datasets.dblp.DblpGenerator` — bibliography records with
+  Zipf-distributed field values, yielding shallow bushy trees with a
+  heavily skewed pattern distribution.
+
+Both are deterministic given their seed and stream lazily.
+"""
+
+from repro.datasets.dblp import DblpGenerator
+from repro.datasets.treebank import TreebankGenerator
+from repro.datasets.xmark import XMarkGenerator
+from repro.datasets.zipf import ZipfSampler
+
+__all__ = ["DblpGenerator", "TreebankGenerator", "XMarkGenerator", "ZipfSampler"]

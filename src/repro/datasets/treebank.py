@@ -1,0 +1,154 @@
+"""TREEBANK-like stream: deep, narrow parse trees with recursive tags.
+
+A probabilistic phrase grammar over Penn-Treebank-style tags.  The real
+TREEBANK's salient properties for the paper's experiments are:
+
+* narrow and deep trees (long NP/PP/SBAR recursions);
+* recursive element names (an NP inside an NP inside a VP …);
+* queries use element names only (the corpus values are encrypted);
+* a moderately skewed pattern distribution (accuracy improves *gradually*
+  with the top-k size, unlike DBLP — Section 7.7's comparison point).
+
+The grammar below reproduces those properties: expansion probabilities
+favour chain-like recursive productions, depth is limited to keep trees
+finite, and leaves are bare tag nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.trees.node import TreeNode
+from repro.trees.tree import LabeledTree
+
+# Productions: nonterminal -> list of (probability, expansion labels).
+# An expansion label that has its own productions recurses; others become
+# leaf tag nodes.  Probabilities per nonterminal sum to 1.
+_GRAMMAR: dict[str, list[tuple[float, tuple[str, ...]]]] = {
+    "S": [
+        (0.55, ("NP", "VP")),
+        (0.20, ("NP", "VP", "PP")),
+        (0.10, ("ADVP", "NP", "VP")),
+        (0.10, ("SBAR", "NP", "VP")),
+        (0.05, ("S", "CC", "S")),
+    ],
+    "NP": [
+        (0.25, ("DT", "NN")),
+        (0.15, ("DT", "JJ", "NN")),
+        (0.12, ("NNP",)),
+        (0.12, ("PRP",)),
+        (0.10, ("NN",)),
+        (0.08, ("NNS",)),
+        (0.10, ("NP", "PP")),
+        (0.05, ("NP", "SBAR")),
+        (0.03, ("DT", "NN", "NN")),
+    ],
+    "VP": [
+        (0.22, ("VBD", "NP")),
+        (0.15, ("VBZ", "NP")),
+        (0.12, ("VBP", "NP")),
+        (0.10, ("VBD",)),
+        (0.10, ("VBD", "NP", "PP")),
+        (0.08, ("MD", "VP")),
+        (0.08, ("VBG", "NP")),
+        (0.08, ("VP", "PP")),
+        (0.07, ("VBZ", "SBAR")),
+    ],
+    "PP": [
+        (0.85, ("IN", "NP")),
+        (0.15, ("TO", "NP")),
+    ],
+    "SBAR": [
+        (0.50, ("IN", "S")),
+        (0.30, ("WHNP", "S")),
+        (0.20, ("WHADVP", "S")),
+    ],
+    "ADVP": [
+        (0.70, ("RB",)),
+        (0.30, ("RB", "RB")),
+    ],
+    "WHNP": [
+        (0.60, ("WP",)),
+        (0.40, ("WDT", "NN")),
+    ],
+    "WHADVP": [
+        (1.00, ("WRB",)),
+    ],
+}
+
+# Fallback expansions used once the depth limit is hit: the shortest
+# non-recursive production per nonterminal.
+_TERMINAL_FALLBACK: dict[str, tuple[str, ...]] = {
+    "S": ("NP", "VP"),
+    "NP": ("NN",),
+    "VP": ("VBD",),
+    "PP": ("IN", "NP"),
+    "SBAR": ("IN", "S"),
+    "ADVP": ("RB",),
+    "WHNP": ("WP",),
+    "WHADVP": ("WRB",),
+}
+
+# Depth past the limit at which even fallbacks must ground out: every
+# fallback chain reaches leaves within this many extra levels.
+_FALLBACK_SLACK = 4
+
+
+class TreebankGenerator:
+    """Deterministic stream of TREEBANK-like parse trees.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the expansion draws; the stream is reproducible.
+    max_depth:
+        Recursion budget for the grammar; deeper requests fall back to
+        minimal productions (real parse trees are depth-bounded too).
+    """
+
+    def __init__(self, seed: int = 0, max_depth: int = 9):
+        if max_depth < 2:
+            raise ConfigError(f"max_depth must be >= 2, got {max_depth}")
+        self.seed = seed
+        self.max_depth = max_depth
+        self._choices = {
+            tag: (
+                np.asarray([p for p, _ in productions]),
+                [expansion for _, expansion in productions],
+            )
+            for tag, productions in _GRAMMAR.items()
+        }
+
+    def generate(self, n_trees: int) -> Iterator[LabeledTree]:
+        """Yield ``n_trees`` trees lazily (restartable: same seed → same
+        stream)."""
+        rng = np.random.default_rng(self.seed)
+        for _ in range(n_trees):
+            yield self._sentence(rng)
+
+    __call__ = generate
+
+    def _sentence(self, rng: np.random.Generator) -> LabeledTree:
+        root = TreeNode("S")
+        stack = [(root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            productions = self._choices.get(node.label)
+            if productions is None:
+                continue  # leaf tag
+            if depth >= self.max_depth:
+                expansion = _TERMINAL_FALLBACK[node.label]
+                if depth >= self.max_depth + _FALLBACK_SLACK:
+                    continue  # ground out unconditionally
+            else:
+                probabilities, expansions = productions
+                expansion = expansions[int(rng.choice(len(expansions), p=probabilities))]
+            for label in expansion:
+                stack.append((node.add(label), depth + 1))
+        return LabeledTree(root)
+
+    def __repr__(self) -> str:
+        return f"TreebankGenerator(seed={self.seed}, max_depth={self.max_depth})"

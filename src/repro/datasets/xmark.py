@@ -1,0 +1,160 @@
+"""XMark-like stream: auction-site documents (the classic XML benchmark).
+
+The paper evaluates on TREEBANK and DBLP; XMark — the standard synthetic
+XML benchmark of the era — is the natural third corpus for stressing a
+*mixed* shape profile that sits between them:
+
+* three record species (items, people, open auctions) with different
+  field layouts — so the pattern distribution is multi-modal;
+* moderate depth (3-6) *and* moderate fan-out, unlike TREEBANK
+  (deep/narrow) and DBLP (shallow/bushy);
+* genuine structural recursion in item descriptions
+  (``parlist → listitem → parlist → …``), XMark's signature feature.
+
+Used by the appendix experiment (`repro.experiments.appendix_xmark`) to
+check that SketchTree's behaviour interpolates between the two paper
+corpora rather than being an artifact of either shape.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.datasets.zipf import ZipfSampler
+from repro.errors import ConfigError
+from repro.trees.node import TreeNode
+from repro.trees.tree import LabeledTree
+
+_SPECIES = ("item", "person", "open_auction")
+_SPECIES_PROBABILITIES = (0.4, 0.3, 0.3)
+
+
+class XMarkGenerator:
+    """Deterministic stream of XMark-like auction-site records.
+
+    Parameters
+    ----------
+    seed:
+        Seed for every draw; the stream is reproducible.
+    n_categories, n_cities, n_words:
+        Vocabulary sizes for the Zipf-distributed values.
+    max_description_depth:
+        Recursion bound for the ``parlist``/``listitem`` structure.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        n_categories: int = 60,
+        n_cities: int = 40,
+        n_words: int = 150,
+        max_description_depth: int = 3,
+    ):
+        if min(n_categories, n_cities, n_words) < 1:
+            raise ConfigError("vocabulary sizes must be >= 1")
+        if max_description_depth < 1:
+            raise ConfigError("max_description_depth must be >= 1")
+        self.seed = seed
+        self.n_categories = n_categories
+        self.n_cities = n_cities
+        self.n_words = n_words
+        self.max_description_depth = max_description_depth
+
+    def generate(self, n_trees: int) -> Iterator[LabeledTree]:
+        """Yield ``n_trees`` records lazily (same seed → same stream)."""
+        rng = np.random.default_rng(self.seed)
+        categories = ZipfSampler(
+            [f"category_{i:03d}" for i in range(self.n_categories)], 1.0, rng
+        )
+        cities = ZipfSampler(
+            [f"city_{i:03d}" for i in range(self.n_cities)], 1.0, rng
+        )
+        words = ZipfSampler(
+            [f"word_{i:03d}" for i in range(self.n_words)], 1.1, rng
+        )
+        for _ in range(n_trees):
+            species = _SPECIES[
+                int(rng.choice(len(_SPECIES), p=_SPECIES_PROBABILITIES))
+            ]
+            if species == "item":
+                yield self._item(rng, categories, words)
+            elif species == "person":
+                yield self._person(rng, cities, categories, words)
+            else:
+                yield self._auction(rng, words)
+
+    __call__ = generate
+
+    # ------------------------------------------------------------------
+    # Species
+    # ------------------------------------------------------------------
+    def _item(self, rng, categories: ZipfSampler, words: ZipfSampler) -> LabeledTree:
+        root = TreeNode("item")
+        root.add("location").add(f"loc_{int(rng.integers(0, 12)):02d}")
+        root.add("quantity").add(str(int(rng.integers(1, 6))))
+        root.add("name").add(words.sample())
+        root.add_child(self._description(rng, words))
+        for _ in range(int(rng.integers(1, 4))):
+            root.add("incategory").add(categories.sample())
+        if rng.random() < 0.5:
+            root.add("shipping").add(f"ship_{int(rng.integers(0, 4))}")
+        return LabeledTree(root)
+
+    def _person(
+        self, rng, cities: ZipfSampler, categories: ZipfSampler, words: ZipfSampler
+    ) -> LabeledTree:
+        root = TreeNode("person")
+        root.add("name").add(words.sample())
+        root.add("emailaddress").add(f"mail_{int(rng.integers(0, 400)):03d}")
+        if rng.random() < 0.6:
+            address = root.add("address")
+            address.add("street").add(words.sample())
+            address.add("city").add(cities.sample())
+            address.add("country").add(f"country_{int(rng.integers(0, 15)):02d}")
+        profile = root.add("profile")
+        for _ in range(int(rng.integers(0, 4))):
+            profile.add("interest").add(categories.sample())
+        if rng.random() < 0.4:
+            profile.add("education").add(f"edu_{int(rng.integers(0, 5))}")
+        return LabeledTree(root)
+
+    def _auction(self, rng, words: ZipfSampler) -> LabeledTree:
+        root = TreeNode("open_auction")
+        root.add("initial").add(f"p{int(rng.integers(1, 80))}")
+        for _ in range(int(rng.integers(0, 5))):
+            bidder = root.add("bidder")
+            bidder.add("date").add(f"d{int(rng.integers(0, 30)):02d}")
+            bidder.add("increase").add(f"p{int(rng.integers(1, 20))}")
+        root.add("current").add(f"p{int(rng.integers(1, 200))}")
+        root.add("itemref").add(f"item_{int(rng.integers(0, 500)):03d}")
+        root.add("seller").add(f"person_{int(rng.integers(0, 300)):03d}")
+        interval = root.add("interval")
+        interval.add("start").add(f"d{int(rng.integers(0, 30)):02d}")
+        interval.add("end").add(f"d{int(rng.integers(0, 30)):02d}")
+        return LabeledTree(root)
+
+    # ------------------------------------------------------------------
+    # The recursive description structure (XMark's hallmark)
+    # ------------------------------------------------------------------
+    def _description(self, rng, words: ZipfSampler) -> TreeNode:
+        description = TreeNode("description")
+        description.add_child(self._parlist(rng, words, depth=1))
+        return description
+
+    def _parlist(self, rng, words: ZipfSampler, depth: int) -> TreeNode:
+        parlist = TreeNode("parlist")
+        for _ in range(int(rng.integers(1, 4))):
+            listitem = parlist.add("listitem")
+            recurse = (
+                depth < self.max_description_depth and rng.random() < 0.3
+            )
+            if recurse:
+                listitem.add_child(self._parlist(rng, words, depth + 1))
+            else:
+                listitem.add("text").add(words.sample())
+        return parlist
+
+    def __repr__(self) -> str:
+        return f"XMarkGenerator(seed={self.seed})"

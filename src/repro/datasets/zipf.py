@@ -1,0 +1,47 @@
+"""Zipf-distributed sampling over a finite vocabulary.
+
+Real-world label and value distributions (author names, journals,
+publication years) are heavy-tailed; the generators use this sampler to
+reproduce the skew the paper's DBLP results hinge on ("the distribution
+of tree patterns in DBLP had higher degree of skew").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class ZipfSampler:
+    """Samples items from a vocabulary with Zipf(``skew``) probabilities.
+
+    Item ``i`` (0-based rank) is drawn with probability proportional to
+    ``1 / (i + 1)^skew``; ``skew = 0`` is uniform.
+    """
+
+    def __init__(self, vocabulary: Sequence[str], skew: float, rng: np.random.Generator):
+        if not vocabulary:
+            raise ConfigError("vocabulary must be non-empty")
+        if skew < 0:
+            raise ConfigError(f"skew must be >= 0, got {skew}")
+        self.vocabulary = list(vocabulary)
+        self.skew = skew
+        weights = 1.0 / np.arange(1, len(self.vocabulary) + 1) ** skew
+        self._probabilities = weights / weights.sum()
+        self._rng = rng
+
+    def sample(self) -> str:
+        """Draw one item."""
+        index = self._rng.choice(len(self.vocabulary), p=self._probabilities)
+        return self.vocabulary[int(index)]
+
+    def sample_many(self, n: int) -> list[str]:
+        """Draw ``n`` items independently."""
+        indexes = self._rng.choice(len(self.vocabulary), size=n, p=self._probabilities)
+        return [self.vocabulary[int(i)] for i in indexes]
+
+    def __repr__(self) -> str:
+        return f"ZipfSampler(|V|={len(self.vocabulary)}, skew={self.skew})"

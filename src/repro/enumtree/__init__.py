@@ -1,0 +1,27 @@
+"""EnumTree: enumerating all ordered tree patterns with at most k edges.
+
+Section 5.1 of the paper.  Given a data tree ``T`` and a bound ``k``,
+EnumTree produces every *occurrence* of an ordered tree pattern in ``T``
+with 1..k edges — i.e. every connected, root-preserving, sibling-order-
+preserving edge subset — using memoised bottom-up composition.
+
+* :func:`~repro.enumtree.enumerate.enumerate_patterns` — the memoised
+  algorithm (Algorithm 3), returning patterns in canonical nested-tuple
+  form with multiplicity (one per occurrence).
+* :func:`~repro.enumtree.count.count_patterns` — the same recursion over
+  integers only, for cheap occurrence counting.
+* :func:`~repro.enumtree.naive.enumerate_patterns_naive` — a brute-force
+  edge-subset enumerator used as the correctness oracle in tests.
+"""
+
+from repro.enumtree.count import count_patterns, count_patterns_by_size
+from repro.enumtree.enumerate import enumerate_patterns, iter_pattern_multiset
+from repro.enumtree.naive import enumerate_patterns_naive
+
+__all__ = [
+    "count_patterns",
+    "count_patterns_by_size",
+    "enumerate_patterns",
+    "enumerate_patterns_naive",
+    "iter_pattern_multiset",
+]

@@ -1,0 +1,54 @@
+"""Occurrence counting with the EnumTree recursion, integers only.
+
+Same bottom-up composition as :mod:`repro.enumtree.enumerate`, but the
+per-node tables hold counts instead of pattern lists, making the total
+number of pattern occurrences (Figure 9(b)'s y-axis) cheap to compute and
+giving tests an independent check that enumeration emits exactly as many
+patterns as the recursion predicts.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.errors import ConfigError
+from repro.enumtree.enumerate import compositions
+from repro.trees.tree import LabeledTree
+
+
+def count_patterns_by_size(tree: LabeledTree, k: int) -> list[int]:
+    """``result[j]`` = number of pattern occurrences with exactly ``j``
+    edges, for ``j = 0..k`` (``result[0]`` counts single nodes and is not
+    part of the paper's pattern set; it is reported for completeness)."""
+    if k < 0:
+        raise ConfigError(f"k must be >= 0, got {k}")
+    totals = [0] * (k + 1)
+    if tree.n_nodes == 0:
+        return totals
+    # counts[i-1][j] = |P(i, j)|
+    counts: list[list[int]] = []
+    for num in range(1, tree.n_nodes + 1):  # postorder: children first
+        kids = tree.children_of(num)
+        row = [1] + [0] * k
+        fanout = len(kids)
+        for j in range(1, k + 1):
+            total = 0
+            for t in range(1, min(fanout, j) + 1):
+                for chosen in combinations(kids, t):
+                    for split in compositions(j - t, t):
+                        product = 1
+                        for child, size in zip(chosen, split):
+                            product *= counts[child - 1][size]
+                            if not product:
+                                break
+                        total += product
+            row[j] = total
+        counts.append(row)
+        for j in range(k + 1):
+            totals[j] += row[j]
+    return totals
+
+
+def count_patterns(tree: LabeledTree, k: int) -> int:
+    """Total pattern occurrences with 1..k edges (Figure 9(b) per tree)."""
+    return sum(count_patterns_by_size(tree, k)[1:])

@@ -1,0 +1,134 @@
+"""The memoised EnumTree algorithm (paper Algorithm 3).
+
+Let ``P(i, j)`` be the list of ordered tree patterns rooted at node ``i``
+with exactly ``j`` edges.  To build ``P(i, j)``, choose ``t`` of ``i``'s
+child edges (``1 ≤ t ≤ min(fanout, j)``, preserving sibling order), then
+distribute the remaining ``j − t`` edges over the chosen children with a
+composition ``x_1 + … + x_t = j − t, x_m ≥ 0``, and take the cartesian
+product ``P(c_1, x_1) × … × P(c_t, x_t)``.  ``P(c, 0)`` is the paper's
+``⊥``: the child is present as a bare leaf.
+
+Because trees are processed in postorder, every child's table is complete
+before its parent's — the memoisation is an explicit bottom-up pass rather
+than recursion, so deep trees cannot overflow the interpreter stack.  The
+same bottom-up structure powers the event-driven (SAX-style) enumerator
+in :mod:`repro.stream.sax`, which shares :func:`node_table`.
+
+Patterns are emitted in canonical nested-tuple form
+``(label, (child, …))``.  Sub-patterns are *shared* between the patterns
+that contain them, keeping the memory footprint close to the output size.
+The result is a multiset: each element is one pattern occurrence, which is
+exactly what the sketch must count.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator
+
+from repro.errors import ConfigError
+from repro.trees.tree import LabeledTree, Nested
+
+#: A node's table: ``table[j]`` lists the patterns rooted at the node
+#: with exactly ``j`` edges (``table[0]`` is the single bare-leaf entry).
+NodeTable = list  # list[list[Nested]]
+
+
+def compositions(total: int, parts: int) -> Iterator[tuple[int, ...]]:
+    """All tuples of ``parts`` non-negative integers summing to ``total``.
+
+    >>> sorted(compositions(2, 2))
+    [(0, 2), (1, 1), (2, 0)]
+    """
+    if parts == 1:
+        yield (total,)
+        return
+    for first in range(total + 1):
+        for rest in compositions(total - first, parts - 1):
+            yield (first,) + rest
+
+
+def enumerate_patterns(tree: LabeledTree, k: int) -> list[Nested]:
+    """Every ordered tree pattern occurrence in ``tree`` with 1..k edges.
+
+    Returns a list (multiset) of nested-tuple patterns; duplicates mean
+    multiple occurrences of the same pattern.  ``k = 0`` yields an empty
+    list — the paper's patterns have at least one edge.
+    """
+    return list(iter_pattern_multiset(tree, k))
+
+
+def iter_pattern_multiset(tree: LabeledTree, k: int) -> Iterator[Nested]:
+    """Generator version of :func:`enumerate_patterns`.
+
+    The per-node tables are still materialised (they are reused across
+    parents), but the final union over nodes and sizes streams out lazily.
+    """
+    if k < 0:
+        raise ConfigError(f"k must be >= 0, got {k}")
+    if k == 0 or tree.n_nodes == 0:
+        return
+    tables: list[NodeTable] = []
+    for num in range(1, tree.n_nodes + 1):  # postorder: children first
+        child_tables = [tables[kid - 1] for kid in tree.children_of(num)]
+        tables.append(node_table(tree.label_of(num), child_tables, k))
+    for table in tables:
+        for j in range(1, k + 1):
+            yield from table[j]
+
+
+def node_table(label: str, child_tables: list[NodeTable], k: int) -> NodeTable:
+    """Build ``P(node, 0..k)`` from the node's children's tables.
+
+    ``child_tables`` must be in document (left-to-right) order and fully
+    built — the bottom-up contract both the whole-tree and the SAX-style
+    enumerators satisfy.
+    """
+    table: NodeTable = [[(label, ())]]
+    for j in range(1, k + 1):
+        table.append(_patterns_of_size(label, child_tables, j))
+    return table
+
+
+def _patterns_of_size(
+    label: str, child_tables: list[NodeTable], j: int
+) -> list[Nested]:
+    """``P(i, j)`` for ``j >= 1`` given the children's finished tables."""
+    out: list[Nested] = []
+    fanout = len(child_tables)
+    if fanout == 0:
+        return out
+    indices = range(fanout)
+    for t in range(1, min(fanout, j) + 1):
+        for chosen in combinations(indices, t):
+            for split in compositions(j - t, t):
+                _emit_products(label, chosen, split, child_tables, out)
+    return out
+
+
+def _emit_products(
+    label: str,
+    chosen: tuple[int, ...],
+    split: tuple[int, ...],
+    child_tables: list[NodeTable],
+    out: list[Nested],
+) -> None:
+    """Append every pattern from one (child subset, composition) choice."""
+    option_lists = []
+    for child_index, size in zip(chosen, split):
+        table = child_tables[child_index]
+        if size >= len(table):
+            return  # composition asks for more edges than the subtree has
+        options = table[size]
+        if not options:
+            return  # the paper's P(.) = ∅ case: whole product is empty
+        option_lists.append(options)
+    # Cartesian product, iteratively (child count is small).
+    stack: list[tuple[int, tuple[Nested, ...]]] = [(0, ())]
+    while stack:
+        index, prefix = stack.pop()
+        if index == len(option_lists):
+            out.append((label, prefix))
+            continue
+        for option in option_lists[index]:
+            stack.append((index + 1, prefix + (option,)))

@@ -1,0 +1,70 @@
+"""Brute-force pattern enumeration: the correctness oracle for EnumTree.
+
+Enumerates every non-empty subset of at most ``k`` of the tree's edges
+and keeps those whose edges form a single connected subtree.  Because the
+edges come from a tree, a subset is connected iff it spans exactly
+``|subset| + 1`` nodes when closed under the "parent is present" relation
+— we check directly that every edge's parent endpoint is either the
+subset's unique top node or a child endpoint of another edge.
+
+Exponential in the number of edges; tests only apply it to small trees.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.errors import ConfigError
+from repro.trees.tree import LabeledTree, Nested
+
+
+def enumerate_patterns_naive(tree: LabeledTree, k: int) -> list[Nested]:
+    """All pattern occurrences with 1..k edges, by exhaustive search.
+
+    Returns the same multiset (up to order) as
+    :func:`repro.enumtree.enumerate_patterns`.
+    """
+    if k < 0:
+        raise ConfigError(f"k must be >= 0, got {k}")
+    edges = list(tree.iter_edges())
+    out: list[Nested] = []
+    for size in range(1, min(k, len(edges)) + 1):
+        for subset in combinations(edges, size):
+            pattern = _pattern_of_edges(tree, subset)
+            if pattern is not None:
+                out.append(pattern)
+    return out
+
+
+def _pattern_of_edges(
+    tree: LabeledTree, subset: tuple[tuple[int, int], ...]
+) -> Nested | None:
+    """Nested form of the edge subset, or ``None`` if it is disconnected."""
+    children_in = {child for _, child in subset}
+    parents = {parent for parent, _ in subset}
+    tops = parents - children_in
+    if len(tops) != 1:
+        return None  # more than one connected component
+    # Connected iff every parent endpoint except the top is itself a child
+    # endpoint (each edge hangs off the component containing the top).
+    top = next(iter(tops))
+    subset_children: dict[int, list[int]] = {}
+    for parent, child in subset:
+        subset_children.setdefault(parent, []).append(child)
+    for node in subset_children:
+        # Keep the original document order of children.
+        subset_children[node].sort(
+            key=lambda c: tree.children_of(node).index(c)
+        )
+
+    def build(node: int) -> Nested:
+        kids = tuple(build(c) for c in subset_children.get(node, ()))
+        return (tree.label_of(node), kids)
+
+    pattern = build(top)
+    # Count nodes to reject "forests hanging under a shared parent" shapes:
+    # a valid connected subset has exactly len(subset) + 1 nodes.
+    nodes = {top} | children_in | parents
+    if len(nodes) != len(subset) + 1:
+        return None
+    return pattern

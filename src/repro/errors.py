@@ -1,0 +1,44 @@
+"""Exception hierarchy for the SketchTree reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to distinguish malformed input (:class:`TreeError`,
+:class:`XmlParseError`, :class:`PatternError`) from misconfiguration
+(:class:`ConfigError`) and unsupported queries (:class:`QueryError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TreeError(ReproError):
+    """A labeled tree was malformed or an operation on it was invalid."""
+
+
+class XmlParseError(TreeError):
+    """The XML text could not be parsed into a labeled tree."""
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class PatternError(ReproError):
+    """A query pattern was malformed or violated a size constraint."""
+
+
+class QueryError(ReproError):
+    """A query could not be answered (e.g. pattern larger than ``k``)."""
+
+
+class ConfigError(ReproError):
+    """A configuration value was invalid or inconsistent."""
+
+
+class HashingError(ReproError):
+    """An integer-mapping (pairing / fingerprint) operation failed."""

@@ -1,0 +1,25 @@
+"""Experiment harness: one module per paper table/figure.
+
+====================  =====================================================
+``table1``            dataset statistics (Table 1)
+``fig08``             single-pattern workload histograms (Figure 8)
+``fig09``             EnumTree cost and pattern counts vs k (Figure 9)
+``fig10``             error vs top-k for two s1 values, both datasets
+                      (Figure 10 a-d)
+``fig11``             SUM / PRODUCT workload histograms (Figure 11)
+``fig12``             SUM / PRODUCT estimation error (Figure 12 a-d)
+``cost``              stream-processing cost ratios (Sections 7.6/7.7 text)
+``ablations``         virtual streams, top-k, CountSketch-vs-AMS, mapping
+                      function, Theorem-2-vs-naive sum estimator
+====================  =====================================================
+
+Every module exposes ``run(...) -> <Result dataclass>`` and
+``render(result) -> str``; the benchmark suite calls ``run`` and asserts
+the paper's qualitative claims on the result, and the CLI prints
+``render``.  Scales are chosen via :mod:`repro.experiments.scale`
+(synthetic streams; see DESIGN.md §3 for the substitution argument).
+"""
+
+from repro.experiments.scale import DEFAULT, PAPER, SMOKE, ExperimentScale
+
+__all__ = ["DEFAULT", "PAPER", "SMOKE", "ExperimentScale"]

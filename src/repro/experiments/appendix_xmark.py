@@ -1,0 +1,121 @@
+"""Appendix experiment: SketchTree on an XMark-like third corpus.
+
+The paper's two corpora occupy the extremes of the shape spectrum —
+deep/narrow (TREEBANK) and shallow/bushy (DBLP).  This appendix runs the
+Figure 10 protocol on an XMark-like auction-site stream whose shape sits
+*between* them (moderate depth and fan-out, multi-modal record species,
+recursive descriptions), checking that the paper's trends are properties
+of the algorithm rather than artifacts of either extreme:
+
+* error falls with the top-k size and with lower selectivity;
+* the stream's structural statistics interpolate the two corpora.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SketchTreeConfig
+from repro.experiments import data as expdata
+from repro.experiments.fig10 import Fig10Point, Fig10Result
+from repro.experiments.harness import (
+    SynopsisFactory,
+    averaged_over_runs,
+    evaluate_single,
+    run_seeds,
+)
+from repro.experiments.report import format_bucket, format_percent, format_table
+from repro.experiments.scale import DEFAULT, ExperimentScale
+from repro.trees.stats import ForestStatistics
+
+
+@dataclass(frozen=True)
+class XMarkShapeComparison:
+    """Mean depth / fan-out of all three corpora (interpolation check)."""
+
+    treebank_depth: float
+    xmark_depth: float
+    dblp_depth: float
+    treebank_fanout: float
+    xmark_fanout: float
+    dblp_fanout: float
+
+    def depth_interpolates(self) -> bool:
+        return self.dblp_depth <= self.xmark_depth <= self.treebank_depth
+
+    def fanout_interpolates(self) -> bool:
+        return self.treebank_fanout <= self.xmark_fanout <= self.dblp_fanout
+
+
+@dataclass(frozen=True)
+class XMarkResult:
+    accuracy: Fig10Result
+    shapes: XMarkShapeComparison
+
+
+def run(s1: int = 50, scale: ExperimentScale = DEFAULT, s2: int = 7) -> XMarkResult:
+    prepared = expdata.prepared("xmark", scale)
+    workload = expdata.base_workload("xmark", scale)
+    base = SketchTreeConfig(
+        s1=s1,
+        s2=s2,
+        max_pattern_edges=prepared.k,
+        n_virtual_streams=scale.n_virtual_streams,
+        seed=0,
+        encoder_seed=42,
+    )
+    factory = SynopsisFactory(prepared.exact, base)
+    seeds = run_seeds(scale.n_runs)
+    points = []
+    for topk in scale.topk_sizes:
+        errors = averaged_over_runs(
+            factory, workload, evaluate_single, seeds, topk_size=topk
+        )
+        memory = factory.build(seeds[0], topk_size=topk).memory_report()
+        points.append(Fig10Point(topk, memory.provisioned_total, tuple(errors)))
+    accuracy = Fig10Result("XMARK", s1, s2, scale.n_virtual_streams, tuple(points))
+
+    shapes = _shape_comparison(scale)
+    return XMarkResult(accuracy, shapes)
+
+
+def _shape_comparison(scale: ExperimentScale) -> XMarkShapeComparison:
+    stats = {
+        name: ForestStatistics.of(expdata.prepared(name, scale).trees)
+        for name in expdata.ALL_DATASETS
+    }
+    return XMarkShapeComparison(
+        treebank_depth=stats["treebank"].mean_depth,
+        xmark_depth=stats["xmark"].mean_depth,
+        dblp_depth=stats["dblp"].mean_depth,
+        treebank_fanout=stats["treebank"].mean_fanout,
+        xmark_fanout=stats["xmark"].mean_fanout,
+        dblp_fanout=stats["dblp"].mean_fanout,
+    )
+
+
+def render(result: XMarkResult) -> str:
+    accuracy = result.accuracy
+    buckets = [format_bucket(b.bucket) for b in accuracy.points[0].bucket_errors]
+    rows = []
+    for point in accuracy.points:
+        rows.append(
+            [point.topk_size, f"{point.memory_bytes / 1024:.0f} KB"]
+            + [format_percent(b.mean_relative_error) for b in point.bucket_errors]
+        )
+    table = format_table(
+        ["Top-k", "Memory"] + buckets,
+        rows,
+        title=f"Appendix: XMark-like Accuracy (s1={accuracy.s1}, s2={accuracy.s2})",
+    )
+    shapes = result.shapes
+    shape_table = format_table(
+        ["Corpus", "Mean Depth", "Mean Fanout"],
+        [
+            ("TREEBANK", shapes.treebank_depth, shapes.treebank_fanout),
+            ("XMARK", shapes.xmark_depth, shapes.xmark_fanout),
+            ("DBLP", shapes.dblp_depth, shapes.dblp_fanout),
+        ],
+        title="Shape interpolation",
+    )
+    return table + "\n\n" + shape_table

@@ -1,0 +1,174 @@
+"""Shared, cached experiment inputs: streams, exact counts, workloads.
+
+Dataset preparation (generation + EnumTree ground truth) dominates
+experiment wall-clock, so everything here is memoised per (dataset,
+scale) within the process; benches touching the same dataset reuse one
+preparation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exact import ExactCounter
+from repro.datasets.dblp import DblpGenerator
+from repro.datasets.treebank import TreebankGenerator
+from repro.errors import ConfigError
+from repro.experiments.scale import ExperimentScale
+from repro.trees.tree import LabeledTree
+from repro.workload.generator import Workload, generate_workload
+
+#: The paper's Figure 8(a) selectivity buckets for TREEBANK.
+TREEBANK_BUCKETS = (
+    (1e-5, 2e-5),
+    (2e-5, 4e-5),
+    (4e-5, 8e-5),
+    (8e-5, 2e-4),
+)
+
+#: The paper's Figure 8(b) selectivity buckets for DBLP.
+DBLP_BUCKETS = (
+    (5e-6, 2.5e-5),
+    (2.5e-5, 5e-5),
+    (5e-5, 7.5e-5),
+    (7.5e-5, 1e-4),
+)
+
+#: The paper's two corpora (Table 1).
+DATASET_NAMES = ("treebank", "dblp")
+
+#: Paper corpora plus the XMark-like appendix dataset.
+ALL_DATASETS = ("treebank", "dblp", "xmark")
+
+#: Selectivity buckets for the XMark-like appendix experiments (same
+#: style as Figure 8's; XMark-like streams sit between the two corpora).
+XMARK_BUCKETS = (
+    (1e-5, 2.5e-5),
+    (2.5e-5, 5e-5),
+    (5e-5, 1e-4),
+    (1e-4, 3e-4),
+)
+
+
+@dataclass
+class PreparedDataset:
+    """A generated stream with its exact ground truth."""
+
+    name: str
+    trees: list[LabeledTree]
+    k: int
+    exact: ExactCounter
+
+    @property
+    def n_trees(self) -> int:
+        return len(self.trees)
+
+
+_dataset_cache: dict[tuple, PreparedDataset] = {}
+_workload_cache: dict[tuple, Workload] = {}
+
+
+def dataset_spec(name: str, scale: ExperimentScale) -> tuple[int, int]:
+    """(n_trees, k) for a dataset under a scale."""
+    if name == "treebank":
+        return scale.treebank_trees, scale.treebank_k
+    if name == "dblp":
+        return scale.dblp_trees, scale.dblp_k
+    if name == "xmark":
+        # Mixed shape: DBLP-like stream length at k = 4.
+        return scale.dblp_trees, 4
+    raise ConfigError(f"unknown dataset {name!r}; choose from {ALL_DATASETS}")
+
+
+def generator_for(name: str, seed: int = 1):
+    """The stream generator for a dataset name."""
+    if name == "treebank":
+        return TreebankGenerator(seed=seed)
+    if name == "dblp":
+        return DblpGenerator(seed=seed)
+    if name == "xmark":
+        from repro.datasets.xmark import XMarkGenerator
+
+        return XMarkGenerator(seed=seed)
+    raise ConfigError(f"unknown dataset {name!r}; choose from {ALL_DATASETS}")
+
+
+def buckets_for(name: str) -> tuple[tuple[float, float], ...]:
+    """The single-pattern selectivity buckets per dataset."""
+    if name == "treebank":
+        return TREEBANK_BUCKETS
+    if name == "dblp":
+        return DBLP_BUCKETS
+    if name == "xmark":
+        return XMARK_BUCKETS
+    raise ConfigError(f"unknown dataset {name!r}; choose from {ALL_DATASETS}")
+
+
+def prepared(name: str, scale: ExperimentScale) -> PreparedDataset:
+    """Generate (or fetch cached) stream + exact ground truth."""
+    n_trees, k = dataset_spec(name, scale)
+    key = (name, n_trees, k)
+    cached = _dataset_cache.get(key)
+    if cached is None:
+        trees = list(generator_for(name).generate(n_trees))
+        exact = ExactCounter(k).ingest(trees)
+        cached = _dataset_cache[key] = PreparedDataset(name, trees, k, exact)
+    return cached
+
+
+def base_workload(name: str, scale: ExperimentScale) -> Workload:
+    """The Figure 8-style single-pattern workload for a dataset."""
+    data = prepared(name, scale)
+    key = (name, data.n_trees, data.k, scale.max_queries_per_bucket)
+    cached = _workload_cache.get(key)
+    if cached is None:
+        cached = _workload_cache[key] = generate_workload(
+            data.exact,
+            buckets_for(name),
+            max_per_bucket=scale.max_queries_per_bucket,
+            seed=17,
+        )
+    return cached
+
+
+def export_xml(name: str, path, scale: ExperimentScale) -> int:
+    """Write a dataset's stream as an XML forest file; returns tree count.
+
+    Useful for replaying the exact synthetic streams through external
+    tools, or archiving the corpus an experiment ran on.  The file
+    round-trips through :func:`repro.trees.parse_forest`.
+    """
+    from repro.trees.xml import to_xml
+
+    data = prepared(name, scale)
+    with open(path, "w", encoding="utf-8") as sink:
+        for tree in data.trees:
+            sink.write(to_xml(tree))
+            sink.write("\n")
+    return data.n_trees
+
+
+def clear_caches() -> None:
+    """Drop every memoised dataset/workload (tests use this)."""
+    _dataset_cache.clear()
+    _workload_cache.clear()
+
+
+def auto_buckets(
+    selectivities, n_buckets: int = 4
+) -> tuple[tuple[float, float], ...]:
+    """Log-spaced selectivity buckets covering observed values.
+
+    The paper's SUM/PRODUCT bucket boundaries are tied to its corpora;
+    composite workloads over synthetic data use data-driven boundaries
+    with the same log-spaced style instead.
+    """
+    values = sorted(s for s in selectivities if s > 0)
+    if not values:
+        raise ConfigError("no positive selectivities to bucket")
+    low, high = values[0], values[-1] * 1.0000001
+    if low >= high:
+        high = low * 10
+    ratio = (high / low) ** (1.0 / n_buckets)
+    edges = [low * ratio**i for i in range(n_buckets + 1)]
+    return tuple((edges[i], edges[i + 1]) for i in range(n_buckets))

@@ -1,0 +1,59 @@
+"""Figure 8: single-pattern query workload histograms.
+
+Per dataset: the number of sampled queries in each selectivity range,
+plus the min/max actual counts (the paper reports TREEBANK counts in
+[872, 18256] and DBLP in [206, 4547]; scaled streams scale the counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import data as expdata
+from repro.experiments.report import format_bucket, format_table
+from repro.experiments.scale import DEFAULT, ExperimentScale
+
+
+@dataclass(frozen=True)
+class Fig08Bucket:
+    bucket: tuple[float, float]
+    n_queries: int
+    min_count: int
+    max_count: int
+
+
+@dataclass(frozen=True)
+class Fig08Result:
+    dataset: str
+    buckets: tuple[Fig08Bucket, ...]
+
+    @property
+    def n_queries(self) -> int:
+        return sum(b.n_queries for b in self.buckets)
+
+
+def run(dataset: str = "treebank", scale: ExperimentScale = DEFAULT) -> Fig08Result:
+    workload = expdata.base_workload(dataset, scale)
+    buckets = []
+    for bucket, queries in zip(workload.buckets, workload.queries_by_bucket):
+        counts = [q.actual for q in queries]
+        buckets.append(
+            Fig08Bucket(
+                bucket=bucket,
+                n_queries=len(queries),
+                min_count=min(counts) if counts else 0,
+                max_count=max(counts) if counts else 0,
+            )
+        )
+    return Fig08Result(dataset.upper(), tuple(buckets))
+
+
+def render(result: Fig08Result) -> str:
+    return format_table(
+        ["Selectivity Range", "# Queries", "Min Count", "Max Count"],
+        [
+            (format_bucket(b.bucket), b.n_queries, b.min_count, b.max_count)
+            for b in result.buckets
+        ],
+        title=f"Figure 8: Query Workload ({result.dataset})",
+    )

@@ -1,0 +1,67 @@
+"""Figure 9: EnumTree evaluation — total time and pattern count vs k.
+
+The paper's claim: "the time taken by EnumTree grows almost linearly with
+the number of tree patterns that are generated".  For each ``k`` we time
+the full per-tree pipeline the paper timed — pattern generation,
+tree-to-sequence transformation, and the one-dimensional Rabin mapping —
+over the whole stream, and record the total number of generated patterns.
+The bench asserts the time/pattern ratio stays within a small factor
+across k (the linearity claim).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.encoding import PatternEncoder
+from repro.enumtree.enumerate import iter_pattern_multiset
+from repro.experiments import data as expdata
+from repro.experiments.report import format_table
+from repro.experiments.scale import DEFAULT, ExperimentScale
+
+
+@dataclass(frozen=True)
+class Fig09Point:
+    k: int
+    total_seconds: float
+    n_patterns: int
+
+    @property
+    def microseconds_per_pattern(self) -> float:
+        if self.n_patterns == 0:
+            return 0.0
+        return 1e6 * self.total_seconds / self.n_patterns
+
+
+@dataclass(frozen=True)
+class Fig09Result:
+    dataset: str
+    points: tuple[Fig09Point, ...]
+
+
+def run(dataset: str = "treebank", scale: ExperimentScale = DEFAULT) -> Fig09Result:
+    prepared = expdata.prepared(dataset, scale)
+    points = []
+    for k in range(1, prepared.k + 1):
+        encoder = PatternEncoder(seed=3)  # fresh cache: count full mapping cost
+        n_patterns = 0
+        start = time.perf_counter()
+        for tree in prepared.trees:
+            for pattern in iter_pattern_multiset(tree, k):
+                encoder.encode(pattern)
+                n_patterns += 1
+        elapsed = time.perf_counter() - start
+        points.append(Fig09Point(k, elapsed, n_patterns))
+    return Fig09Result(dataset.upper(), tuple(points))
+
+
+def render(result: Fig09Result) -> str:
+    return format_table(
+        ["k", "Total Time (s)", "# Patterns Generated", "us / pattern"],
+        [
+            (p.k, p.total_seconds, p.n_patterns, p.microseconds_per_pattern)
+            for p in result.points
+        ],
+        title=f"Figure 9: EnumTree Evaluation ({result.dataset})",
+    )

@@ -1,0 +1,105 @@
+"""Figure 10: estimation accuracy vs top-k size and s1, per dataset.
+
+For a fixed ``s1`` (the paper sweeps 25/50 on TREEBANK and 50/75 on
+DBLP, with ``s2 = 7`` and 229 virtual streams), the average relative
+error of the single-pattern workload is reported per selectivity bucket
+while the per-stream top-k capacity grows, alongside the paper-style
+total synopsis memory.
+
+Qualitative claims the benches assert:
+
+* error decreases (on average) as top-k grows — frequent-value deletion
+  shrinks the self-join size;
+* less selective buckets estimate better (Theorem 1);
+* doubling ``s1`` reduces error at equal top-k;
+* DBLP improves much more sharply at small top-k than TREEBANK (skew).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SketchTreeConfig
+from repro.experiments import data as expdata
+from repro.experiments.harness import (
+    BucketErrors,
+    SynopsisFactory,
+    averaged_over_runs,
+    evaluate_single,
+    run_seeds,
+)
+from repro.experiments.report import format_bucket, format_percent, format_table
+from repro.experiments.scale import DEFAULT, ExperimentScale
+
+
+@dataclass(frozen=True)
+class Fig10Point:
+    topk_size: int
+    memory_bytes: int
+    bucket_errors: tuple[BucketErrors, ...]
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    dataset: str
+    s1: int
+    s2: int
+    n_virtual_streams: int
+    points: tuple[Fig10Point, ...]
+
+    def errors_for_bucket(self, index: int) -> list[float]:
+        """Error series over the top-k sweep for one bucket (a plot line)."""
+        return [p.bucket_errors[index].mean_relative_error for p in self.points]
+
+
+def run(
+    dataset: str = "treebank",
+    s1: int | None = None,
+    scale: ExperimentScale = DEFAULT,
+    s2: int = 7,
+) -> Fig10Result:
+    if s1 is None:
+        s1 = (scale.treebank_s1 if dataset == "treebank" else scale.dblp_s1)[0]
+    prepared = expdata.prepared(dataset, scale)
+    workload = expdata.base_workload(dataset, scale)
+    base = SketchTreeConfig(
+        s1=s1,
+        s2=s2,
+        max_pattern_edges=prepared.k,
+        n_virtual_streams=scale.n_virtual_streams,
+        seed=0,
+        encoder_seed=42,
+    )
+    factory = SynopsisFactory(prepared.exact, base)
+    seeds = run_seeds(scale.n_runs)
+    points = []
+    for topk in scale.topk_sizes:
+        errors = averaged_over_runs(
+            factory, workload, evaluate_single, seeds, topk_size=topk
+        )
+        memory = factory.build(seeds[0], topk_size=topk).memory_report()
+        points.append(
+            Fig10Point(topk, memory.provisioned_total, tuple(errors))
+        )
+    return Fig10Result(
+        dataset.upper(), s1, s2, scale.n_virtual_streams, tuple(points)
+    )
+
+
+def render(result: Fig10Result) -> str:
+    buckets = [format_bucket(b.bucket) for b in result.points[0].bucket_errors]
+    headers = ["Top-k", "Memory"] + buckets
+    rows = []
+    for point in result.points:
+        rows.append(
+            [point.topk_size, f"{point.memory_bytes / 1024:.0f} KB"]
+            + [format_percent(b.mean_relative_error) for b in point.bucket_errors]
+        )
+    return format_table(
+        headers,
+        rows,
+        title=(
+            f"Figure 10: Avg Relative Error ({result.dataset}, s1={result.s1}, "
+            f"s2={result.s2}, p={result.n_virtual_streams})"
+        ),
+    )

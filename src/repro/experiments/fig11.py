@@ -1,0 +1,91 @@
+"""Figure 11: SUM and PRODUCT composite-query workload histograms.
+
+Sections 7.8.1 / 7.9.1: SUM queries combine three distinct patterns from
+the TREEBANK base workload; PRODUCT queries combine two.  Selectivity is
+the combined actual (sum resp. product of counts) over the total number
+of sequences processed.  Bucket boundaries are data-driven log-spaced
+ranges (the paper's boundaries are tied to its corpora; see
+:func:`repro.experiments.data.auto_buckets`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import data as expdata
+from repro.experiments.report import format_bucket, format_table
+from repro.experiments.scale import DEFAULT, ExperimentScale
+from repro.workload.generator import (
+    Workload,
+    generate_product_workload,
+    generate_sum_workload,
+)
+
+_KINDS = ("sum", "product")
+
+_workload_cache: dict[tuple, Workload] = {}
+
+
+def composite_workload(
+    kind: str, scale: ExperimentScale, dataset: str = "treebank"
+) -> Workload:
+    """The (cached) SUM or PRODUCT workload for a dataset and scale."""
+    if kind not in _KINDS:
+        raise ValueError(f"kind must be one of {_KINDS}, got {kind!r}")
+    key = (kind, dataset, scale.name)
+    cached = _workload_cache.get(key)
+    if cached is not None:
+        return cached
+    prepared = expdata.prepared(dataset, scale)
+    base = expdata.base_workload(dataset, scale)
+    exact = prepared.exact
+    total = exact.n_values
+    # First pass with one huge bucket to learn the selectivity spread,
+    # then re-bucket log-spaced (the paper used corpus-specific ranges).
+    wide = ((0.0, float("inf")),)
+    if kind == "sum":
+        probe = generate_sum_workload(
+            base, exact, wide, n_queries=scale.n_composite_queries, seed=23
+        )
+        buckets = expdata.auto_buckets(
+            [q.selectivity for q in probe.all_queries()]
+        )
+        workload = generate_sum_workload(
+            base, exact, buckets, n_queries=scale.n_composite_queries, seed=23
+        )
+    else:
+        probe = generate_product_workload(
+            base, exact, wide, n_queries=scale.n_composite_queries, seed=29
+        )
+        buckets = expdata.auto_buckets(
+            [q.selectivity for q in probe.all_queries()]
+        )
+        workload = generate_product_workload(
+            base, exact, buckets, n_queries=scale.n_composite_queries, seed=29
+        )
+    _workload_cache[key] = workload
+    return workload
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    kind: str
+    dataset: str
+    histogram: tuple[tuple[tuple[float, float], int], ...]
+
+    @property
+    def n_queries(self) -> int:
+        return sum(count for _, count in self.histogram)
+
+
+def run(kind: str = "sum", scale: ExperimentScale = DEFAULT) -> Fig11Result:
+    workload = composite_workload(kind, scale)
+    return Fig11Result(kind.upper(), "TREEBANK", tuple(workload.histogram()))
+
+
+def render(result: Fig11Result) -> str:
+    return format_table(
+        ["Selectivity Range", "# Queries"],
+        [(format_bucket(bucket), count) for bucket, count in result.histogram],
+        title=f"Figure 11: {result.kind} Workload ({result.dataset})",
+    )

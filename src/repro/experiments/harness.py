@@ -1,0 +1,184 @@
+"""Evaluation machinery: error metric, synopsis factory, bucket averaging.
+
+The accuracy metric is the paper's (Section 7.5): standard relative error
+``|approx − actual| / actual``, with the *sanity bound* ``approx =
+0.1 × actual`` substituted whenever the sketch returns a non-positive
+estimate.  Results are averaged per selectivity bucket over several
+independent synopsis draws (the paper averaged 5 runs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.config import SketchTreeConfig
+from repro.core.encoding import PatternEncoder
+from repro.core.exact import ExactCounter
+from repro.core.expressions import Count, Expression
+from repro.core.sketchtree import SketchTree
+from repro.errors import ConfigError
+from repro.workload.generator import (
+    ProductQuery,
+    SumQuery,
+    Workload,
+    WorkloadQuery,
+)
+
+
+def relative_error(approx: float, actual: float) -> float:
+    """The paper's error metric with its sanity bound for non-positive
+    estimates (Section 7.5)."""
+    if actual <= 0:
+        raise ConfigError(f"actual count must be positive, got {actual}")
+    if approx <= 0:
+        approx = 0.1 * actual
+    return abs(approx - actual) / actual
+
+
+class SynopsisFactory:
+    """Stamps out synopses over one pre-encoded stream.
+
+    Encodes the exact counter's pattern table once (with a pinned
+    ``encoder_seed``), then :meth:`build` creates a fresh
+    :class:`SketchTree` per (sketch seed, config override) and bulk-loads
+    the values — so sweeping ``s1 × top-k × runs`` costs sketch time only,
+    not enumeration or encoding time.
+    """
+
+    def __init__(self, exact: ExactCounter, base_config: SketchTreeConfig):
+        if base_config.mapping != "rabin":
+            # "pairing" assigns label ids by first-seen order, so two
+            # encoder instances only agree when they see the same label
+            # sequence — which pre-encoding here and querying there does
+            # not guarantee.  Rabin encodings are order-independent.
+            raise ConfigError(
+                "SynopsisFactory requires mapping='rabin': pairing-mode "
+                "label ids depend on observation order and would not line "
+                "up between the factory's encoder and the synopses'"
+            )
+        self.base_config = base_config
+        self._encoder_seed = (
+            base_config.encoder_seed
+            if base_config.encoder_seed is not None
+            else base_config.seed
+        )
+        encoder = PatternEncoder(
+            mapping=base_config.mapping,
+            degree=base_config.fingerprint_degree,
+            seed=self._encoder_seed,
+        )
+        self._value_counts: dict[int, int] = {}
+        for pattern, count in exact.counts.items():
+            value = encoder.encode(pattern)
+            self._value_counts[value] = self._value_counts.get(value, 0) + count
+        self._n_trees = exact.n_trees
+
+    def build(self, seed: int, **overrides) -> SketchTree:
+        """A loaded synopsis with the given sketch seed and overrides
+        (e.g. ``s1=50, topk_size=8``)."""
+        config = dataclasses.replace(
+            self.base_config,
+            seed=seed,
+            encoder_seed=self._encoder_seed,
+            **overrides,
+        )
+        synopsis = SketchTree(config)
+        synopsis.ingest_value_counts(self._value_counts, n_trees=self._n_trees)
+        return synopsis
+
+    @property
+    def n_distinct_values(self) -> int:
+        return len(self._value_counts)
+
+
+@dataclass(frozen=True)
+class BucketErrors:
+    """Mean relative error of the queries in one selectivity bucket."""
+
+    bucket: tuple[float, float]
+    n_queries: int
+    mean_relative_error: float
+
+
+def evaluate_single(synopsis: SketchTree, workload: Workload) -> list[BucketErrors]:
+    """Per-bucket mean error of single-pattern ``COUNT_ord`` queries."""
+
+    def estimate(query: WorkloadQuery) -> float:
+        return synopsis.estimate_ordered(query.pattern)
+
+    return _evaluate(workload, estimate)
+
+
+def evaluate_sum(synopsis: SketchTree, workload: Workload) -> list[BucketErrors]:
+    """Per-bucket mean error of SUM queries (Theorem 2 estimator)."""
+
+    def estimate(query: SumQuery) -> float:
+        return synopsis.estimate_sum(query.patterns)
+
+    return _evaluate(workload, estimate)
+
+
+def evaluate_product(synopsis: SketchTree, workload: Workload) -> list[BucketErrors]:
+    """Per-bucket mean error of PRODUCT queries (Section 4 estimator)."""
+
+    def estimate(query: ProductQuery) -> float:
+        expression: Expression = Count(query.patterns[0])
+        for pattern in query.patterns[1:]:
+            expression = expression * Count(pattern)
+        return synopsis.estimate_expression(expression)
+
+    return _evaluate(workload, estimate)
+
+
+def _evaluate(workload: Workload, estimate) -> list[BucketErrors]:
+    out: list[BucketErrors] = []
+    for bucket, queries in zip(workload.buckets, workload.queries_by_bucket):
+        if not queries:
+            out.append(BucketErrors(bucket, 0, float("nan")))
+            continue
+        total = sum(
+            relative_error(estimate(query), query.actual) for query in queries
+        )
+        out.append(BucketErrors(bucket, len(queries), total / len(queries)))
+    return out
+
+
+def averaged_over_runs(
+    factory: SynopsisFactory,
+    workload: Workload,
+    evaluator,
+    seeds: Sequence[int],
+    **build_overrides,
+) -> list[BucketErrors]:
+    """Average per-bucket errors over several independent synopsis draws.
+
+    ``evaluator`` is one of :func:`evaluate_single` / :func:`evaluate_sum`
+    / :func:`evaluate_product`.
+    """
+    if not seeds:
+        raise ConfigError("at least one seed is required")
+    accumulated: list[list[float]] = []
+    counts: list[int] = []
+    buckets: list[tuple[float, float]] = []
+    for run, seed in enumerate(seeds):
+        synopsis = factory.build(seed, **build_overrides)
+        results = evaluator(synopsis, workload)
+        if run == 0:
+            buckets = [r.bucket for r in results]
+            counts = [r.n_queries for r in results]
+            accumulated = [[] for _ in results]
+        for index, result in enumerate(results):
+            if result.n_queries:
+                accumulated[index].append(result.mean_relative_error)
+    out: list[BucketErrors] = []
+    for bucket, n, errors in zip(buckets, counts, accumulated):
+        mean = sum(errors) / len(errors) if errors else float("nan")
+        out.append(BucketErrors(bucket, n, mean))
+    return out
+
+
+def run_seeds(n_runs: int, base: int = 1000) -> tuple[int, ...]:
+    """Deterministic, well-separated sketch seeds for ``n_runs`` draws."""
+    return tuple(base + 7919 * i for i in range(n_runs))

@@ -1,0 +1,57 @@
+"""Plain-text rendering of experiment results (the "figures").
+
+Every experiment renders to an aligned ASCII table whose rows/series
+correspond one-to-one with the paper's plots, so paper-vs-measured
+comparison (EXPERIMENTS.md) is a visual diff.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_bucket(bucket: tuple[float, float]) -> str:
+    """``[1.0e-05, 2.0e-05)`` — the paper's selectivity-range captions."""
+    low, high = bucket
+    return f"[{low:.1e}, {high:.1e})"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+) -> str:
+    """Align a list of rows under headers; floats get 4 significant digits."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_percent(error: float) -> str:
+    """Render a relative error the way the paper quotes it ("15%")."""
+    if error != error:
+        return "-"
+    return f"{100 * error:.1f}%"

@@ -1,0 +1,93 @@
+"""Experiment scale presets.
+
+The paper processed 28,699 (TREEBANK) and 98,061 (DBLP) trees with
+7M / 11M distinct patterns on a 2.4 GHz Pentium IV C++ build.  A pure
+Python substrate replays the identical algorithms at reduced stream
+length; sketch and top-k sizes scale with the stream so the error/memory
+trade-off curves keep their shape.  ``PAPER`` approaches the original
+scale and is practical for an unattended run; ``DEFAULT`` drives the
+benchmark suite; ``SMOKE`` keeps CI fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Stream sizes and sweep parameters for one experiment campaign."""
+
+    name: str
+    treebank_trees: int
+    dblp_trees: int
+    treebank_k: int
+    dblp_k: int
+    n_runs: int
+    #: per-virtual-stream top-k capacities swept in Figures 10/12 (0 = off)
+    topk_sizes: tuple[int, ...]
+    #: the two s1 values per dataset, paper Figure 10: (25, 50) TREEBANK,
+    #: (50, 75) DBLP
+    treebank_s1: tuple[int, int]
+    dblp_s1: tuple[int, int]
+    n_virtual_streams: int
+    max_queries_per_bucket: int
+    n_composite_queries: int
+
+
+SMOKE = ExperimentScale(
+    name="smoke",
+    treebank_trees=200,
+    dblp_trees=250,
+    treebank_k=4,
+    dblp_k=3,
+    n_runs=2,
+    topk_sizes=(0, 2, 8),
+    treebank_s1=(25, 50),
+    dblp_s1=(50, 75),
+    n_virtual_streams=31,
+    max_queries_per_bucket=20,
+    n_composite_queries=60,
+)
+
+DEFAULT = ExperimentScale(
+    name="default",
+    treebank_trees=1200,
+    dblp_trees=1600,
+    treebank_k=6,
+    dblp_k=4,
+    n_runs=3,
+    topk_sizes=(0, 2, 8, 32, 64),
+    treebank_s1=(25, 50),
+    dblp_s1=(50, 75),
+    n_virtual_streams=229,
+    max_queries_per_bucket=40,
+    n_composite_queries=200,
+)
+
+PAPER = ExperimentScale(
+    name="paper",
+    treebank_trees=28699,
+    dblp_trees=98061,
+    treebank_k=6,
+    dblp_k=4,
+    n_runs=5,
+    topk_sizes=(0, 50, 100, 150, 200, 250, 300),
+    treebank_s1=(25, 50),
+    dblp_s1=(50, 75),
+    n_virtual_streams=229,
+    max_queries_per_bucket=60,
+    n_composite_queries=10000,
+)
+
+_BY_NAME = {scale.name: scale for scale in (SMOKE, DEFAULT, PAPER)}
+
+
+def by_name(name: str) -> ExperimentScale:
+    """Look up a preset (``smoke`` / ``default`` / ``paper``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale {name!r}; choose from {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,87 @@
+"""Table 1: dataset statistics.
+
+Paper's columns: number of trees, maximum tree pattern size ``k``, and
+the number of distinct ordered tree patterns (which is how many counters
+the deterministic approach would need).  We add the forest shape metrics
+that justify the synthetic substitution (deep/narrow vs shallow/bushy)
+and the memory comparison the paper's Section 1 motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import data as expdata
+from repro.experiments.report import format_table
+from repro.experiments.scale import DEFAULT, ExperimentScale
+from repro.trees.stats import ForestStatistics
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    dataset: str
+    n_trees: int
+    max_pattern_size: int
+    n_distinct_patterns: int
+    n_occurrences: int
+    self_join_size: int
+    exact_counter_bytes: int
+    mean_depth: float
+    mean_fanout: float
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    rows: tuple[Table1Row, ...]
+
+
+def run(scale: ExperimentScale = DEFAULT) -> Table1Result:
+    rows = []
+    for name in expdata.DATASET_NAMES:
+        prepared = expdata.prepared(name, scale)
+        stats = ForestStatistics.of(prepared.trees)
+        rows.append(
+            Table1Row(
+                dataset=name.upper(),
+                n_trees=prepared.n_trees,
+                max_pattern_size=prepared.k,
+                n_distinct_patterns=prepared.exact.n_distinct_patterns,
+                n_occurrences=prepared.exact.n_values,
+                self_join_size=prepared.exact.self_join_size(),
+                exact_counter_bytes=prepared.exact.memory_bytes(),
+                mean_depth=stats.mean_depth,
+                mean_fanout=stats.mean_fanout,
+            )
+        )
+    return Table1Result(tuple(rows))
+
+
+def render(result: Table1Result) -> str:
+    return format_table(
+        [
+            "Dataset",
+            "# of Trees",
+            "Max Pattern Size (k)",
+            "# Distinct Patterns",
+            "Occurrences",
+            "Self-Join Size",
+            "Exact-Counter Bytes",
+            "Mean Depth",
+            "Mean Fanout",
+        ],
+        [
+            (
+                row.dataset,
+                row.n_trees,
+                row.max_pattern_size,
+                row.n_distinct_patterns,
+                row.n_occurrences,
+                row.self_join_size,
+                row.exact_counter_bytes,
+                row.mean_depth,
+                row.mean_fanout,
+            )
+            for row in result.rows
+        ],
+        title="Table 1: Dataset Statistics",
+    )

@@ -1,0 +1,50 @@
+"""Integer-mapping substrate: pairing functions and Rabin fingerprints.
+
+SketchTree reduces tree-pattern counting to point-frequency estimation by
+mapping each (LPS, NPS) pair to a single integer.  Two mapping functions
+are provided, matching Sections 2.2 and 6.1 of the paper:
+
+* :mod:`repro.hashing.pairing` — the exact (lossless) Cantor pairing
+  function family ``PF(·)`` with inverses.  Values grow rapidly with
+  sequence length; suitable for small patterns and for correctness tests.
+* :mod:`repro.hashing.rabin` — Rabin fingerprints modulo a random
+  irreducible polynomial over GF(2) (degree 31 by default, as in the
+  paper's experiments).  Constant-size outputs with a provably small
+  collision probability.
+
+:mod:`repro.hashing.labels` maps node-label strings to integers online.
+"""
+
+from repro.hashing.gf2 import (
+    gf2_degree,
+    gf2_gcd,
+    gf2_mod,
+    gf2_mul,
+    gf2_mulmod,
+    is_irreducible,
+    random_irreducible,
+)
+from repro.hashing.labels import LabelHasher
+from repro.hashing.pairing import (
+    pair2,
+    pair_sequence,
+    unpair2,
+    unpair_sequence,
+)
+from repro.hashing.rabin import RabinFingerprint
+
+__all__ = [
+    "LabelHasher",
+    "RabinFingerprint",
+    "gf2_degree",
+    "gf2_gcd",
+    "gf2_mod",
+    "gf2_mul",
+    "gf2_mulmod",
+    "is_irreducible",
+    "pair2",
+    "pair_sequence",
+    "random_irreducible",
+    "unpair2",
+    "unpair_sequence",
+]

@@ -1,0 +1,69 @@
+"""Online node-label → integer mapping.
+
+Section 2.2 assumes ``hash(X)`` returns a unique number per label;
+Section 6.1 lifts the assumption by fingerprinting the label's bit string
+with the same irreducible-polynomial machinery.  Two modes are provided:
+
+* ``"rabin"`` (default) — stateless Rabin fingerprint of the UTF-8 bytes.
+  Collisions are possible but their probability is tiny for degree 31 and
+  realistic label lengths; this is the paper's experimental configuration.
+* ``"enumerate"`` — assign consecutive integers on first sight.  Exactly
+  collision-free (matching the Section 2.2 assumption) but stateful; used
+  with the exact pairing-function pipeline in tests.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.hashing.rabin import RabinFingerprint
+
+_MODES = ("rabin", "enumerate")
+
+
+class LabelHasher:
+    """Maps label strings to non-negative integers, deterministically.
+
+    Parameters
+    ----------
+    mode:
+        ``"rabin"`` or ``"enumerate"`` (see module docstring).
+    fingerprint:
+        The :class:`RabinFingerprint` to use in ``"rabin"`` mode.  When
+        omitted one is constructed from ``seed``.
+    seed:
+        Seed for the fingerprint polynomial draw.
+    """
+
+    def __init__(
+        self,
+        mode: str = "rabin",
+        fingerprint: RabinFingerprint | None = None,
+        seed: int | None = 0,
+    ):
+        if mode not in _MODES:
+            raise ConfigError(f"unknown label hashing mode {mode!r}; expected {_MODES}")
+        self.mode = mode
+        if mode == "rabin":
+            self._fingerprint = fingerprint or RabinFingerprint(seed=seed)
+        else:
+            self._fingerprint = None
+        self._cache: dict[str, int] = {}
+
+    def __call__(self, label: str) -> int:
+        """Integer for ``label`` (cached; stable for the hasher's lifetime)."""
+        value = self._cache.get(label)
+        if value is None:
+            if self.mode == "rabin":
+                value = self._fingerprint.of_str(label)
+            else:
+                value = len(self._cache)
+            self._cache[label] = value
+        return value
+
+    @property
+    def n_labels_seen(self) -> int:
+        """How many distinct labels have been hashed so far."""
+        return len(self._cache)
+
+    def __repr__(self) -> str:
+        return f"LabelHasher(mode={self.mode!r}, seen={len(self._cache)})"

@@ -1,0 +1,123 @@
+"""Cantor pairing functions: lossless tuple → integer mappings.
+
+The paper (Section 2.2) uses the pairing function
+
+.. math::
+
+    PF_2(x, y) = \\tfrac{1}{2}(x^2 + 2xy + y^2 + 3x + y)
+
+extended to ``k``-tuples by left-folding: ``PF_3(x, y, z) =
+PF_2(PF_2(x, y), z)``.  We implement exactly that formula (which equals the
+classic Cantor pairing with its arguments swapped) together with its
+inverse, so the one-to-one property can be verified directly in tests.
+
+The paper pads variable-length tuples to a common length to keep the
+mapping injective across lengths; we instead pair the tuple length in as a
+final step (``PF_2(fold, k)``), which provides the same injectivity
+guarantee without choosing a padding symbol.  Values grow roughly doubly
+exponentially with tuple length, which is precisely why the paper switches
+to Rabin fingerprints (Section 6.1) for real workloads; Python's big
+integers let us keep the exact version around for validation.
+"""
+
+from __future__ import annotations
+
+from math import isqrt
+from typing import Iterable, Sequence
+
+from repro.errors import HashingError
+
+
+def pair2(x: int, y: int) -> int:
+    """The paper's ``PF_2``: a bijection ``N × N → N``.
+
+    >>> pair2(0, 0), pair2(1, 0), pair2(0, 1)
+    (0, 2, 1)
+    """
+    if x < 0 or y < 0:
+        raise HashingError(f"pairing requires non-negative integers, got ({x}, {y})")
+    s = x + y
+    return (s * s + 3 * x + y) // 2
+
+
+def unpair2(z: int) -> tuple[int, int]:
+    """Inverse of :func:`pair2`.
+
+    With ``s = x + y``, ``pair2(x, y) = s(s+1)/2 + x``; recover ``s`` as the
+    largest integer with ``s(s+1)/2 <= z``.
+    """
+    if z < 0:
+        raise HashingError(f"cannot unpair negative value {z}")
+    s = (isqrt(8 * z + 1) - 1) // 2
+    x = z - s * (s + 1) // 2
+    y = s - x
+    if x < 0 or y < 0 or pair2(x, y) != z:
+        raise HashingError(f"unpairing failed for {z}")  # pragma: no cover
+    return x, y
+
+
+#: Abort pairing once the accumulator exceeds this many bits.  Pairing
+#: values roughly double in bit length per element, so without a guard a
+#: ~20-element tuple silently demands gigabit integers (the Section 6.1
+#: motivation for Rabin fingerprints) — fail fast and say so instead.
+MAX_PAIRING_BITS = 1 << 20
+
+
+def pair_sequence(values: Sequence[int]) -> int:
+    """Map a non-empty tuple of non-negative integers to a single integer.
+
+    Left-folds :func:`pair2` over the values and finally pairs in the
+    length, making the mapping injective across tuples of *different*
+    lengths as well (the role the paper assigns to padding).
+
+    Raises :class:`~repro.errors.HashingError` when the exact value would
+    exceed :data:`MAX_PAIRING_BITS` bits — use Rabin fingerprints
+    (:mod:`repro.hashing.rabin`) for long sequences, as the paper does.
+    """
+    if not values:
+        raise HashingError("cannot pair an empty sequence")
+    acc = values[0]
+    if acc < 0:
+        raise HashingError(f"pairing requires non-negative integers, got {acc}")
+    for value in values[1:]:
+        acc = pair2(acc, value)
+        if acc.bit_length() > MAX_PAIRING_BITS:
+            raise HashingError(
+                f"pairing value exceeded {MAX_PAIRING_BITS} bits after "
+                f"{len(values)}-element fold; pairing grows doubly "
+                f"exponentially — use Rabin fingerprints for sequences "
+                f"this long (paper Section 6.1)"
+            )
+    return pair2(acc, len(values))
+
+
+def unpair_sequence(code: int) -> tuple[int, ...]:
+    """Inverse of :func:`pair_sequence`."""
+    acc, length = unpair2(code)
+    if length < 1:
+        raise HashingError(f"invalid sequence code {code}: length {length}")
+    out: list[int] = []
+    for _ in range(length - 1):
+        acc, value = unpair2(acc)
+        out.append(value)
+    out.append(acc)
+    out.reverse()
+    return tuple(out)
+
+
+def fold_to_width(value: int, bits: int = 61) -> int:
+    """Reduce an arbitrarily large pairing value into ``bits`` bits.
+
+    Exact pairing values can exceed any fixed word size; sketches need
+    bounded integers.  This reduction (modulo the Mersenne prime
+    ``2^61 − 1`` by default) may collide — which is exactly the paper's
+    motivation for Rabin fingerprints — but keeps the pairing-function
+    pipeline usable end to end for comparison experiments.
+    """
+    if bits == 61:
+        modulus = (1 << 61) - 1
+    elif bits == 31:
+        modulus = (1 << 31) - 1
+    else:
+        modulus = (1 << bits) - 1
+    return value % modulus

@@ -1,0 +1,112 @@
+"""Rabin fingerprints: bounded-size mappings for long sequences.
+
+Section 6.1 of the paper: when the pairing-function value of a long
+(LPS, NPS) tuple no longer fits a machine word, SketchTree instead treats
+the concatenated sequence as a bit string — the coefficient vector of a
+polynomial over GF(2) — and takes its residue modulo a random irreducible
+polynomial ``p_irr`` of degree 31.  The residue fits a 32-bit word and two
+distinct sequences collide with probability at most roughly
+``len_bits / 2^degree`` (Broder 1993).
+
+:class:`RabinFingerprint` implements this with a byte-fed, table-driven
+reduction (the classic CRC trick), plus helpers for integer sequences and
+label strings.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from repro.errors import HashingError
+from repro.hashing.gf2 import gf2_degree, gf2_mod, is_irreducible, random_irreducible
+
+#: Default degree used in all the paper's experiments.
+DEFAULT_DEGREE = 31
+
+
+class RabinFingerprint:
+    """Fingerprints of byte strings / integer sequences modulo ``p_irr``.
+
+    Parameters
+    ----------
+    poly:
+        An irreducible polynomial over GF(2), encoded as an int with its
+        top bit at position ``degree``.  When omitted, a random irreducible
+        polynomial of ``degree`` is drawn from ``seed``.
+    degree:
+        Degree of the modulus when ``poly`` is omitted (default 31, as in
+        the paper).
+    seed:
+        Seed for the random polynomial draw; fingerprints are fully
+        deterministic given ``(poly)`` or ``(degree, seed)``.
+    """
+
+    def __init__(
+        self,
+        poly: int | None = None,
+        degree: int = DEFAULT_DEGREE,
+        seed: int | None = None,
+    ):
+        if poly is None:
+            poly = random_irreducible(degree, random.Random(seed))
+        elif not is_irreducible(poly):
+            raise HashingError(f"polynomial {poly:#x} is not irreducible")
+        self.poly = poly
+        self.degree = gf2_degree(poly)
+        if self.degree < 8:
+            raise HashingError("fingerprint degree must be at least 8")
+        self._mask = (1 << self.degree) - 1
+        # table[t] = (t << degree) mod poly, for the byte-at-a-time feed:
+        # state' = ((state << 8) | byte) mod poly
+        #        = ((state & mask_low) << 8 | byte) XOR table[state >> (degree-8)]
+        self._table = tuple(gf2_mod(t << self.degree, poly) for t in range(256))
+
+    # -- core feeds ------------------------------------------------------
+    def feed_byte(self, state: int, byte: int) -> int:
+        """Advance the fingerprint state by one byte."""
+        top = state >> (self.degree - 8)
+        return (((state << 8) | byte) & self._mask) ^ self._table[top]
+
+    def of_bytes(self, data: bytes, state: int = 0) -> int:
+        """Fingerprint of a byte string (optionally continuing ``state``)."""
+        feed = self.feed_byte
+        for byte in data:
+            state = feed(state, byte)
+        return state
+
+    def of_ints(self, values: Iterable[int], state: int = 0) -> int:
+        """Fingerprint of a sequence of integers in ``[0, 2^32)``.
+
+        Each value is fed as 4 big-endian bytes, so the mapping is
+        prefix-free per element; callers concerned about whole-sequence
+        extension attacks should use :meth:`of_sequence`, which prefixes
+        the length.
+        """
+        feed = self.feed_byte
+        for value in values:
+            if not 0 <= value < (1 << 32):
+                raise HashingError(f"sequence element {value} outside [0, 2^32)")
+            state = feed(state, (value >> 24) & 0xFF)
+            state = feed(state, (value >> 16) & 0xFF)
+            state = feed(state, (value >> 8) & 0xFF)
+            state = feed(state, value & 0xFF)
+        return state
+
+    def of_sequence(self, values: Sequence[int]) -> int:
+        """Length-prefixed fingerprint of an integer sequence.
+
+        This is the mapping SketchTree applies to the concatenated
+        ``LPS.NPS`` encoding: the sequence length is fed first so that a
+        sequence and any proper extension of it cannot share a state by
+        construction alone.
+        """
+        state = self.of_ints((len(values),))
+        return self.of_ints(values, state)
+
+    def of_str(self, text: str) -> int:
+        """Fingerprint of a UTF-8 encoded string (used for node labels)."""
+        return self.of_bytes(text.encode("utf-8"))
+
+    def __repr__(self) -> str:
+        return f"RabinFingerprint(degree={self.degree}, poly={self.poly:#x})"

@@ -1,0 +1,22 @@
+"""Prüfer sequence encoding of ordered labeled trees (PRIX-style).
+
+SketchTree identifies every tree pattern by the pair of its *extended*
+Labeled Prüfer Sequence (LPS) and Numbered Prüfer Sequence (NPS); this
+subpackage implements the encoding and its inverse.
+
+See :mod:`repro.prufer.sequences` for the algorithmic details.
+"""
+
+from repro.prufer.sequences import (
+    PruferSequences,
+    prufer_of_nested,
+    prufer_of_tree,
+    tree_from_prufer,
+)
+
+__all__ = [
+    "PruferSequences",
+    "prufer_of_nested",
+    "prufer_of_tree",
+    "tree_from_prufer",
+]

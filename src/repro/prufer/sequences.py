@@ -1,0 +1,189 @@
+"""Extended Prüfer sequences: the tree ↔ sequence bijection SketchTree uses.
+
+Construction (Section 2.3 of the paper, following the PRIX system):
+
+1. *Extend* the tree by adding one dummy child to every leaf of the
+   original tree, so the original leaf labels survive into the sequence.
+2. Number all nodes of the extended tree in postorder (1-based; the root
+   of an ``n``-node extended tree gets number ``n``).
+3. Repeatedly delete the leaf with the smallest number, noting its parent,
+   until one node remains.  The noted postorder numbers form the **NPS**;
+   replacing each number by its node's label gives the **LPS**.
+
+With postorder numbering the deletion order is exactly ``1, 2, …, n−1``
+(when nodes ``1..i−1`` are gone, node ``i`` has lost all of its descendants
+and is the smallest remaining leaf), so the sequences reduce to the parent
+array read in postorder::
+
+    NPS[i−1] = parent(i)           for i = 1 .. n−1
+    LPS[i−1] = label(parent(i))
+
+which makes construction linear in the tree size, as the paper notes.
+
+Together, LPS and NPS determine the original tree uniquely;
+:func:`tree_from_prufer` implements the inverse, which the test suite uses
+as a round-trip property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TreeError
+from repro.trees.tree import LabeledTree, Nested
+
+
+@dataclass(frozen=True)
+class PruferSequences:
+    """The (LPS, NPS) pair uniquely identifying an ordered labeled tree.
+
+    ``lps[i]`` is the label of the node whose postorder number is
+    ``nps[i]``; both sequences have length ``n_extended − 1``.
+    """
+
+    lps: tuple[str, ...]
+    nps: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lps) != len(self.nps):
+            raise TreeError(
+                f"LPS length {len(self.lps)} != NPS length {len(self.nps)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.lps)
+
+    def interleaved(self) -> tuple:
+        """``(lps[0], nps[0], lps[1], nps[1], …)`` — handy for hashing."""
+        out: list = []
+        for label, number in zip(self.lps, self.nps):
+            out.append(label)
+            out.append(number)
+        return tuple(out)
+
+
+def prufer_of_nested(pattern: Nested) -> PruferSequences:
+    """Extended Prüfer sequences of a pattern in nested-tuple form.
+
+    This is the hot path: patterns produced by EnumTree are nested tuples
+    and never need to become full :class:`LabeledTree` objects.
+    """
+    labels, parents = _extended_postorder(pattern)
+    n = len(labels)
+    lps: list[str] = []
+    nps: list[int] = []
+    for i in range(n - 1):
+        p = parents[i]
+        nps.append(p)
+        lps.append(labels[p - 1])
+    return PruferSequences(tuple(lps), tuple(nps))
+
+
+def prufer_of_tree(tree: LabeledTree) -> PruferSequences:
+    """Extended Prüfer sequences of a :class:`LabeledTree`."""
+    return prufer_of_nested(tree.to_nested())
+
+
+_DUMMY = None  # label placeholder for dummy children; never enters the LPS
+
+
+def _extended_postorder(pattern: Nested) -> tuple[list[str | None], list[int]]:
+    """Postorder labels and parent numbers of the extended tree.
+
+    Returns ``(labels, parents)`` where index ``i`` describes the node with
+    postorder number ``i + 1``; dummy nodes carry the label ``None``.
+    Iterative so arbitrarily deep patterns cannot overflow the recursion
+    stack.
+    """
+    if not (isinstance(pattern, tuple) and len(pattern) == 2):
+        raise TreeError(f"not a nested tree form: {pattern!r}")
+    labels: list[str | None] = []
+    parents: list[int] = []
+    # Frame: [label, children, next_child_index, numbers of finished children]
+    frames: list[list] = [[pattern[0], pattern[1], 0, []]]
+    finished_number: int | None = None
+    while frames:
+        frame = frames[-1]
+        label, children, idx, child_numbers = frame
+        if finished_number is not None:
+            child_numbers.append(finished_number)
+            finished_number = None
+        if idx < len(children):
+            frame[2] += 1
+            child = children[idx]
+            if not (isinstance(child, tuple) and len(child) == 2):
+                raise TreeError(f"not a nested tree form: {child!r}")
+            frames.append([child[0], child[1], 0, []])
+            continue
+        if not children:  # original leaf: give it a dummy child first
+            labels.append(_DUMMY)
+            parents.append(0)
+            child_numbers.append(len(labels))
+        my_number = len(labels) + 1
+        labels.append(label)
+        parents.append(0)
+        for child_number in child_numbers:
+            parents[child_number - 1] = my_number
+        frames.pop()
+        finished_number = my_number
+    return labels, parents
+
+
+def tree_from_prufer(sequences: PruferSequences) -> LabeledTree:
+    """Reconstruct the original tree from its extended (LPS, NPS) pair.
+
+    The extended tree's parent array is exactly the NPS; nodes that never
+    appear in the NPS are the dummies, which are dropped.  Raises
+    :class:`~repro.errors.TreeError` when the sequences are inconsistent
+    (not a valid postorder parent array, or conflicting labels for one
+    node).
+    """
+    nps = sequences.nps
+    lps = sequences.lps
+    if not nps:
+        raise TreeError("empty Prüfer sequences do not encode a tree")
+    n_ext = len(nps) + 1
+    parent = [0] * (n_ext + 1)  # 1-based
+    label: list[str | None] = [None] * (n_ext + 1)
+    for i, (p, lab) in enumerate(zip(nps, lps), start=1):
+        if not i < p <= n_ext:
+            raise TreeError(
+                f"NPS[{i - 1}] = {p} is not a valid postorder parent of node {i}"
+            )
+        parent[i] = p
+        if label[p] is None:
+            label[p] = lab
+        elif label[p] != lab:
+            raise TreeError(
+                f"conflicting labels {label[p]!r} and {lab!r} for node {p}"
+            )
+    children: list[list[int]] = [[] for _ in range(n_ext + 1)]
+    for i in range(1, n_ext):
+        children[parent[i]].append(i)  # ascending i == document order
+    internal = set(nps)
+    if n_ext not in internal:
+        raise TreeError("the root never appears in the NPS; sequences invalid")
+
+    # Rebuild only the original (non-dummy) nodes.  A dummy is an extended
+    # leaf; original leaves are exactly the internal nodes whose every child
+    # is a dummy.
+    from repro.trees.node import TreeNode  # local import avoids a cycle
+
+    nodes: dict[int, TreeNode] = {}
+    for num in range(1, n_ext + 1):  # postorder: children built before parents
+        if num not in internal:
+            continue  # dummy
+        lab = label[num]
+        assert lab is not None  # guaranteed: num appeared in the NPS
+        node = TreeNode(lab)
+        for kid in children[num]:
+            if kid in internal:
+                node.add_child(nodes[kid])
+        nodes[num] = node
+    tree = LabeledTree(nodes[n_ext])
+    # Self-check: a valid encoding round-trips.  This catches sequences that
+    # are structurally plausible but were not produced by the extension rule
+    # (e.g. an internal node with a dummy child that is not its only child).
+    if prufer_of_tree(tree) != sequences:
+        raise TreeError("sequences are not a valid extended Prüfer encoding")
+    return tree

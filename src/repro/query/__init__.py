@@ -1,0 +1,46 @@
+"""Query patterns, exact matching, and the structural-summary extension.
+
+* :mod:`repro.query.pattern` — helpers over nested-tuple query patterns:
+  size/validation, the distinct ordered arrangements of an unordered
+  pattern (Section 3.3), OR-predicate expansion (Example 5), and parsing
+  from s-expressions.
+* :mod:`repro.query.matching` — exact ordered/unordered embedding counts
+  on a single tree, used as the ground-truth oracle for every experiment.
+* :mod:`repro.query.summary` — an online dataguide-style structural
+  summary and the resolution of ``*`` and ``//`` queries into sets of
+  parent-child-only patterns (Section 6.2).
+"""
+
+from repro.query.decompose import estimate_upper_bound, subpatterns
+from repro.query.matching import (
+    count_ordered,
+    count_unordered,
+    iter_ordered_embeddings,
+)
+from repro.query.pattern import (
+    arrangements,
+    expand_or_labels,
+    pattern_edges,
+    pattern_from_sexpr,
+    pattern_nodes,
+    validate_pattern,
+)
+from repro.query.summary import QueryNode, StructuralSummary
+from repro.query.xpath import parse_xpath
+
+__all__ = [
+    "QueryNode",
+    "StructuralSummary",
+    "parse_xpath",
+    "arrangements",
+    "count_ordered",
+    "count_unordered",
+    "estimate_upper_bound",
+    "expand_or_labels",
+    "iter_ordered_embeddings",
+    "subpatterns",
+    "pattern_edges",
+    "pattern_from_sexpr",
+    "pattern_nodes",
+    "validate_pattern",
+]

@@ -1,0 +1,71 @@
+"""Bounding counts of patterns larger than the enumeration limit ``k``.
+
+The paper's stated future work: "counting tree patterns of size larger
+than k".  While an unbiased estimate is impossible from a k-bounded
+synopsis (the information is simply not sketched), a *sound upper bound*
+is: every occurrence of a pattern ``Q`` contains an occurrence of each
+connected sub-pattern of ``Q``, so
+
+    COUNT_ord(Q)  ≤  min over sub-patterns Q' of Q with ≤ k edges
+                     of COUNT_ord(Q')
+
+and the tightest such bound uses every maximal (exactly-k-edge, when
+possible) sub-pattern.  :func:`subpatterns` enumerates the distinct
+connected sub-patterns of a query (EnumTree applied to the *query*
+itself — the machinery is already here), and
+:func:`estimate_upper_bound` takes the minimum of their estimates.
+
+Caveats, stated plainly:
+
+* the bound is one-sided; it certifies "Q occurs at most ~N times" and
+  in particular "Q (almost) does not occur" when some sub-pattern is
+  rare, but says nothing tight when all sub-patterns are common;
+* sub-pattern estimates are themselves approximate, so the bound holds
+  up to the estimator's error; using ``max(0, estimate)`` keeps it
+  non-negative.
+"""
+
+from __future__ import annotations
+
+from repro.enumtree.enumerate import enumerate_patterns
+from repro.errors import QueryError
+from repro.query.pattern import pattern_edges, validate_pattern
+from repro.trees.builders import from_nested
+from repro.trees.tree import Nested
+
+
+def subpatterns(pattern: Nested, k: int, only_maximal: bool = True) -> list[Nested]:
+    """Distinct connected sub-patterns of ``pattern`` with 1..k edges.
+
+    With ``only_maximal`` (default), only sub-patterns with exactly
+    ``min(k, |pattern|)`` edges are returned — smaller ones can only
+    give looser bounds, since every occurrence of a larger sub-pattern
+    is also one of its own sub-patterns.
+    """
+    validate_pattern(pattern)
+    edges = pattern_edges(pattern)
+    if edges < 1:
+        raise QueryError("single-node patterns have no sub-patterns")
+    size = min(k, edges)
+    tree = from_nested(pattern)
+    found = enumerate_patterns(tree, size)
+    if only_maximal:
+        found = [p for p in found if pattern_edges(p) == size]
+    return list(dict.fromkeys(found))
+
+
+def estimate_upper_bound(synopsis, pattern: Nested) -> float:
+    """Sound (one-sided) bound on ``COUNT_ord`` of an oversized pattern.
+
+    ``synopsis`` is a :class:`~repro.core.sketchtree.SketchTree`; the
+    pattern may exceed its ``max_pattern_edges``.  For patterns within
+    ``k`` this degrades gracefully to the plain estimate (the unique
+    maximal sub-pattern of a within-k pattern is the pattern itself).
+    """
+    k = synopsis.config.max_pattern_edges
+    candidates = subpatterns(pattern, k)
+    assert candidates  # a >=1-edge pattern always has k-edge sub-patterns
+    return min(
+        max(0.0, synopsis.estimate_ordered(candidate))
+        for candidate in candidates
+    )

@@ -1,0 +1,117 @@
+"""Exact tree-pattern embedding counts on a single tree.
+
+The ground-truth oracle: ``COUNT_ord(Q)`` over a stream equals the sum of
+:func:`count_ordered` over its trees, and (by construction) also equals
+the multiplicity of ``Q`` in the EnumTree output — the test suite checks
+both identities against each other.
+
+Semantics (Section 2.1 of the paper): every edge of ``Q`` is a
+parent-child constraint; an *ordered* embedding maps the children of each
+query node to distinct children of the image, preserving sibling order; an
+*unordered* count sums the ordered counts of all distinct arrangements of
+``Q`` (Section 3.3).  These are occurrence counts of the whole pattern,
+deliberately different from XPath's target-node counts.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.query.pattern import arrangements, validate_pattern
+from repro.trees.tree import LabeledTree, Nested
+
+
+def count_ordered(tree: LabeledTree, pattern: Nested) -> int:
+    """Number of ordered embeddings of ``pattern`` in ``tree``.
+
+    Dynamic program: ``emb(q, v)`` is the number of embeddings of the
+    query subtree at ``q`` that map ``q`` to data node ``v``; the children
+    of ``q`` must map, in order, to a (not necessarily contiguous)
+    increasing subsequence of ``v``'s children, counted with the classic
+    sequence-alignment recurrence.  ``COUNT_ord`` sums ``emb(root, v)``
+    over all data nodes ``v``.
+    """
+    validate_pattern(pattern)
+
+    @lru_cache(maxsize=None)
+    def emb(q: Nested, v: int) -> int:
+        q_label, q_children = q
+        if tree.label_of(v) != q_label:
+            return 0
+        if not q_children:
+            return 1
+        v_children = tree.children_of(v)
+        m, f = len(q_children), len(v_children)
+        if m > f:
+            return 0
+        # ways[i][j]: ways to map the first i query children into the
+        # first j data children (order preserved).
+        ways = [[0] * (f + 1) for _ in range(m + 1)]
+        ways[0] = [1] * (f + 1)
+        for i in range(1, m + 1):
+            row, prev = ways[i], ways[i - 1]
+            qc = q_children[i - 1]
+            for j in range(i, f + 1):
+                row[j] = row[j - 1] + prev[j - 1] * emb(qc, v_children[j - 1])
+        return ways[m][f]
+
+    total = sum(emb(pattern, v) for v in tree.iter_postorder())
+    emb.cache_clear()
+    return total
+
+
+def count_unordered(tree: LabeledTree, pattern: Nested) -> int:
+    """Number of unordered matches: ``Σ count_ordered`` over the distinct
+    ordered arrangements of ``pattern`` (the paper's Section 3.3
+    definition of ``COUNT(Q)``)."""
+    return sum(count_ordered(tree, arrangement) for arrangement in arrangements(pattern))
+
+
+def iter_ordered_embeddings(tree: LabeledTree, pattern: Nested):
+    """Yield every ordered embedding as a query→data node mapping.
+
+    Each embedding is a tuple of data postorder numbers listed in the
+    *preorder* of the query pattern (root first); its length equals the
+    pattern's node count.  ``len(list(...)) == count_ordered(...)`` by
+    construction — the enumerative counterpart of the counting DP, used
+    for debugging, result explanation, and as another oracle in tests.
+    """
+    validate_pattern(pattern)
+
+    def assignments(q: Nested, v: int):
+        """Yield tuples of data nodes covering the query subtree at q→v."""
+        q_label, q_children = q
+        if tree.label_of(v) != q_label:
+            return
+        if not q_children:
+            yield (v,)
+            return
+        v_children = tree.children_of(v)
+
+        def choose(q_index: int, v_index: int):
+            if q_index == len(q_children):
+                yield ()
+                return
+            # Map query child q_index to some data child >= v_index.
+            for position in range(v_index, len(v_children)):
+                child = v_children[position]
+                for head in assignments(q_children[q_index], child):
+                    for tail in choose(q_index + 1, position + 1):
+                        yield head + tail
+
+        for body in choose(0, 0):
+            yield (v,) + body
+
+    for v in tree.iter_postorder():
+        yield from assignments(pattern, v)
+
+
+def count_ordered_in_stream(trees, pattern: Nested) -> int:
+    """``COUNT_ord`` accumulated over an iterable of trees."""
+    return sum(count_ordered(tree, pattern) for tree in trees)
+
+
+def count_unordered_in_stream(trees, pattern: Nested) -> int:
+    """``COUNT`` accumulated over an iterable of trees."""
+    arrs = arrangements(pattern)
+    return sum(count_ordered(tree, arr) for tree in trees for arr in arrs)

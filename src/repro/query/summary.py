@@ -1,0 +1,274 @@
+"""Online structural summary and ``*`` / ``//`` query resolution.
+
+Section 6.2 of the paper: SketchTree itself only counts parent-child
+patterns, but when a structural summary of the data can be maintained in
+limited space, queries with wildcard nodes (``*``) and ancestor-descendant
+edges (``//``) can be *resolved* into a set of distinct parent-child-only
+patterns whose total frequency equals the original query's frequency —
+which Theorem 2 already knows how to estimate.
+
+The summary here is a dataguide-style trie: one node per distinct
+root-to-node *label path* occurring in the stream, built incrementally as
+trees arrive.  Its size is bounded by the number of distinct label paths,
+which for real XML is tiny compared to the data (the usual dataguide
+argument).
+
+Queries are expressed with :class:`QueryNode`: a label (``"*"`` allowed),
+children, and per-child edge kind (``"child"`` or ``"descendant"``).
+Resolution walks the summary, materialising the concrete labels along
+every possible descendant path, exactly as the paper's Figure 7 resolves
+``A//C`` into ``A/C`` and ``A/B/C``.
+
+Caveat (inherited from the paper): for patterns with *multiple* branches
+under a ``//``, occurrences in which branches share interior nodes are
+counted per resolved pattern; the paper's "sum of frequencies" identity is
+exact for the single-branch resolutions it presents, and we keep the same
+semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import PatternError, QueryError
+from repro.trees.tree import LabeledTree, Nested
+
+WILDCARD = "*"
+
+_EDGE_KINDS = ("child", "descendant")
+
+
+@dataclass(frozen=True)
+class QueryNode:
+    """One node of an extended query (``*`` labels, ``//`` edges).
+
+    ``edge`` describes the edge *above* this node: ``"child"`` (``/``) or
+    ``"descendant"`` (``//``).  The root's ``edge`` is ignored.
+    """
+
+    label: str
+    children: tuple["QueryNode", ...] = ()
+    edge: str = "child"
+
+    def __post_init__(self):
+        if not self.label:
+            raise PatternError("query node label must be non-empty")
+        if self.edge not in _EDGE_KINDS:
+            raise PatternError(f"unknown edge kind {self.edge!r}")
+
+    @classmethod
+    def from_sexpr(cls, text: str) -> "QueryNode":
+        """Parse ``"(A (//B (*)) (C))"``: a ``//`` prefix on a label marks
+        a descendant edge; a bare ``*`` is a wildcard node."""
+        from repro.trees.builders import from_sexpr
+
+        tree = from_sexpr(text)
+
+        def convert(num: int) -> "QueryNode":
+            label = tree.label_of(num)
+            edge = "child"
+            if label.startswith("//"):
+                label, edge = label[2:], "descendant"
+                if not label:
+                    raise PatternError("'//' must prefix a label or '*'")
+            kids = tuple(convert(c) for c in tree.children_of(num))
+            return cls(label, kids, edge)
+
+        return convert(tree.root)
+
+    def to_xpath(self) -> str:
+        """Render back into the XPath subset of :mod:`repro.query.xpath`.
+
+        The first child continues the path (``/`` or ``//``); remaining
+        children become predicates.  ``parse_xpath(node.to_xpath())``
+        reproduces an equivalent query (round-trip property in tests) up
+        to the representation choice of path-vs-predicate for the first
+        child.
+        """
+        return self._render(top=True)
+
+    def _render(self, top: bool) -> str:
+        out = self.label
+        children = self.children
+        if not children:
+            return out
+        # All but the last child render as predicates; the last continues
+        # the path, matching how the parser builds chains.
+        for child in children[:-1]:
+            prefix = "//" if child.edge == "descendant" else ""
+            out += f"[{prefix}{child._render(top=False)}]"
+        last = children[-1]
+        axis = "//" if last.edge == "descendant" else "/"
+        return out + axis + last._render(top=False)
+
+    def is_plain(self) -> bool:
+        """True when the query uses no wildcards and no descendant edges."""
+        if self.label == WILDCARD:
+            return False
+        return all(c.edge == "child" and c.is_plain() for c in self.children)
+
+    def to_pattern(self) -> Nested:
+        """Convert a plain query to a nested-tuple pattern."""
+        if self.label == WILDCARD:
+            raise QueryError("wildcard query cannot become a plain pattern")
+        kids = []
+        for child in self.children:
+            if child.edge != "child":
+                raise QueryError("descendant edge cannot become a plain pattern")
+            kids.append(child.to_pattern())
+        return (self.label, tuple(kids))
+
+
+class _TrieNode:
+    __slots__ = ("label", "children")
+
+    def __init__(self, label: str):
+        self.label = label
+        self.children: dict[str, _TrieNode] = {}
+
+
+class StructuralSummary:
+    """A dataguide: the trie of distinct root-to-node label paths.
+
+    Build it online with :meth:`add_tree` as the stream flows, then call
+    :meth:`resolve` to turn an extended query into the set of distinct
+    parent-child patterns whose counts sum to the query's count.
+    """
+
+    def __init__(self):
+        self._roots: dict[str, _TrieNode] = {}
+        self._n_paths = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_tree(self, tree: LabeledTree) -> None:
+        """Fold one tree's label paths into the summary."""
+        root_label = tree.label_of(tree.root)
+        node = self._roots.get(root_label)
+        if node is None:
+            node = self._roots[root_label] = _TrieNode(root_label)
+            self._n_paths += 1
+        # Walk the tree top-down, tracking the matching trie node.
+        stack = [(tree.root, node)]
+        while stack:
+            data_num, trie = stack.pop()
+            for kid in tree.children_of(data_num):
+                label = tree.label_of(kid)
+                child = trie.children.get(label)
+                if child is None:
+                    child = trie.children[label] = _TrieNode(label)
+                    self._n_paths += 1
+                stack.append((kid, child))
+
+    def add_trees(self, trees: Iterable[LabeledTree]) -> None:
+        for tree in trees:
+            self.add_tree(tree)
+
+    @property
+    def n_paths(self) -> int:
+        """Number of distinct label paths recorded (the summary's size)."""
+        return self._n_paths
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolve(
+        self, query: QueryNode, max_edges: int | None = None
+    ) -> set[Nested]:
+        """Resolve a ``*`` / ``//`` query into distinct plain patterns.
+
+        Every returned pattern uses only parent-child edges and concrete
+        labels, and is consistent with the summary (so patterns the data
+        cannot contain are never produced).  ``max_edges`` rejects
+        resolutions that exceed SketchTree's enumeration bound ``k`` —
+        the paper's stated applicability condition — by raising
+        :class:`~repro.errors.QueryError`.
+        """
+        out: set[Nested] = set()
+        starts: list[_TrieNode] = []
+        seen: set[int] = set()
+        for root in self._roots.values():
+            for node in self._iter_trie(root):
+                if id(node) in seen:
+                    continue
+                seen.add(id(node))
+                if query.label == WILDCARD or node.label == query.label:
+                    starts.append(node)
+        for start in starts:
+            out.update(self._expand(query, start))
+        if max_edges is not None:
+            from repro.query.pattern import pattern_edges
+
+            oversize = [p for p in out if pattern_edges(p) > max_edges]
+            if oversize:
+                raise QueryError(
+                    f"query resolves to {len(oversize)} pattern(s) larger than "
+                    f"k={max_edges}; the paper's simple-sum technique does not "
+                    f"apply (Section 6.2)"
+                )
+        return out
+
+    @staticmethod
+    def _iter_trie(root: _TrieNode):
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    def _expand(self, query: QueryNode, trie: _TrieNode) -> set[Nested]:
+        """Concrete patterns for ``query`` anchored at summary node ``trie``."""
+        label = trie.label  # wildcard resolved to the concrete label
+        child_option_sets: list[set[Nested]] = []
+        for q_child in query.children:
+            options: set[Nested] = set()
+            if q_child.edge == "child":
+                for t_child in trie.children.values():
+                    if q_child.label in (WILDCARD, t_child.label):
+                        options.update(self._expand(q_child, t_child))
+            else:  # descendant: materialise every interior label chain
+                for chain, t_node in self._descendants(trie):
+                    if q_child.label in (WILDCARD, t_node.label):
+                        for sub in self._expand(q_child, t_node):
+                            options.add(_wrap_chain(chain, sub))
+            if not options:
+                return set()  # this branch cannot occur in the data
+            child_option_sets.append(options)
+        out: set[Nested] = set()
+        _product(label, child_option_sets, (), out)
+        return out
+
+    def _descendants(self, trie: _TrieNode):
+        """Yield ``(interior_label_chain, node)`` for each proper descendant.
+
+        The chain holds the labels strictly between ``trie`` and ``node``
+        (empty for a direct child), which the resolution must materialise
+        as real pattern nodes.
+        """
+        stack: list[tuple[tuple[str, ...], _TrieNode]] = [
+            ((), child) for child in trie.children.values()
+        ]
+        while stack:
+            chain, node = stack.pop()
+            yield chain, node
+            for child in node.children.values():
+                stack.append((chain + (node.label,), child))
+
+
+def _wrap_chain(chain: tuple[str, ...], pattern: Nested) -> Nested:
+    """Wrap ``pattern`` in a chain of single-child interior nodes."""
+    for label in reversed(chain):
+        pattern = (label, (pattern,))
+    return pattern
+
+
+def _product(
+    label: str, option_sets: list[set[Nested]], prefix: tuple, out: set[Nested]
+) -> None:
+    if not option_sets:
+        out.add((label, prefix))
+        return
+    for option in option_sets[0]:
+        _product(label, option_sets[1:], prefix + (option,), out)

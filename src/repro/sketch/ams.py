@@ -1,0 +1,272 @@
+"""AMS (tug-of-war) sketches with median-of-means boosting.
+
+An AMS sketch of a stream ``S`` of integer values is the randomized linear
+projection ``X = Σ_i f_i ξ_i`` of the stream's frequency vector, where the
+``ξ_i ∈ {−1, +1}`` are four-wise independent (Alon, Matias & Szegedy).
+``ξ_q · X`` is then an unbiased estimator of the frequency ``f_q`` with
+variance at most the stream's self-join size, and accuracy/confidence are
+boosted by averaging ``s1`` independent instances and taking the median of
+``s2`` such averages (Section 3 of the paper).
+
+Two classes:
+
+* :class:`AmsSketch` — a single counter; the textbook object, used in unit
+  tests and documentation examples.
+* :class:`SketchMatrix` — ``s2 × s1`` instances updated in lock-step with
+  vectorised numpy arithmetic; this is what SketchTree deploys.  Because a
+  linear projection is additive, updates commute, deletions are negative
+  updates, and two matrices built with the *same* ξ family can be merged
+  by adding counters — the properties the paper's top-k strategy
+  (Section 5.2) and virtual streams (Section 5.3) rely on.
+"""
+
+from __future__ import annotations
+
+from math import factorial
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.sketch.xi import MERSENNE_31, XiGenerator
+
+#: Batch size for chunked ξ evaluation; bounds peak memory of an update to
+#: roughly ``n_instances × _CHUNK`` int64 cells.
+_CHUNK = 4096
+
+
+class AmsSketch:
+    """A single AMS counter — one randomized linear projection.
+
+    Mostly pedagogical; SketchTree itself uses :class:`SketchMatrix`.
+    """
+
+    def __init__(self, independence: int = 4, seed: int = 0):
+        self._xi = XiGenerator(1, independence=independence, seed=seed)
+        self.counter = 0
+
+    def update(self, value: int, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``value`` (negative = delete)."""
+        self.counter += count * int(self._xi.xi(value)[0])
+
+    def estimate(self, value: int) -> float:
+        """Unbiased estimate of the frequency of ``value``."""
+        return float(self._xi.xi(value)[0] * self.counter)
+
+
+class SketchMatrix:
+    """``s2`` groups of ``s1`` AMS instances sharing one value domain.
+
+    Parameters
+    ----------
+    s1:
+        Instances per group; controls estimation *accuracy* (Theorem 1).
+    s2:
+        Number of groups; controls estimation *confidence*.
+    independence:
+        k-wise independence of the ξ families (ignored when ``xi`` given).
+    seed:
+        Seed for the ξ coefficient draw (ignored when ``xi`` given).
+    xi:
+        An externally shared :class:`XiGenerator`.  Virtual streams pass
+        the same generator to every per-stream matrix so their counters
+        can be added together (Section 5.3: "the sketches can share the
+        same random seed").
+    """
+
+    def __init__(
+        self,
+        s1: int,
+        s2: int,
+        independence: int = 4,
+        seed: int = 0,
+        xi: XiGenerator | None = None,
+    ):
+        if s1 < 1 or s2 < 1:
+            raise ConfigError(f"s1 and s2 must be >= 1, got s1={s1}, s2={s2}")
+        self.s1 = s1
+        self.s2 = s2
+        if xi is None:
+            xi = XiGenerator(s1 * s2, independence=independence, seed=seed)
+        elif xi.n_instances != s1 * s2:
+            raise ConfigError(
+                f"shared XiGenerator has {xi.n_instances} instances, "
+                f"need s1*s2 = {s1 * s2}"
+            )
+        self.xi = xi
+        self.counters = np.zeros(s1 * s2, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def update(self, value: int, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``value`` to every instance."""
+        self.counters += count * self.xi.xi(value)
+
+    def delete(self, value: int, count: int = 1) -> None:
+        """Remove ``count`` occurrences — the AMS deletability property."""
+        self.update(value, -count)
+
+    def update_batch(self, values: np.ndarray, counts: np.ndarray | None = None) -> None:
+        """Add a batch of (value, count) pairs in vectorised chunks.
+
+        Equivalent to calling :meth:`update` per pair; the chunking keeps
+        peak memory bounded while amortising numpy call overhead, which is
+        what makes streaming whole trees cheap.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        if counts is None:
+            counts = np.ones(len(values), dtype=np.int64)
+        else:
+            counts = np.asarray(counts, dtype=np.int64)
+        if len(values) != len(counts):
+            raise ConfigError("values and counts must have equal length")
+        for start in range(0, len(values), _CHUNK):
+            vs = values[start : start + _CHUNK]
+            cs = counts[start : start + _CHUNK]
+            signs = self.xi.xi_batch(vs)  # (n_instances, chunk)
+            self.counters += signs @ cs
+
+    def update_counts(self, counts_by_value: dict[int, int]) -> None:
+        """Add a whole frequency table at once (order-independent)."""
+        if not counts_by_value:
+            return
+        values = np.fromiter(
+            (v % MERSENNE_31 for v in counts_by_value), dtype=np.int64,
+            count=len(counts_by_value),
+        )
+        counts = np.fromiter(
+            counts_by_value.values(), dtype=np.int64, count=len(counts_by_value)
+        )
+        self.update_batch(values, counts)
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def _boost(self, per_instance: np.ndarray) -> float:
+        """Median over ``s2`` groups of the mean over ``s1`` instances.
+
+        Sort-based median: ``s2`` is a handful of groups, and sorting a
+        tiny vector avoids :func:`numpy.median`'s per-call overhead on
+        the top-k hot path.
+        """
+        groups = per_instance.reshape(self.s2, self.s1).mean(axis=1)
+        groups.sort()
+        middle = self.s2 >> 1
+        if self.s2 & 1:
+            return float(groups[middle])
+        return float((groups[middle - 1] + groups[middle]) / 2.0)
+
+    def estimate(self, value: int, adjust: np.ndarray | None = None) -> float:
+        """Boosted estimate of the frequency of ``value``.
+
+        ``adjust`` is an optional per-instance additive correction to the
+        counters, used by the top-k strategy to temporarily "add back"
+        deleted frequent values at query time (Section 5.2).
+        """
+        counters = self.counters if adjust is None else self.counters + adjust
+        return self._boost(self.xi.xi(value) * counters)
+
+    def estimate_batch(
+        self, values: np.ndarray, adjust: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Boosted estimates for many values at once: float64 array (m,).
+
+        Equivalent to calling :meth:`estimate` per value; used by bulk
+        top-k construction and by analyses that rank the whole domain.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        counters = self.counters if adjust is None else self.counters + adjust
+        out = np.empty(len(values), dtype=np.float64)
+        for start in range(0, len(values), _CHUNK):
+            vs = values[start : start + _CHUNK]
+            z = self.xi.xi_batch(vs) * counters[:, None]  # (S, chunk)
+            grouped = z.reshape(self.s2, self.s1, -1).mean(axis=1)
+            out[start : start + len(vs)] = np.median(grouped, axis=0)
+        return out
+
+    def estimate_sum(self, values, adjust: np.ndarray | None = None) -> float:
+        """Boosted estimate of ``Σ_j f_{values[j]}`` for *distinct* values.
+
+        Implements the Section 3.2 estimator ``X · Σ_j ξ_{q_j}``, whose
+        variance bound ``2(t−1)·SJ(S)`` (Theorem 2) beats estimating each
+        value separately and summing.
+        """
+        xi_sum = self.xi.xi_values(values).sum(axis=1)
+        counters = self.counters if adjust is None else self.counters + adjust
+        return self._boost(xi_sum * counters)
+
+    def estimate_product(self, values, adjust: np.ndarray | None = None) -> float:
+        """Boosted estimate of ``Π_j f_{values[j]}`` for *distinct* values.
+
+        Implements the Section 4 estimator ``(X^d / d!) · Π_j ξ_{q_j}``.
+        Unbiasedness requires the ξ families to be at least ``2d``-wise
+        independent (Appendix C: each surviving expansion term touches up
+        to ``2d`` distinct ξ variables); a :class:`~repro.errors.ConfigError`
+        is raised when the generator's independence is insufficient.
+        """
+        values = list(values)
+        degree = len(values)
+        if self.xi.independence < 2 * degree:
+            raise ConfigError(
+                f"product of {degree} counts needs >= {2 * degree}-wise "
+                f"independent xi, generator has {self.xi.independence}-wise"
+            )
+        xi_prod = self.xi.xi_values(values).prod(axis=1)
+        counters = self.counters if adjust is None else self.counters + adjust
+        x_pow = counters.astype(np.float64) ** degree
+        return self._boost(x_pow / float(factorial(degree)) * xi_prod)
+
+    def estimate_self_join_size(self, adjust: np.ndarray | None = None) -> float:
+        """Boosted estimate of the sketched stream's self-join size.
+
+        This is the estimator AMS sketches were originally built for
+        (the second frequency moment ``F2 = Σ f_i²``): ``E[X²] = F2``
+        for four-wise independent ξ, boosted by the same median-of-means
+        scheme.  SketchTree uses it to report its *own* error bars —
+        Theorem 1's bound depends on ``SJ(S)``, which the synopsis can
+        thus estimate without any extra state.
+        """
+        counters = self.counters if adjust is None else self.counters + adjust
+        squared = counters.astype(np.float64) ** 2
+        return self._boost(squared)
+
+    def per_instance(self, adjust: np.ndarray | None = None) -> np.ndarray:
+        """Raw counters (plus optional adjustment) — for expression
+        estimators that combine powers of X themselves."""
+        return self.counters if adjust is None else self.counters + adjust
+
+    def boost(self, per_instance: np.ndarray) -> float:
+        """Public median-of-means reducer for externally built Z arrays."""
+        return self._boost(np.asarray(per_instance, dtype=np.float64))
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def merge(self, other: "SketchMatrix") -> "SketchMatrix":
+        """Return a new matrix sketching the union of the two streams.
+
+        Requires both matrices to share the same ξ family (same generator
+        object), which is how virtual streams are combined for queries.
+        """
+        if other.xi is not self.xi:
+            raise ConfigError("can only merge sketches sharing one XiGenerator")
+        merged = SketchMatrix(self.s1, self.s2, xi=self.xi)
+        merged.counters = self.counters + other.counters
+        return merged
+
+    def copy(self) -> "SketchMatrix":
+        """Deep copy (counters copied, ξ family shared)."""
+        clone = SketchMatrix(self.s1, self.s2, xi=self.xi)
+        clone.counters = self.counters.copy()
+        return clone
+
+    @property
+    def n_instances(self) -> int:
+        return self.s1 * self.s2
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the counters (the paper's sketch-memory unit)."""
+        return self.counters.nbytes
+
+    def __repr__(self) -> str:
+        return f"SketchMatrix(s1={self.s1}, s2={self.s2})"

@@ -1,0 +1,148 @@
+"""Sizing formulas and variance bounds from the paper's analysis.
+
+These functions turn the theorems of Section 3 (and the appendices) into
+executable form so that experiments can size sketches from target error
+``ε`` and confidence ``1 − δ``, and so that tests can check the empirical
+estimator variance against the proven bounds.
+
+All bounds are in terms of the *self-join size* ``SJ(S) = Σ_i f_i²`` of
+the one-dimensional stream; :class:`SelfJoinTracker` maintains it exactly
+from a frequency table (an analysis-side tool — the whole point of the
+paper is that the synopsis itself never stores the table).
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+
+from repro.errors import ConfigError
+
+
+def s2_for_confidence(delta: float) -> int:
+    """Theorem 1's ``s2 = 2·lg(1/δ)`` groups for confidence ``1 − δ``."""
+    if not 0 < delta < 1:
+        raise ConfigError(f"delta must be in (0, 1), got {delta}")
+    return max(1, ceil(2 * log2(1 / delta)))
+
+
+def s1_for_point_query(self_join_size: float, frequency: float, epsilon: float) -> int:
+    """Theorem 1's ``s1 = 8·SJ(S) / (ε² f_q²)`` instances per group."""
+    _check(self_join_size, frequency, epsilon)
+    return max(1, ceil(8 * self_join_size / (epsilon**2 * frequency**2)))
+
+
+def s1_for_sum_query(
+    self_join_size: float, total_frequency: float, n_patterns: int, epsilon: float
+) -> int:
+    """Theorem 2's ``s1 = 16(t−1)·SJ(S) / (ε² (Σf)²)`` for a t-pattern sum."""
+    _check(self_join_size, total_frequency, epsilon)
+    if n_patterns < 1:
+        raise ConfigError(f"n_patterns must be >= 1, got {n_patterns}")
+    if n_patterns == 1:
+        return s1_for_point_query(self_join_size, total_frequency, epsilon)
+    return max(
+        1,
+        ceil(
+            16 * (n_patterns - 1) * self_join_size
+            / (epsilon**2 * total_frequency**2)
+        ),
+    )
+
+
+def s1_for_sum_query_naive(
+    self_join_size: float, min_frequency: float, n_patterns: int, epsilon: float
+) -> int:
+    """The per-pattern alternative the paper compares Theorem 2 against:
+    ``s1 = 8 t²·SJ(S) / (ε² min(f)²)`` — always at least as large."""
+    _check(self_join_size, min_frequency, epsilon)
+    if n_patterns < 1:
+        raise ConfigError(f"n_patterns must be >= 1, got {n_patterns}")
+    return max(
+        1,
+        ceil(8 * n_patterns**2 * self_join_size / (epsilon**2 * min_frequency**2)),
+    )
+
+
+def variance_bound_point(self_join_size: float) -> float:
+    """``Var[ξ_q X] ≤ SJ(S)`` (Equation 2)."""
+    return float(self_join_size)
+
+
+def variance_bound_sum(self_join_size: float, n_patterns: int) -> float:
+    """``Var[X Σξ] ≤ 2(t−1)·SJ(S)`` (Equation 7)."""
+    if n_patterns < 1:
+        raise ConfigError(f"n_patterns must be >= 1, got {n_patterns}")
+    return 2 * (n_patterns - 1) * float(self_join_size)
+
+
+def variance_bound_product2(self_join_size: float, domain_size: int) -> float:
+    """``Var[(X²/2!)ξξ] ≤ (1 + 2n)/4 · SJ(S)²`` (Appendix B, Eq. 17)."""
+    if domain_size < 1:
+        raise ConfigError(f"domain_size must be >= 1, got {domain_size}")
+    return (1 + 2 * domain_size) / 4 * float(self_join_size) ** 2
+
+
+def _check(self_join_size: float, frequency: float, epsilon: float) -> None:
+    if self_join_size < 0:
+        raise ConfigError(f"self-join size must be >= 0, got {self_join_size}")
+    if frequency <= 0:
+        raise ConfigError(f"frequency must be > 0, got {frequency}")
+    if epsilon <= 0:
+        raise ConfigError(f"epsilon must be > 0, got {epsilon}")
+
+
+class SelfJoinTracker:
+    """Exact online self-join size ``Σ f_i²`` of a stream of values.
+
+    Used by analyses and tests (e.g. verifying that top-k deletion and
+    virtual streams reduce the self-join size as claimed in Section 5);
+    it keeps the full frequency table so it is *not* part of the
+    limited-memory synopsis.
+    """
+
+    def __init__(self):
+        self._counts: dict[int, int] = {}
+        self._sj = 0
+        self._length = 0
+
+    def add(self, value: int, count: int = 1) -> None:
+        """Account for ``count`` more occurrences (negative to remove)."""
+        old = self._counts.get(value, 0)
+        new = old + count
+        if new < 0:
+            raise ConfigError(
+                f"cannot remove {-count} of value {value}: only {old} present"
+            )
+        self._sj += new * new - old * old
+        self._length += count
+        if new:
+            self._counts[value] = new
+        else:
+            self._counts.pop(value, None)
+
+    def add_counts(self, counts_by_value: dict[int, int]) -> None:
+        for value, count in counts_by_value.items():
+            self.add(value, count)
+
+    @property
+    def self_join_size(self) -> int:
+        """Current ``Σ f_i²``."""
+        return self._sj
+
+    @property
+    def stream_length(self) -> int:
+        """Current ``Σ f_i``."""
+        return self._length
+
+    @property
+    def n_distinct(self) -> int:
+        return len(self._counts)
+
+    def frequency(self, value: int) -> int:
+        return self._counts.get(value, 0)
+
+    def top(self, k: int) -> list[tuple[int, int]]:
+        """The ``k`` most frequent ``(value, frequency)`` pairs."""
+        import heapq
+
+        return heapq.nlargest(k, self._counts.items(), key=lambda kv: kv[1])

@@ -1,0 +1,24 @@
+"""Stream-processing engine: ties datasets to synopses with timing.
+
+:class:`~repro.stream.engine.StreamProcessor` feeds an iterable of trees
+into any object exposing ``update(tree)`` (a
+:class:`~repro.core.sketchtree.SketchTree`, an
+:class:`~repro.core.exact.ExactCounter`, or several at once), records
+wall-clock cost, and can fire checkpoint callbacks — the "query at time
+t₃" model of the paper's Figure 2.
+"""
+
+from repro.stream.engine import ProcessingStats, StreamProcessor
+from repro.stream.sax import (
+    SaxPatternEnumerator,
+    iter_xml_patterns,
+    sketch_xml_stream,
+)
+
+__all__ = [
+    "ProcessingStats",
+    "SaxPatternEnumerator",
+    "StreamProcessor",
+    "iter_xml_patterns",
+    "sketch_xml_stream",
+]

@@ -1,0 +1,145 @@
+"""SAX-style streaming enumeration: sketch XML without building trees.
+
+The paper's streaming model reads each document once; for very large
+documents even materialising one tree can be wasteful.  Because EnumTree
+is a bottom-up recurrence, a node's pattern table depends only on its
+children's finished tables — which is exactly the information available
+the moment a SAX ``close`` event fires.  :class:`SaxPatternEnumerator`
+therefore consumes open/text/close events directly:
+
+* ``open`` pushes an empty child-table frame;
+* ``close`` builds the node's table (:func:`repro.enumtree.node_table`),
+  emits every pattern rooted at the node, and hands the table up to the
+  parent frame.
+
+Peak memory is the tables of the *completed siblings along the open
+path* rather than the whole tree — a real win for the deep, narrow
+documents (TREEBANK-like) the paper processes.
+
+:func:`iter_xml_patterns` ties this to the XML event tokenizer, and
+:func:`sketch_xml_stream` feeds a :class:`~repro.core.sketchtree.SketchTree`
+synopsis straight from XML text.  Both produce the identical pattern
+multiset to ``parse_forest`` + ``enumerate_patterns`` (tested).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.enumtree.enumerate import NodeTable, node_table
+from repro.errors import ConfigError, TreeError
+from repro.trees.tree import Nested
+from repro.trees.xml import iter_events
+
+
+class SaxPatternEnumerator:
+    """Incremental EnumTree over open/text/close events.
+
+    Parameters
+    ----------
+    k:
+        Maximum pattern size in edges (EnumTree's bound).
+    emit:
+        Called once per pattern occurrence, with the nested-tuple
+        pattern, as soon as its root node closes.
+    """
+
+    def __init__(self, k: int, emit: Callable[[Nested], None]):
+        if k < 1:
+            raise ConfigError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.emit = emit
+        self.n_patterns = 0
+        # Each frame: [label, list of finished child tables].
+        self._frames: list[list] = []
+
+    # ------------------------------------------------------------------
+    # Event interface
+    # ------------------------------------------------------------------
+    def open(self, label: str) -> None:
+        """A start tag / the beginning of a node."""
+        self._frames.append([label, []])
+
+    def text(self, value: str) -> None:
+        """Character data: a leaf child of the current node (matching the
+        document mapping of :mod:`repro.trees.xml`)."""
+        self.open(value)
+        self.close()
+
+    def close(self) -> None:
+        """An end tag: finalise the node, emit its rooted patterns."""
+        if not self._frames:
+            raise TreeError("close event without a matching open")
+        label, child_tables = self._frames.pop()
+        table = node_table(label, child_tables, self.k)
+        emit = self.emit
+        for j in range(1, self.k + 1):
+            for pattern in table[j]:
+                emit(pattern)
+                self.n_patterns += 1
+        if self._frames:
+            self._frames[-1][1].append(table)
+
+    def feed(self, event: tuple) -> None:
+        """Dispatch one ``("open", label)`` / ``("text", v)`` / ``("close",)``."""
+        kind = event[0]
+        if kind == "open":
+            self.open(event[1])
+        elif kind == "text":
+            self.text(event[1])
+        elif kind == "close":
+            self.close()
+        else:
+            raise TreeError(f"unknown event kind {kind!r}")
+
+    @property
+    def depth(self) -> int:
+        """Currently open elements (0 between documents)."""
+        return len(self._frames)
+
+    def frontier_tables(self) -> int:
+        """Completed child tables currently held (the memory frontier)."""
+        return sum(len(frame[1]) for frame in self._frames)
+
+
+def iter_xml_patterns(
+    xml_text: str, k: int, keep_attributes: bool = True
+) -> Iterator[Nested]:
+    """Every pattern occurrence in a forest of XML documents, streamed.
+
+    Equivalent to ``enumerate_patterns`` over ``parse_forest(xml_text)``
+    but without materialising any tree.
+    """
+    pending: list[Nested] = []
+    enumerator = SaxPatternEnumerator(k, pending.append)
+    for event in iter_events(xml_text, keep_attributes=keep_attributes):
+        enumerator.feed(event)
+        if pending:
+            yield from pending
+            pending.clear()
+    if enumerator.depth:
+        raise TreeError("event stream ended with unclosed elements")
+
+
+def sketch_xml_stream(synopsis, xml_text: str, keep_attributes: bool = True):
+    """Feed an XML forest into a SketchTree synopsis, SAX-style.
+
+    Per closed top-level document the synopsis' tree/value counters are
+    advanced exactly as :meth:`~repro.core.sketchtree.SketchTree.update`
+    would (sketch state is identical by linearity); the structural
+    summary, which needs whole trees, is not maintained on this path.
+    Returns the synopsis for chaining.
+    """
+    k = synopsis.config.max_pattern_edges
+    document: list[Nested] = []
+    enumerator = SaxPatternEnumerator(k, document.append)
+    for event in iter_events(xml_text, keep_attributes=keep_attributes):
+        enumerator.feed(event)
+        if enumerator.depth == 0 and event[0] == "close":
+            # The top-level element just closed: one document finished
+            # (possibly with zero patterns, e.g. a single-node tree).
+            synopsis.update_from_patterns(document)
+            document.clear()
+    if enumerator.depth:
+        raise TreeError("event stream ended with unclosed elements")
+    return synopsis

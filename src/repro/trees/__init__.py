@@ -1,0 +1,39 @@
+"""Ordered labeled trees: the data substrate SketchTree streams over.
+
+This subpackage provides:
+
+* :class:`~repro.trees.node.TreeNode` — a mutable node used while building
+  trees;
+* :class:`~repro.trees.tree.LabeledTree` — an immutable ordered labeled tree
+  with postorder numbering (the representation every other subsystem
+  consumes);
+* builders for nested tuples and s-expressions
+  (:func:`~repro.trees.builders.from_nested`,
+  :func:`~repro.trees.builders.from_sexpr`);
+* a from-scratch XML tokenizer/parser and serializer
+  (:func:`~repro.trees.xml.parse_xml`, :func:`~repro.trees.xml.to_xml`,
+  :func:`~repro.trees.xml.parse_forest`);
+* structural statistics (:class:`~repro.trees.stats.TreeStatistics`,
+  :class:`~repro.trees.stats.ForestStatistics`).
+"""
+
+from repro.trees.builders import from_nested, from_sexpr, to_sexpr
+from repro.trees.node import TreeNode
+from repro.trees.stats import ForestStatistics, TreeStatistics
+from repro.trees.tree import LabeledTree, Nested
+from repro.trees.xml import iter_events, parse_forest, parse_xml, to_xml
+
+__all__ = [
+    "ForestStatistics",
+    "LabeledTree",
+    "Nested",
+    "TreeNode",
+    "TreeStatistics",
+    "from_nested",
+    "from_sexpr",
+    "iter_events",
+    "parse_forest",
+    "parse_xml",
+    "to_sexpr",
+    "to_xml",
+]

@@ -1,0 +1,134 @@
+"""Builders converting compact textual/structural forms into trees.
+
+Two interchange forms are supported:
+
+* **nested tuples** — ``("A", (("B", ()), ("C", ())))``; this is the
+  canonical :data:`~repro.trees.tree.Nested` form used for tree patterns
+  everywhere in the library.  A bare label with no children may be written
+  ``("A", ())`` or simply ``"A"`` (string shorthand accepted on input).
+* **s-expressions** — ``"(A (B) (C))"``; convenient in tests and examples.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TreeError
+from repro.trees.node import TreeNode
+from repro.trees.tree import LabeledTree, Nested
+
+
+def from_nested(nested: Nested | str) -> LabeledTree:
+    """Build a :class:`LabeledTree` from nested-tuple form.
+
+    Accepts ``(label, (child, ...))`` where each child is again nested form,
+    or a bare label string as shorthand for a single-node tree.
+
+    >>> from_nested(("A", (("B", ()), ("C", ())))).labels
+    ('B', 'C', 'A')
+    """
+    return LabeledTree(node_from_nested(nested))
+
+
+def node_from_nested(nested: Nested | str) -> TreeNode:
+    """Build a mutable :class:`TreeNode` structure from nested-tuple form."""
+    root_label, root_kids = _split(nested)
+    root = TreeNode(root_label)
+    stack = [(root, root_kids)]
+    while stack:
+        node, kids = stack.pop()
+        for kid in kids:
+            label, grandkids = _split(kid)
+            child = node.add(label)
+            stack.append((child, grandkids))
+    return root
+
+
+def _split(nested: Nested | str) -> tuple[str, tuple]:
+    """Normalise one nested element into ``(label, children_tuple)``."""
+    if isinstance(nested, str):
+        return nested, ()
+    if (
+        isinstance(nested, tuple)
+        and len(nested) == 2
+        and isinstance(nested[0], str)
+        and isinstance(nested[1], tuple)
+    ):
+        return nested[0], nested[1]
+    raise TreeError(f"not a valid nested tree form: {nested!r}")
+
+
+def from_sexpr(text: str) -> LabeledTree:
+    """Parse an s-expression such as ``"(A (B) (C (D)))"`` into a tree.
+
+    Labels run until whitespace or a parenthesis; backslash escapes are not
+    supported (labels with spaces should use nested-tuple form instead).
+    A bare label without parentheses denotes a single-node tree.
+    """
+    tokens = _tokenize_sexpr(text)
+    if not tokens:
+        raise TreeError("empty s-expression")
+    pos = 0
+
+    def parse_node() -> TreeNode:
+        nonlocal pos
+        if tokens[pos] == "(":
+            pos += 1
+            if pos >= len(tokens) or tokens[pos] in "()":
+                raise TreeError("expected a label after '('")
+            node = TreeNode(tokens[pos])
+            pos += 1
+            while pos < len(tokens) and tokens[pos] != ")":
+                node.add_child(parse_node())
+            if pos >= len(tokens):
+                raise TreeError("unbalanced s-expression: missing ')'")
+            pos += 1  # consume ')'
+            return node
+        if tokens[pos] == ")":
+            raise TreeError("unexpected ')'")
+        node = TreeNode(tokens[pos])
+        pos += 1
+        return node
+
+    root = parse_node()
+    if pos != len(tokens):
+        raise TreeError(f"trailing tokens after tree: {tokens[pos:]!r}")
+    return LabeledTree(root)
+
+
+def _tokenize_sexpr(text: str) -> list[str]:
+    tokens: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif ch in "()":
+            tokens.append(ch)
+            i += 1
+        else:
+            j = i
+            while j < len(text) and not text[j].isspace() and text[j] not in "()":
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+    return tokens
+
+
+def to_sexpr(tree: LabeledTree) -> str:
+    """Serialise a tree back into s-expression form (inverse of parse).
+
+    Round-trip property: ``from_sexpr(to_sexpr(t)) == t`` for every tree
+    whose labels contain no whitespace or parentheses.
+    """
+    parts: list[str] = []
+    # Iterative preorder with explicit close markers.
+    stack: list[object] = [tree.root]
+    while stack:
+        item = stack.pop()
+        if item is None:
+            parts.append(")")
+            continue
+        parts.append(f"({tree.label_of(item)}")
+        stack.append(None)
+        for kid in reversed(tree.children_of(item)):
+            stack.append(kid)
+    return " ".join(parts).replace("( ", "(").replace(" )", ")")

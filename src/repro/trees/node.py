@@ -1,0 +1,106 @@
+"""Mutable tree nodes used while constructing labeled trees.
+
+:class:`TreeNode` is deliberately small: a label plus an ordered list of
+children.  Once a tree is fully built it is normally frozen into a
+:class:`~repro.trees.tree.LabeledTree`, which precomputes the postorder
+arrays every algorithm in this library works with.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import TreeError
+
+
+class TreeNode:
+    """One node of an ordered labeled tree under construction.
+
+    Parameters
+    ----------
+    label:
+        Node label.  Any non-empty string is accepted; XML element names,
+        parts-of-speech tags and CDATA values are all just labels to this
+        library.
+    children:
+        Optional initial children, kept in the given (document) order.
+    """
+
+    __slots__ = ("label", "children")
+
+    def __init__(self, label: str, children: Iterable["TreeNode"] | None = None):
+        if not isinstance(label, str) or not label:
+            raise TreeError(f"node label must be a non-empty string, got {label!r}")
+        self.label = label
+        self.children: list[TreeNode] = list(children) if children is not None else []
+
+    def add_child(self, child: "TreeNode") -> "TreeNode":
+        """Append ``child`` as the rightmost child and return it."""
+        if not isinstance(child, TreeNode):
+            raise TreeError(f"child must be a TreeNode, got {type(child).__name__}")
+        self.children.append(child)
+        return child
+
+    def add(self, label: str) -> "TreeNode":
+        """Create a new node with ``label``, append it and return it."""
+        return self.add_child(TreeNode(label))
+
+    @property
+    def is_leaf(self) -> bool:
+        """``True`` when the node has no children."""
+        return not self.children
+
+    def size(self) -> int:
+        """Number of nodes in the subtree rooted here (iterative)."""
+        count = 0
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children)
+        return count
+
+    def iter_preorder(self) -> Iterator["TreeNode"]:
+        """Yield the subtree's nodes in preorder (parent before children)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def to_nested(self) -> tuple:
+        """Return the canonical nested-tuple form of the subtree.
+
+        The nested form ``(label, (child, child, ...))`` is hashable and is
+        used as the canonical identity of tree patterns throughout the
+        library.
+        """
+        # Iterative post-order conversion so very deep trees do not hit the
+        # Python recursion limit.
+        out: dict[int, tuple] = {}
+        stack: list[tuple[TreeNode, bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                kids = tuple(out.pop(id(child)) for child in node.children)
+                out[id(node)] = (node.label, kids)
+            else:
+                stack.append((node, True))
+                for child in reversed(node.children):
+                    stack.append((child, False))
+        return out[id(self)]
+
+    def copy(self) -> "TreeNode":
+        """Return a deep copy of the subtree rooted here."""
+        root = TreeNode(self.label)
+        stack = [(self, root)]
+        while stack:
+            src, dst = stack.pop()
+            for child in src.children:
+                new = TreeNode(child.label)
+                dst.children.append(new)
+                stack.append((child, new))
+        return root
+
+    def __repr__(self) -> str:
+        return f"TreeNode({self.label!r}, {len(self.children)} children)"

@@ -1,0 +1,85 @@
+"""Structural statistics for trees and forests.
+
+These feed Table 1 of the paper (dataset characteristics) and the dataset
+generators' self-checks ("narrow and deep" vs "shallow and bushy").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.trees.tree import LabeledTree
+
+
+@dataclass(frozen=True)
+class TreeStatistics:
+    """Shape metrics of a single tree."""
+
+    n_nodes: int
+    n_edges: int
+    depth: int
+    max_fanout: int
+    leaf_count: int
+    n_distinct_labels: int
+
+    @classmethod
+    def of(cls, tree: LabeledTree) -> "TreeStatistics":
+        return cls(
+            n_nodes=tree.n_nodes,
+            n_edges=tree.n_edges,
+            depth=tree.depth(),
+            max_fanout=tree.max_fanout(),
+            leaf_count=tree.leaf_count(),
+            n_distinct_labels=len(set(tree.labels)),
+        )
+
+
+@dataclass(frozen=True)
+class ForestStatistics:
+    """Aggregate shape metrics of a stream (forest) of trees."""
+
+    n_trees: int
+    total_nodes: int
+    mean_nodes: float
+    max_nodes: int
+    mean_depth: float
+    max_depth: int
+    mean_fanout: float
+    max_fanout: int
+    n_distinct_labels: int
+
+    @classmethod
+    def of(cls, trees: Iterable[LabeledTree]) -> "ForestStatistics":
+        n_trees = 0
+        total_nodes = 0
+        max_nodes = 0
+        depth_sum = 0
+        max_depth = 0
+        fanout_sum = 0.0
+        max_fanout = 0
+        labels: set[str] = set()
+        for tree in trees:
+            n_trees += 1
+            total_nodes += tree.n_nodes
+            max_nodes = max(max_nodes, tree.n_nodes)
+            d = tree.depth()
+            depth_sum += d
+            max_depth = max(max_depth, d)
+            f = tree.max_fanout()
+            fanout_sum += f
+            max_fanout = max(max_fanout, f)
+            labels.update(tree.labels)
+        if n_trees == 0:
+            return cls(0, 0, 0.0, 0, 0.0, 0, 0.0, 0, 0)
+        return cls(
+            n_trees=n_trees,
+            total_nodes=total_nodes,
+            mean_nodes=total_nodes / n_trees,
+            max_nodes=max_nodes,
+            mean_depth=depth_sum / n_trees,
+            max_depth=max_depth,
+            mean_fanout=fanout_sum / n_trees,
+            max_fanout=max_fanout,
+            n_distinct_labels=len(labels),
+        )

@@ -1,0 +1,221 @@
+"""Immutable ordered labeled trees with postorder numbering.
+
+:class:`LabeledTree` is the representation every algorithm in this library
+consumes: the stream elements, the inputs to
+:func:`~repro.enumtree.enumerate_patterns`, and (via nested-tuple form) the
+query patterns.
+
+The paper numbers tree nodes in *postorder* starting from 1 (the root of an
+``n``-node tree gets number ``n``); we follow that convention exactly so the
+worked examples in the paper can be replayed verbatim in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Union
+
+from repro.errors import TreeError
+from repro.trees.node import TreeNode
+
+#: Canonical hashable form of an ordered labeled tree / tree pattern:
+#: ``(label, (child, child, ...))`` where each child is again a ``Nested``.
+Nested = tuple  # recursive alias: tuple[str, tuple["Nested", ...]]
+
+
+class LabeledTree:
+    """An immutable ordered labeled tree with precomputed postorder arrays.
+
+    Construction normally goes through :func:`repro.trees.from_nested`,
+    :func:`repro.trees.from_sexpr` or :func:`repro.trees.parse_xml`; the
+    constructor itself accepts a fully-built :class:`TreeNode` root (which
+    is deep-copied, so later mutation of the builder cannot corrupt the
+    tree).
+
+    Attributes
+    ----------
+    labels:
+        ``labels[i]`` is the label of the node whose postorder number is
+        ``i + 1``.
+    parents:
+        ``parents[i]`` is the 1-based postorder number of the parent of the
+        node with postorder number ``i + 1``, or ``0`` for the root.
+    children:
+        ``children[i]`` is a tuple of the 1-based postorder numbers of the
+        children of node ``i + 1``, in document (left-to-right) order.
+    """
+
+    __slots__ = ("_labels", "_parents", "_children", "_nested", "_hash")
+
+    def __init__(self, root: TreeNode):
+        if not isinstance(root, TreeNode):
+            raise TreeError(f"expected a TreeNode root, got {type(root).__name__}")
+        labels: list[str] = []
+        parents: list[int] = []
+        children: list[tuple[int, ...]] = []
+        # Iterative postorder: push (node, parent_slot); a node's number is
+        # assigned when all its children have been numbered.
+        post_of: dict[int, int] = {}
+        stack: list[tuple[TreeNode, TreeNode | None, bool]] = [(root, None, False)]
+        while stack:
+            node, parent, expanded = stack.pop()
+            if expanded:
+                number = len(labels) + 1
+                post_of[id(node)] = number
+                labels.append(node.label)
+                parents.append(0)  # patched below once the parent is numbered
+                children.append(tuple(post_of[id(c)] for c in node.children))
+            else:
+                stack.append((node, parent, True))
+                for child in reversed(node.children):
+                    stack.append((child, node, False))
+        # Patch parent pointers now that every node has a number.
+        for num, kids in enumerate(children, start=1):
+            for kid in kids:
+                parents[kid - 1] = num
+        self._labels = tuple(labels)
+        self._parents = tuple(parents)
+        self._children = tuple(children)
+        self._nested: Nested | None = None
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Basic shape
+    # ------------------------------------------------------------------
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return self._labels
+
+    @property
+    def parents(self) -> tuple[int, ...]:
+        return self._parents
+
+    @property
+    def children(self) -> tuple[tuple[int, ...], ...]:
+        return self._children
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the tree."""
+        return len(self._labels)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of edges (``n_nodes - 1``)."""
+        return len(self._labels) - 1
+
+    @property
+    def root(self) -> int:
+        """Postorder number of the root (always ``n_nodes``)."""
+        return len(self._labels)
+
+    def label_of(self, postorder_number: int) -> str:
+        """Label of the node with the given 1-based postorder number."""
+        self._check_number(postorder_number)
+        return self._labels[postorder_number - 1]
+
+    def parent_of(self, postorder_number: int) -> int:
+        """Parent's postorder number, or ``0`` when the node is the root."""
+        self._check_number(postorder_number)
+        return self._parents[postorder_number - 1]
+
+    def children_of(self, postorder_number: int) -> tuple[int, ...]:
+        """Children's postorder numbers in document order."""
+        self._check_number(postorder_number)
+        return self._children[postorder_number - 1]
+
+    def fanout_of(self, postorder_number: int) -> int:
+        """Number of children of the given node."""
+        return len(self.children_of(postorder_number))
+
+    def is_leaf(self, postorder_number: int) -> bool:
+        """``True`` when the node has no children."""
+        return not self.children_of(postorder_number)
+
+    def _check_number(self, number: int) -> None:
+        if not 1 <= number <= len(self._labels):
+            raise TreeError(
+                f"postorder number {number} out of range 1..{len(self._labels)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Traversal and shape metrics
+    # ------------------------------------------------------------------
+    def iter_postorder(self) -> Iterator[int]:
+        """Yield postorder numbers ``1..n`` in postorder (trivially sorted)."""
+        return iter(range(1, len(self._labels) + 1))
+
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(parent, child)`` postorder-number pairs."""
+        for child, parent in enumerate(self._parents, start=1):
+            if parent:
+                yield (parent, child)
+
+    def depth(self) -> int:
+        """Length (in edges) of the longest root-to-leaf path."""
+        # Process in reverse postorder so a parent is seen before children.
+        depths = [0] * (len(self._labels) + 1)
+        best = 0
+        for num in range(len(self._labels), 0, -1):
+            d = depths[num]
+            best = max(best, d)
+            for kid in self._children[num - 1]:
+                depths[kid] = d + 1
+        return best
+
+    def max_fanout(self) -> int:
+        """Largest number of children of any node."""
+        return max((len(kids) for kids in self._children), default=0)
+
+    def leaf_count(self) -> int:
+        """Number of leaves."""
+        return sum(1 for kids in self._children if not kids)
+
+    def path_to_root(self, postorder_number: int) -> list[int]:
+        """Postorder numbers from the node up to (and including) the root."""
+        self._check_number(postorder_number)
+        path = [postorder_number]
+        while self._parents[path[-1] - 1]:
+            path.append(self._parents[path[-1] - 1])
+        return path
+
+    def label_path(self, postorder_number: int) -> tuple[str, ...]:
+        """Labels from the root down to the node (root first)."""
+        return tuple(
+            self._labels[num - 1] for num in reversed(self.path_to_root(postorder_number))
+        )
+
+    # ------------------------------------------------------------------
+    # Canonical forms, equality
+    # ------------------------------------------------------------------
+    def to_nested(self) -> Nested:
+        """Canonical nested-tuple form ``(label, (child, ...))`` (cached)."""
+        if self._nested is None:
+            built: list[Nested | None] = [None] * (len(self._labels) + 1)
+            for num in range(1, len(self._labels) + 1):
+                kids = tuple(built[kid] for kid in self._children[num - 1])
+                built[num] = (self._labels[num - 1], kids)
+            self._nested = built[len(self._labels)]
+        return self._nested
+
+    def to_node(self) -> TreeNode:
+        """Thaw back into a mutable :class:`TreeNode` structure."""
+        nodes = [TreeNode(label) for label in self._labels]
+        for num, kids in enumerate(self._children, start=1):
+            nodes[num - 1].children = [nodes[kid - 1] for kid in kids]
+        return nodes[-1]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabeledTree):
+            return NotImplemented
+        return self._labels == other._labels and self._children == other._children
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._labels, self._children))
+        return self._hash
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __repr__(self) -> str:
+        return f"LabeledTree(n_nodes={self.n_nodes}, root={self._labels[-1]!r})"

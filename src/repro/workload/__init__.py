@@ -1,0 +1,29 @@
+"""Query workload generation, bucketed by selectivity.
+
+Reproduces the paper's workload methodology (Section 7.3): queries are
+ordered tree patterns *sampled from the data itself*, grouped into
+selectivity buckets (``selectivity = actual count / total sequences
+processed``), so that accuracy can be reported per selectivity range as
+in Figures 10 and 12.  Composite SUM (three distinct patterns) and
+PRODUCT (two distinct patterns) workloads mirror Sections 7.8/7.9.
+"""
+
+from repro.workload.generator import (
+    ProductQuery,
+    SumQuery,
+    Workload,
+    WorkloadQuery,
+    generate_product_workload,
+    generate_sum_workload,
+    generate_workload,
+)
+
+__all__ = [
+    "ProductQuery",
+    "SumQuery",
+    "Workload",
+    "WorkloadQuery",
+    "generate_product_workload",
+    "generate_sum_workload",
+    "generate_workload",
+]

@@ -1,0 +1,42 @@
+"""Shared hypothesis strategies for property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.trees.builders import from_nested
+from repro.trees.tree import LabeledTree, Nested
+
+#: Small label alphabet so random trees repeat labels (more interesting
+#: pattern collisions and arrangements).
+LABELS = ("A", "B", "C", "D", "E")
+
+labels = st.sampled_from(LABELS)
+
+
+def nested_trees(
+    max_nodes: int = 10, label_strategy: st.SearchStrategy[str] = labels
+) -> st.SearchStrategy[Nested]:
+    """Random nested-tuple trees with roughly ``max_nodes`` nodes.
+
+    ``max_nodes`` bounds the recursion's *leaf* budget; single-child
+    chains can exceed it (hypothesis counts leaves, not nodes).  Tests
+    that are super-linearly sensitive to tree size must filter with
+    :func:`count_nodes`.
+    """
+
+    def extend(children: st.SearchStrategy) -> st.SearchStrategy:
+        return st.tuples(label_strategy, st.lists(children, max_size=3).map(tuple))
+
+    base = st.tuples(label_strategy, st.just(()))
+    return st.recursive(base, extend, max_leaves=max_nodes)
+
+
+def labeled_trees(max_nodes: int = 10) -> st.SearchStrategy[LabeledTree]:
+    """Random :class:`LabeledTree` objects."""
+    return nested_trees(max_nodes).map(from_nested)
+
+
+def count_nodes(nested: Nested) -> int:
+    label, children = nested
+    return 1 + sum(count_nodes(child) for child in children)

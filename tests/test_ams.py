@@ -1,0 +1,216 @@
+"""Tests for AMS sketches: unbiasedness, boosting, algebra, batching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.sketch import AmsSketch, SketchMatrix, XiGenerator
+
+
+def loaded_matrix(counts, s1=40, s2=5, seed=0, independence=4):
+    matrix = SketchMatrix(s1, s2, independence=independence, seed=seed)
+    matrix.update_counts(counts)
+    return matrix
+
+
+class TestSingleSketch:
+    def test_single_value_exact(self):
+        sketch = AmsSketch(seed=1)
+        for _ in range(5):
+            sketch.update(42)
+        assert sketch.estimate(42) == 5.0
+
+    def test_delete_restores_zero(self):
+        sketch = AmsSketch(seed=1)
+        sketch.update(7, 3)
+        sketch.update(7, -3)
+        assert sketch.counter == 0
+
+
+class TestSketchMatrix:
+    def test_estimate_recovers_frequency(self):
+        matrix = loaded_matrix({10: 500, 20: 30, 30: 7}, s1=80, s2=7)
+        assert abs(matrix.estimate(10) - 500) < 60
+        assert abs(matrix.estimate(20) - 30) < 60
+
+    def test_absent_value_estimates_near_zero(self):
+        matrix = loaded_matrix({10: 100}, s1=80, s2=7)
+        assert abs(matrix.estimate(99)) <= 100  # |xi_99 * xi_10 * 100|
+
+    def test_exact_for_singleton_stream(self):
+        # With a single distinct value the estimate is exact: xi^2 = 1.
+        matrix = loaded_matrix({5: 123})
+        assert matrix.estimate(5) == 123.0
+
+    def test_update_batch_equals_loop(self):
+        a = SketchMatrix(10, 3, seed=4)
+        b = SketchMatrix(10, 3, seed=4)
+        values = [3, 1, 4, 1, 5, 9, 2, 6]
+        for v in values:
+            a.update(v)
+        b.update_batch(np.asarray(values, dtype=np.int64))
+        assert np.array_equal(a.counters, b.counters)
+
+    def test_update_counts_equals_loop(self):
+        a = SketchMatrix(10, 3, seed=4)
+        b = SketchMatrix(10, 3, seed=4)
+        counts = {3: 2, 7: 5, 11: 1}
+        for value, count in counts.items():
+            for _ in range(count):
+                a.update(value)
+        b.update_counts(counts)
+        assert np.array_equal(a.counters, b.counters)
+
+    def test_delete_inverts_update(self):
+        matrix = SketchMatrix(8, 2, seed=1)
+        matrix.update(9, 4)
+        matrix.delete(9, 4)
+        assert not matrix.counters.any()
+
+    def test_batch_length_mismatch(self):
+        matrix = SketchMatrix(4, 2, seed=0)
+        with pytest.raises(ConfigError):
+            matrix.update_batch(np.asarray([1, 2]), np.asarray([1]))
+
+    def test_estimate_batch_matches_scalar(self):
+        matrix = loaded_matrix({10: 50, 20: 3, 31: 8})
+        values = np.asarray([10, 20, 31, 99], dtype=np.int64)
+        batch = matrix.estimate_batch(values)
+        for value, expected in zip(values, batch):
+            assert matrix.estimate(int(value)) == pytest.approx(expected)
+
+    def test_adjust_shifts_estimate(self):
+        matrix = loaded_matrix({10: 50})
+        # Deleting 50 occurrences and compensating with adjust must agree.
+        adjust = matrix.xi.xi(10) * 50
+        matrix.delete(10, 50)
+        assert matrix.estimate(10) == 0.0
+        assert matrix.estimate(10, adjust=adjust) == 50.0
+
+    def test_memory_bytes(self):
+        matrix = SketchMatrix(25, 7, seed=0)
+        assert matrix.memory_bytes() == 25 * 7 * 8
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ConfigError):
+            SketchMatrix(0, 5)
+
+    def test_shared_xi_size_checked(self):
+        xi = XiGenerator(10, seed=0)
+        with pytest.raises(ConfigError):
+            SketchMatrix(5, 3, xi=xi)
+
+
+class TestEstimatorQuality:
+    """Statistical guarantees, checked empirically with fixed seeds."""
+
+    def test_unbiasedness_over_many_draws(self):
+        # Mean of single-instance estimates over independent sketches
+        # approaches the true frequency (Equation 1).
+        counts = {1: 40, 2: 25, 3: 10, 4: 5}
+        estimates = []
+        for seed in range(300):
+            matrix = SketchMatrix(1, 1, seed=seed)
+            matrix.update_counts(counts)
+            estimates.append(matrix.estimate(2))
+        assert abs(np.mean(estimates) - 25) < 5
+
+    def test_variance_bounded_by_self_join_size(self):
+        # Var[xi_q X] <= SJ(S) (Equation 2).
+        counts = {1: 40, 2: 25, 3: 10, 4: 5}
+        self_join = sum(c * c for c in counts.values())
+        estimates = []
+        for seed in range(300):
+            matrix = SketchMatrix(1, 1, seed=seed)
+            matrix.update_counts(counts)
+            estimates.append(matrix.estimate(2))
+        # Allow slack for sampling error of the variance itself.
+        assert np.var(estimates) < 1.6 * self_join
+
+    def test_more_s1_means_less_error(self):
+        counts = {v: 3 for v in range(200)}
+        counts[500] = 40
+        errors = {}
+        for s1 in (5, 80):
+            errs = []
+            for seed in range(30):
+                matrix = SketchMatrix(s1, 5, seed=seed)
+                matrix.update_counts(counts)
+                errs.append(abs(matrix.estimate(500) - 40))
+            errors[s1] = np.mean(errs)
+        assert errors[80] < errors[5]
+
+    def test_estimate_sum_unbiased(self):
+        counts = {1: 30, 2: 20, 3: 10}
+        estimates = []
+        for seed in range(300):
+            matrix = SketchMatrix(1, 1, seed=seed)
+            matrix.update_counts(counts)
+            estimates.append(matrix.estimate_sum([1, 2]))
+        assert abs(np.mean(estimates) - 50) < 8
+
+    def test_estimate_product_unbiased(self):
+        counts = {1: 12, 2: 9, 3: 5}
+        estimates = []
+        for seed in range(400):
+            matrix = SketchMatrix(1, 1, independence=4, seed=seed)
+            matrix.update_counts(counts)
+            estimates.append(matrix.estimate_product([1, 2]))
+        assert abs(np.mean(estimates) - 108) < 25
+
+    def test_product_requires_2d_wise_independence(self):
+        matrix = SketchMatrix(4, 2, independence=4, seed=0)
+        with pytest.raises(ConfigError):
+            matrix.estimate_product([1, 2, 3])  # degree 3 needs 6-wise
+
+
+class TestAlgebra:
+    def test_merge_requires_shared_xi(self):
+        a = SketchMatrix(4, 2, seed=0)
+        b = SketchMatrix(4, 2, seed=0)
+        with pytest.raises(ConfigError):
+            a.merge(b)
+
+    def test_merge_sums_counters(self):
+        xi = XiGenerator(8, seed=3)
+        a = SketchMatrix(4, 2, xi=xi)
+        b = SketchMatrix(4, 2, xi=xi)
+        a.update(1, 10)
+        b.update(1, 5)
+        merged = a.merge(b)
+        assert merged.estimate(1) == 15.0  # single distinct value: exact
+        b.update(2, 7)
+        merged = a.merge(b)
+        assert np.array_equal(merged.counters, a.counters + b.counters)
+
+    def test_copy_is_independent(self):
+        matrix = SketchMatrix(4, 2, seed=1)
+        matrix.update(1, 5)
+        clone = matrix.copy()
+        clone.update(1, 5)
+        assert matrix.estimate(1) == 5.0
+        assert clone.estimate(1) == 10.0
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 1000), st.integers(1, 20), min_size=1, max_size=20
+        ),
+        st.dictionaries(
+            st.integers(0, 1000), st.integers(1, 20), max_size=20
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_linearity_property(self, counts_a, counts_b):
+        """Sketching A then B equals sketching the merged counts."""
+        xi = XiGenerator(6, seed=2)
+        one = SketchMatrix(3, 2, xi=xi)
+        one.update_counts(counts_a)
+        one.update_counts(counts_b)
+        combined = dict(counts_a)
+        for value, count in counts_b.items():
+            combined[value] = combined.get(value, 0) + count
+        two = SketchMatrix(3, 2, xi=xi)
+        two.update_counts(combined)
+        assert np.array_equal(one.counters, two.counters)

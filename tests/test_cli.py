@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.experiment == "table1"
+        assert args.scale == "default"
+        assert args.dataset is None
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--scale", "huge"])
+
+
+class TestMain:
+    def test_table1_smoke(self, capsys):
+        assert main(["table1", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "TREEBANK" in out and "DBLP" in out
+
+    def test_fig8_single_dataset(self, capsys):
+        assert main(["fig8", "--scale", "smoke", "--dataset", "dblp"]) == 0
+        out = capsys.readouterr().out
+        assert "DBLP" in out
+        assert "TREEBANK" not in out
+
+    def test_out_file_written(self, capsys, tmp_path):
+        out = tmp_path / "report.txt"
+        assert main(["table1", "--scale", "smoke", "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert "Table 1" in out.read_text()
+
+    def test_fig10_with_s1_override(self, capsys):
+        code = main(
+            ["fig10", "--scale", "smoke", "--dataset", "treebank", "--s1", "25"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "s1=25" in out
+        assert "s1=50" not in out

@@ -1,0 +1,64 @@
+"""Tests for the CountSketch baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sketch import CountSketch
+
+
+class TestCountSketch:
+    def test_recovers_heavy_value(self):
+        sketch = CountSketch(width=128, depth=5, seed=1)
+        sketch.update_counts({10: 1000, **{v: 2 for v in range(100, 160)}})
+        assert abs(sketch.estimate(10) - 1000) < 60
+
+    def test_exact_when_no_collisions(self):
+        sketch = CountSketch(width=1024, depth=5, seed=2)
+        sketch.update(7, 13)
+        assert sketch.estimate(7) == 13.0
+
+    def test_absent_value_small(self):
+        sketch = CountSketch(width=256, depth=5, seed=3)
+        sketch.update_counts({v: 3 for v in range(50)})
+        assert abs(sketch.estimate(9999)) <= 9  # at most a few colliders
+
+    def test_update_batch_equals_loop(self):
+        a = CountSketch(32, 3, seed=4)
+        b = CountSketch(32, 3, seed=4)
+        values = [3, 1, 4, 1, 5]
+        for v in values:
+            a.update(v)
+        b.update_batch(np.asarray(values, dtype=np.int64))
+        assert np.array_equal(a.counters, b.counters)
+
+    def test_deletion(self):
+        sketch = CountSketch(64, 3, seed=5)
+        sketch.update(9, 8)
+        sketch.update(9, -8)
+        assert not sketch.counters.any()
+
+    def test_deterministic_given_seed(self):
+        a, b = CountSketch(64, 3, seed=6), CountSketch(64, 3, seed=6)
+        a.update(1, 5)
+        b.update(1, 5)
+        assert np.array_equal(a.counters, b.counters)
+
+    def test_memory_accounting(self):
+        sketch = CountSketch(width=100, depth=4, seed=0)
+        assert sketch.memory_bytes() == 100 * 4 * 8
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ConfigError):
+            CountSketch(0, 3)
+        with pytest.raises(ConfigError):
+            CountSketch(8, 0)
+
+    def test_unbiased_over_draws(self):
+        counts = {1: 30, 2: 20, 3: 10, 4: 5}
+        estimates = []
+        for seed in range(200):
+            sketch = CountSketch(8, 1, seed=seed)
+            sketch.update_counts(counts)
+            estimates.append(sketch.estimate(2))
+        assert abs(np.mean(estimates) - 20) < 6

@@ -1,0 +1,201 @@
+"""Tests for the synthetic dataset generators and Zipf sampling."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DblpGenerator,
+    TreebankGenerator,
+    XMarkGenerator,
+    ZipfSampler,
+)
+from repro.errors import ConfigError
+from repro.trees.stats import ForestStatistics
+
+
+class TestZipfSampler:
+    def test_deterministic_given_rng(self):
+        a = ZipfSampler(["x", "y", "z"], 1.0, np.random.default_rng(1))
+        b = ZipfSampler(["x", "y", "z"], 1.0, np.random.default_rng(1))
+        assert a.sample_many(20) == b.sample_many(20)
+
+    def test_skew_concentrates_head(self):
+        vocabulary = [f"w{i}" for i in range(50)]
+        rng = np.random.default_rng(2)
+        skewed = ZipfSampler(vocabulary, 1.5, rng)
+        draws = skewed.sample_many(2000)
+        head_share = draws.count("w0") / len(draws)
+        assert head_share > 0.2
+
+    def test_zero_skew_uniform(self):
+        vocabulary = [f"w{i}" for i in range(10)]
+        sampler = ZipfSampler(vocabulary, 0.0, np.random.default_rng(3))
+        draws = sampler.sample_many(5000)
+        counts = [draws.count(w) for w in vocabulary]
+        assert max(counts) < 2 * min(counts)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigError):
+            ZipfSampler([], 1.0, rng)
+        with pytest.raises(ConfigError):
+            ZipfSampler(["a"], -1.0, rng)
+
+
+class TestTreebankGenerator:
+    def test_deterministic(self):
+        a = list(TreebankGenerator(seed=4).generate(20))
+        b = list(TreebankGenerator(seed=4).generate(20))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = list(TreebankGenerator(seed=1).generate(20))
+        b = list(TreebankGenerator(seed=2).generate(20))
+        assert a != b
+
+    def test_shape_is_deep_and_narrow(self):
+        """The paper's TREEBANK: 'narrow and deep with recursive element
+        names'."""
+        stats = ForestStatistics.of(TreebankGenerator(seed=5).generate(200))
+        assert stats.mean_depth >= 3.5
+        assert stats.max_fanout <= 4
+        assert stats.max_depth >= 8
+
+    def test_roots_are_sentences(self):
+        for tree in TreebankGenerator(seed=6).generate(10):
+            assert tree.label_of(tree.root) == "S"
+
+    def test_recursive_labels_present(self):
+        # NP inside NP (or S inside SBAR): recursion is the hallmark.
+        found = False
+        for tree in TreebankGenerator(seed=7).generate(100):
+            for num in tree.iter_postorder():
+                if tree.label_of(num) == "NP" and "NP" in tree.label_path(num)[:-1]:
+                    found = True
+        assert found
+
+    def test_depth_bounded(self):
+        generator = TreebankGenerator(seed=8, max_depth=6)
+        stats = ForestStatistics.of(generator.generate(100))
+        assert stats.max_depth <= 6 + 4  # fallback slack
+
+    def test_invalid_depth(self):
+        with pytest.raises(ConfigError):
+            TreebankGenerator(max_depth=1)
+
+
+class TestDblpGenerator:
+    def test_deterministic(self):
+        a = list(DblpGenerator(seed=4).generate(20))
+        b = list(DblpGenerator(seed=4).generate(20))
+        assert a == b
+
+    def test_shape_is_shallow_and_bushy(self):
+        """The paper's DBLP: 'shallow and bushy'."""
+        stats = ForestStatistics.of(DblpGenerator(seed=5).generate(200))
+        assert stats.max_depth <= 3
+        assert stats.mean_fanout >= 4
+
+    def test_record_structure(self):
+        for tree in DblpGenerator(seed=6).generate(20):
+            root_label = tree.label_of(tree.root)
+            assert root_label in ("article", "inproceedings", "book",
+                                  "phdthesis", "www")
+            field_labels = [tree.label_of(c) for c in tree.children_of(tree.root)]
+            assert "title" in field_labels
+            assert "year" in field_labels
+            assert "author" in field_labels
+
+    def test_values_are_leaves(self):
+        tree = next(iter(DblpGenerator(seed=7).generate(1)))
+        for field in tree.children_of(tree.root):
+            for value in tree.children_of(field):
+                assert tree.is_leaf(value)
+
+    def test_pattern_distribution_more_skewed_than_treebank(self):
+        """Section 7.7: 'the distribution of tree patterns in DBLP had
+        higher degree of skew than the tree patterns in TREEBANK'.
+
+        Measured, at each dataset's paper ``k``, as the *fraction of
+        distinct patterns* needed to cover half of all occurrences — the
+        quantity that determines how small a top-k suffices (Figures
+        10(c,d)'s "drastic improvement" at top-k = 50): smaller = more
+        skewed.
+        """
+        from repro.core import ExactCounter
+
+        dblp = ExactCounter(4).ingest(DblpGenerator(seed=8).generate(300))
+        treebank = ExactCounter(6).ingest(TreebankGenerator(seed=8).generate(300))
+
+        def cover_half_fraction(exact):
+            accumulated, needed = 0, 0
+            for _, count in exact.counts.most_common():
+                accumulated += count
+                needed += 1
+                if accumulated >= exact.n_values / 2:
+                    break
+            return needed / exact.n_distinct_patterns
+
+        assert cover_half_fraction(dblp) < cover_half_fraction(treebank)
+
+    def test_vocabulary_validation(self):
+        with pytest.raises(ConfigError):
+            DblpGenerator(n_authors=0)
+
+    def test_generated_trees_xml_roundtrip(self):
+        from repro.trees import parse_xml, to_xml
+
+        for tree in DblpGenerator(seed=9).generate(10):
+            assert parse_xml(to_xml(tree)) == tree
+        for tree in TreebankGenerator(seed=9).generate(10):
+            assert parse_xml(to_xml(tree)) == tree
+        for tree in XMarkGenerator(seed=9).generate(10):
+            assert parse_xml(to_xml(tree)) == tree
+
+
+class TestXMarkGenerator:
+    def test_deterministic(self):
+        a = list(XMarkGenerator(seed=4).generate(15))
+        b = list(XMarkGenerator(seed=4).generate(15))
+        assert a == b
+
+    def test_species_mix(self):
+        roots = {
+            tree.label_of(tree.root)
+            for tree in XMarkGenerator(seed=5).generate(100)
+        }
+        assert roots == {"item", "person", "open_auction"}
+
+    def test_shape_between_treebank_and_dblp(self):
+        from repro.trees.stats import ForestStatistics
+
+        xmark = ForestStatistics.of(XMarkGenerator(seed=6).generate(200))
+        treebank = ForestStatistics.of(TreebankGenerator(seed=6).generate(200))
+        dblp = ForestStatistics.of(DblpGenerator(seed=6).generate(200))
+        assert dblp.mean_depth < xmark.mean_depth < treebank.mean_depth
+        assert treebank.mean_fanout < xmark.mean_fanout < dblp.mean_fanout
+
+    def test_recursive_descriptions_present(self):
+        found = False
+        for tree in XMarkGenerator(seed=7).generate(200):
+            for num in tree.iter_postorder():
+                if (
+                    tree.label_of(num) == "parlist"
+                    and "parlist" in tree.label_path(num)[:-1]
+                ):
+                    found = True
+        assert found  # the parlist-in-parlist recursion, XMark's hallmark
+
+    def test_description_depth_bounded(self):
+        generator = XMarkGenerator(seed=8, max_description_depth=2)
+        for tree in generator.generate(100):
+            for num in tree.iter_postorder():
+                if tree.label_of(num) == "parlist":
+                    nesting = tree.label_path(num).count("parlist")
+                    assert nesting <= 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            XMarkGenerator(n_categories=0)
+        with pytest.raises(ConfigError):
+            XMarkGenerator(max_description_depth=0)

@@ -1,0 +1,87 @@
+"""Tests for oversized-pattern sub-pattern bounds."""
+
+import pytest
+
+from repro import ExactCounter, SketchTree, SketchTreeConfig
+from repro.errors import QueryError
+from repro.query import estimate_upper_bound, subpatterns
+from repro.query.pattern import pattern_edges, pattern_from_sexpr
+from repro.trees import from_sexpr
+
+
+class TestSubpatterns:
+    def test_maximal_only(self):
+        pattern = pattern_from_sexpr("(A (B (C)) (D))")  # 3 edges
+        out = subpatterns(pattern, 2)
+        assert out
+        assert all(pattern_edges(p) == 2 for p in out)
+
+    def test_includes_smaller_when_requested(self):
+        pattern = pattern_from_sexpr("(A (B) (C))")
+        out = subpatterns(pattern, 2, only_maximal=False)
+        assert ("A", (("B", ()),)) in out
+        assert ("A", (("B", ()), ("C", ()))) in out
+
+    def test_within_k_pattern_is_its_own_subpattern(self):
+        pattern = pattern_from_sexpr("(A (B))")
+        assert subpatterns(pattern, 4) == [pattern]
+
+    def test_distinct(self):
+        pattern = pattern_from_sexpr("(A (B) (B))")
+        out = subpatterns(pattern, 1)
+        assert len(out) == len(set(out))
+
+    def test_single_node_rejected(self):
+        with pytest.raises(QueryError):
+            subpatterns(("A", ()), 2)
+
+    def test_soundness_of_counting_inequality(self):
+        """Every sub-pattern's exact count dominates the pattern's count —
+        the inequality the bound relies on."""
+        trees = [
+            from_sexpr("(A (B (C)) (D))"),
+            from_sexpr("(A (B (C)))"),
+            from_sexpr("(A (B) (D))"),
+            from_sexpr("(X (A (B (C)) (D)))"),
+        ]
+        exact_small = ExactCounter(2).ingest(trees)
+        exact_large = ExactCounter(3).ingest(trees)
+        pattern = pattern_from_sexpr("(A (B (C)) (D))")
+        full_count = exact_large.count_ordered(pattern)
+        for sub in subpatterns(pattern, 2):
+            assert exact_small.count_ordered(sub) >= full_count
+
+
+class TestUpperBound:
+    def build(self, stream):
+        config = SketchTreeConfig(
+            s1=80, s2=7, max_pattern_edges=2, n_virtual_streams=31, seed=3
+        )
+        synopsis = SketchTree(config)
+        for text in stream:
+            synopsis.update(from_sexpr(text))
+        return synopsis
+
+    def test_bounds_oversized_pattern(self):
+        # Q = A(B(C), D) has 3 edges; the synopsis only sketches 2.
+        stream = ["(A (B (C)) (D))"] * 5 + ["(A (B) (D))"] * 20
+        synopsis = self.build(stream)
+        pattern = pattern_from_sexpr("(A (B (C)) (D))")
+        bound = estimate_upper_bound(synopsis, pattern)
+        # True count is 5; the bound must (approximately) dominate it and
+        # beat the trivially loose 25 from A(B,D) alone thanks to the
+        # rarer B(C) sub-pattern.
+        assert bound >= 5 - 3
+        assert bound <= 5 + 5
+
+    def test_zero_when_subpattern_absent(self):
+        synopsis = self.build(["(A (B) (D))"] * 10)
+        pattern = pattern_from_sexpr("(A (B (C)) (D))")  # B(C) never occurs
+        assert estimate_upper_bound(synopsis, pattern) <= 3
+
+    def test_within_k_reduces_to_estimate(self):
+        synopsis = self.build(["(A (B) (C))"] * 7)
+        pattern = pattern_from_sexpr("(A (B) (C))")
+        assert estimate_upper_bound(synopsis, pattern) == pytest.approx(
+            max(0.0, synopsis.estimate_ordered(pattern))
+        )

@@ -1,0 +1,150 @@
+"""Tests for EnumTree: the paper's worked example, oracle equivalence."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+
+from repro.enumtree import (
+    count_patterns,
+    count_patterns_by_size,
+    enumerate_patterns,
+    enumerate_patterns_naive,
+)
+from repro.enumtree.enumerate import compositions
+from repro.errors import ConfigError
+from repro.trees import from_nested, from_sexpr
+from tests.strategies import labeled_trees
+
+#: The paper's Figure 6(a) data tree: postorder numbers 1..7 with
+#: 7 = root {children 5, 6}, 5 = {children 3, 4}, 6 = {child ... }.
+#: From the worked example: P(7,3) uses children (7,5), (7,6); P(5,2)
+#: returns {(5,3), (5,4)}; P(6,2) is empty, so node 6 has exactly one
+#: child that is a leaf.  Reconstructed shape:
+#:   7(5(3(1?),4), 6(x)) — the example needs node 5 with leaf children
+#:   3 and 4, node 6 with a single leaf child, and node 3 a leaf too...
+#: We rebuild the tree that makes every statement in the example true:
+#:   root r with children a (two leaf children) and b (one leaf child).
+FIG6_TREE = from_sexpr("(R (A (C) (D)) (B (E)))")
+
+
+class TestCompositions:
+    def test_enumerates_all(self):
+        assert sorted(compositions(3, 2)) == [(0, 3), (1, 2), (2, 1), (3, 0)]
+
+    def test_single_part(self):
+        assert list(compositions(5, 1)) == [(5,)]
+
+    def test_zero_total(self):
+        assert list(compositions(0, 3)) == [(0, 0, 0)]
+
+    def test_count_is_stars_and_bars(self):
+        from math import comb
+
+        assert len(list(compositions(6, 4))) == comb(6 + 3, 3)
+
+
+class TestEnumerate:
+    def test_figure6_worked_example(self):
+        """Replays Section 5.1's walk-through on the Figure 6 shape.
+
+        With at most k=3 edges, the patterns rooted at the root R are:
+        one edge: R(A), R(B); two edges: R(A,B), R(A(C)), R(A(D)),
+        R(B(E)); three edges: R(A(C,D)), R(A(C),B), R(A(D),B),
+        R(A,B(E)), R(A(C)B)... enumerated precisely below.
+        """
+        patterns = enumerate_patterns(FIG6_TREE, 3)
+        rooted_at_r = [p for p in patterns if p[0] == "R"]
+        expected = {
+            ("R", (("A", ()),)),
+            ("R", (("B", ()),)),
+            ("R", (("A", ()), ("B", ()))),
+            ("R", (("A", (("C", ()),)),)),
+            ("R", (("A", (("D", ()),)),)),
+            ("R", (("B", (("E", ()),)),)),
+            ("R", (("A", (("C", ()), ("D", ()))),)),
+            ("R", (("A", (("C", ()),)), ("B", ()))),
+            ("R", (("A", (("D", ()),)), ("B", ()))),
+            ("R", (("A", ()), ("B", (("E", ()),)))),
+            ("R", (("A", (("C", ()),)), ("B", (("E", ()),)))),  # 4 edges? no:
+        }
+        # The last entry has 4 edges and must NOT appear at k=3.
+        four_edges = ("R", (("A", (("C", ()),)), ("B", (("E", ()),))))
+        expected.discard(four_edges)
+        assert set(rooted_at_r) == expected
+        assert four_edges not in rooted_at_r
+
+    def test_single_node_tree_has_no_patterns(self):
+        assert enumerate_patterns(from_nested("A"), 3) == []
+
+    def test_k_zero(self):
+        assert enumerate_patterns(FIG6_TREE, 0) == []
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ConfigError):
+            enumerate_patterns(FIG6_TREE, -1)
+
+    def test_chain_counts(self):
+        # A chain of n nodes has, for each j, (n - j) patterns with j edges.
+        chain = from_sexpr("(A (B (C (D (E)))))")
+        by_size = count_patterns_by_size(chain, 3)
+        assert by_size[1:] == [4, 3, 2]
+
+    def test_star_counts(self):
+        # A star with f leaves has C(f, j) patterns of j edges (root only).
+        star = from_sexpr("(A (B) (C) (D) (E))")
+        by_size = count_patterns_by_size(star, 4)
+        assert by_size[1:] == [4, 6, 4, 1]
+
+    def test_patterns_are_occurrences_with_multiplicity(self):
+        # Two B leaves under A: the pattern A(B) occurs twice.
+        tree = from_sexpr("(A (B) (B))")
+        patterns = enumerate_patterns(tree, 1)
+        assert Counter(patterns)[("A", (("B", ()),))] == 2
+
+    def test_sibling_order_preserved(self):
+        tree = from_sexpr("(A (B) (C))")
+        patterns = enumerate_patterns(tree, 2)
+        assert ("A", (("B", ()), ("C", ()))) in patterns
+        assert ("A", (("C", ()), ("B", ()))) not in patterns
+
+    def test_count_matches_enumeration_length(self):
+        for k in range(5):
+            assert count_patterns(FIG6_TREE, k) == len(
+                enumerate_patterns(FIG6_TREE, k)
+            )
+
+    def test_deep_tree_no_recursion_error(self):
+        nested = ("A", ())
+        for _ in range(3000):
+            nested = ("A", (nested,))
+        tree = from_nested(nested)
+        assert count_patterns(tree, 2) == 3000 + 2999
+
+    @given(labeled_trees(max_nodes=9))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_oracle(self, tree):
+        for k in (1, 2, 3):
+            fast = Counter(enumerate_patterns(tree, k))
+            naive = Counter(enumerate_patterns_naive(tree, k))
+            assert fast == naive
+
+    @given(labeled_trees(max_nodes=10))
+    @settings(max_examples=60, deadline=None)
+    def test_count_equals_enumeration(self, tree):
+        assert count_patterns(tree, 3) == len(enumerate_patterns(tree, 3))
+
+    @given(labeled_trees(max_nodes=10))
+    @settings(max_examples=40, deadline=None)
+    def test_every_pattern_within_size_bound(self, tree):
+        from repro.query.pattern import pattern_edges
+
+        for pattern in enumerate_patterns(tree, 3):
+            assert 1 <= pattern_edges(pattern) <= 3
+
+    @given(labeled_trees(max_nodes=10))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_k(self, tree):
+        smaller = Counter(enumerate_patterns(tree, 2))
+        larger = Counter(enumerate_patterns(tree, 3))
+        assert all(larger[p] >= c for p, c in smaller.items())

@@ -1,0 +1,136 @@
+"""Tests for the Theorem 1/2 sizing formulas and the self-join tracker."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.sketch import (
+    SelfJoinTracker,
+    s1_for_point_query,
+    s1_for_sum_query,
+    s1_for_sum_query_naive,
+    s2_for_confidence,
+    variance_bound_point,
+    variance_bound_product2,
+    variance_bound_sum,
+)
+
+
+class TestSizingFormulas:
+    def test_s2_matches_paper_delta(self):
+        # The paper computed s2 = 7 for delta = 0.1 via 2*lg(1/delta).
+        assert s2_for_confidence(0.1) == 7
+
+    def test_s2_monotone_in_confidence(self):
+        assert s2_for_confidence(0.01) > s2_for_confidence(0.1)
+
+    def test_s2_invalid_delta(self):
+        with pytest.raises(ConfigError):
+            s2_for_confidence(0.0)
+        with pytest.raises(ConfigError):
+            s2_for_confidence(1.0)
+
+    def test_s1_point_formula(self):
+        # s1 = 8 SJ / (eps^2 f^2), exactly.
+        assert s1_for_point_query(1000, 10, 0.5) == 8 * 1000 // (0.25 * 100)
+
+    def test_s1_point_decreases_with_frequency(self):
+        assert s1_for_point_query(1e6, 100, 0.1) < s1_for_point_query(1e6, 10, 0.1)
+
+    def test_s1_point_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            s1_for_point_query(-1, 10, 0.1)
+        with pytest.raises(ConfigError):
+            s1_for_point_query(10, 0, 0.1)
+        with pytest.raises(ConfigError):
+            s1_for_point_query(10, 1, 0)
+
+    def test_s1_sum_single_pattern_reduces_to_point(self):
+        assert s1_for_sum_query(1000, 10, 1, 0.5) == s1_for_point_query(1000, 10, 0.5)
+
+    def test_theorem2_beats_naive(self):
+        # The paper's point: the combined estimator needs a smaller s1
+        # than per-pattern estimation for the same guarantee.
+        self_join, eps, t = 1e6, 0.1, 5
+        frequencies = [100, 120, 150, 200, 400]
+        combined = s1_for_sum_query(self_join, sum(frequencies), t, eps)
+        naive = s1_for_sum_query_naive(self_join, min(frequencies), t, eps)
+        assert combined < naive
+
+    def test_variance_bounds(self):
+        assert variance_bound_point(123.0) == 123.0
+        assert variance_bound_sum(100.0, 3) == 400.0
+        assert variance_bound_sum(100.0, 1) == 0.0
+        assert variance_bound_product2(10.0, 4) == (1 + 8) / 4 * 100.0
+
+    def test_variance_bound_invalid(self):
+        with pytest.raises(ConfigError):
+            variance_bound_sum(10.0, 0)
+        with pytest.raises(ConfigError):
+            variance_bound_product2(10.0, 0)
+
+    @given(st.integers(2, 50))
+    def test_sum_bound_grows_linearly_in_t(self, t):
+        assert variance_bound_sum(7.0, t) == 2 * (t - 1) * 7.0
+
+
+class TestSelfJoinTracker:
+    def test_incremental_matches_definition(self):
+        tracker = SelfJoinTracker()
+        tracker.add(1, 3)
+        tracker.add(2, 4)
+        tracker.add(1, 2)
+        assert tracker.self_join_size == 5 * 5 + 4 * 4
+        assert tracker.stream_length == 9
+        assert tracker.n_distinct == 2
+
+    def test_removal(self):
+        tracker = SelfJoinTracker()
+        tracker.add(1, 5)
+        tracker.add(1, -5)
+        assert tracker.self_join_size == 0
+        assert tracker.n_distinct == 0
+
+    def test_over_removal_rejected(self):
+        tracker = SelfJoinTracker()
+        tracker.add(1, 2)
+        with pytest.raises(ConfigError):
+            tracker.add(1, -3)
+
+    def test_frequency_lookup(self):
+        tracker = SelfJoinTracker()
+        tracker.add_counts({7: 3, 9: 1})
+        assert tracker.frequency(7) == 3
+        assert tracker.frequency(8) == 0
+
+    def test_top(self):
+        tracker = SelfJoinTracker()
+        tracker.add_counts({1: 5, 2: 50, 3: 20})
+        assert tracker.top(2) == [(2, 50), (3, 20)]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(1, 10)),
+            max_size=50,
+        )
+    )
+    def test_matches_batch_computation(self, updates):
+        tracker = SelfJoinTracker()
+        table: dict[int, int] = {}
+        for value, count in updates:
+            tracker.add(value, count)
+            table[value] = table.get(value, 0) + count
+        assert tracker.self_join_size == sum(f * f for f in table.values())
+        assert tracker.stream_length == sum(table.values())
+
+    def test_deleting_top_values_reduces_self_join_most(self):
+        # The Section 5.2 rationale: removing the heaviest values yields
+        # the largest self-join reduction.
+        tracker = SelfJoinTracker()
+        tracker.add_counts({1: 100, 2: 10, 3: 10})
+        before = tracker.self_join_size
+        tracker.add(1, -100)
+        after_heavy = tracker.self_join_size
+        assert before - after_heavy == 100 * 100
+        assert after_heavy < before - (10 * 10)

@@ -1,0 +1,90 @@
+"""Tests for the exact counter (ground truth + deterministic strawman)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import ExactCounter
+from repro.errors import QueryError
+from repro.query.matching import count_ordered, count_unordered
+from repro.trees import from_sexpr
+from tests.strategies import labeled_trees
+
+
+class TestExactCounter:
+    def test_counts_accumulate_over_stream(self):
+        exact = ExactCounter(2)
+        exact.update(from_sexpr("(A (B))"))
+        exact.update(from_sexpr("(A (B))"))
+        assert exact.count_ordered(("A", (("B", ()),))) == 2
+        assert exact.n_trees == 2
+
+    def test_n_values_is_total_occurrences(self):
+        exact = ExactCounter(2)
+        exact.update(from_sexpr("(A (B) (C))"))
+        # Patterns: A(B), A(C), A(B,C) -> 3 occurrences.
+        assert exact.n_values == 3
+
+    def test_unordered(self):
+        exact = ExactCounter(2)
+        exact.update(from_sexpr("(A (C) (B))"))
+        assert exact.count_ordered(("A", (("B", ()), ("C", ())))) == 0
+        assert exact.count_unordered(("A", (("B", ()), ("C", ())))) == 1
+
+    def test_sum_deduplicates(self):
+        exact = ExactCounter(2)
+        exact.update(from_sexpr("(A (B))"))
+        pattern = ("A", (("B", ()),))
+        assert exact.count_sum([pattern, pattern]) == 1
+
+    def test_query_size_enforced(self):
+        exact = ExactCounter(2)
+        exact.update(from_sexpr("(A (B (C (D))))"))
+        with pytest.raises(QueryError):
+            exact.count_ordered(("A", (("B", (("C", (("D", ()),)),)),)))
+        with pytest.raises(QueryError):
+            exact.count_ordered(("A", ()))  # zero edges
+
+    def test_selectivity(self):
+        exact = ExactCounter(2)
+        exact.update(from_sexpr("(A (B) (C))"))
+        assert exact.selectivity(("A", (("B", ()),))) == pytest.approx(1 / 3)
+        assert exact.selectivity(("Z", (("Z", ()),))) == 0.0
+
+    def test_self_join_size(self):
+        exact = ExactCounter(1)
+        exact.update(from_sexpr("(A (B) (B))"))  # A(B) twice
+        assert exact.self_join_size() == 4
+
+    def test_top(self):
+        exact = ExactCounter(1)
+        exact.update(from_sexpr("(A (B) (B) (C))"))
+        assert exact.top(1) == [(("A", (("B", ()),)), 2)]
+
+    def test_memory_bytes_grows_with_patterns(self):
+        small = ExactCounter(2)
+        small.update(from_sexpr("(A (B))"))
+        big = ExactCounter(2)
+        for i in range(50):
+            big.update(from_sexpr(f"(A (L{i}))"))
+        assert big.memory_bytes() > small.memory_bytes()
+
+    def test_invalid_k(self):
+        with pytest.raises(QueryError):
+            ExactCounter(0)
+
+    @given(labeled_trees(max_nodes=9))
+    @settings(max_examples=40, deadline=None)
+    def test_agrees_with_matcher_oracle(self, tree):
+        exact = ExactCounter(3)
+        exact.update(tree)
+        # Every counted pattern's count equals the DP matcher's count.
+        for pattern, count in exact.counts.items():
+            assert count_ordered(tree, pattern) == count
+
+    @given(labeled_trees(max_nodes=8))
+    @settings(max_examples=25, deadline=None)
+    def test_unordered_agrees_with_matcher(self, tree):
+        exact = ExactCounter(2)
+        exact.update(tree)
+        for pattern in list(exact.counts)[:5]:
+            assert exact.count_unordered(pattern) == count_unordered(tree, pattern)

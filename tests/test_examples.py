@@ -1,0 +1,25 @@
+"""Smoke-executes the quickstart example (the others run longer and are
+exercised by the release checklist; this one guards the README's first
+impression)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def test_quickstart_runs_and_reports():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    out = result.stdout
+    assert "synopsis memory" in out
+    assert "ordered" in out and "unordered" in out
+    # The quickstart's stream has deterministic exact counts; the printout
+    # must include them (estimates are nearby but not asserted here).
+    assert " 120" in out  # (item (headline) (body)) count

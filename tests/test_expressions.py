@@ -1,0 +1,175 @@
+"""Tests for the query-expression algebra (Section 4)."""
+
+import pytest
+
+from repro.core import Count, ExactCounter, required_independence
+from repro.errors import QueryError
+from repro.trees import from_sexpr
+
+A_B = ("A", (("B", ()),))
+A_C = ("A", (("C", ()),))
+B_C = ("B", (("C", ()),))
+
+
+class TestExpansion:
+    def test_single_count(self):
+        assert Count(A_B).expand() == [(1, (A_B,))]
+
+    def test_sum(self):
+        terms = (Count(A_B) + Count(A_C)).expand()
+        assert sorted(terms) == sorted([(1, (A_B,)), (1, (A_C,))])
+
+    def test_difference(self):
+        terms = (Count(A_B) - Count(A_C)).expand()
+        assert (1, (A_B,)) in terms
+        assert (-1, (A_C,)) in terms
+
+    def test_product(self):
+        terms = (Count(A_B) * Count(A_C)).expand()
+        assert len(terms) == 1
+        coeff, atoms = terms[0]
+        assert coeff == 1
+        assert set(atoms) == {A_B, A_C}
+
+    def test_distribution(self):
+        # (a + b) * c = a*c + b*c
+        expression = (Count(A_B) + Count(A_C)) * Count(B_C)
+        terms = expression.expand()
+        assert len(terms) == 2
+        assert all(len(atoms) == 2 for _, atoms in terms)
+
+    def test_like_terms_combined(self):
+        expression = Count(A_B) + Count(A_B)
+        assert expression.expand() == [(2, (A_B,))]
+
+    def test_cancellation_drops_term(self):
+        expression = Count(A_B) - Count(A_B)
+        assert expression.expand() == []
+
+    def test_self_product_rejected(self):
+        with pytest.raises(QueryError):
+            (Count(A_B) * Count(A_B)).expand()
+
+    def test_scalar_operand_rejected(self):
+        with pytest.raises(QueryError):
+            Count(A_B) + 3
+
+    def test_count_accepts_sexpr(self):
+        assert Count("(A (B))").pattern == A_B
+
+    def test_atoms(self):
+        expression = Count(A_B) * Count(A_C) + Count(B_C)
+        assert set(expression.atoms()) == {A_B, A_C, B_C}
+
+    def test_max_degree(self):
+        assert Count(A_B).max_degree() == 1
+        assert (Count(A_B) * Count(A_C)).max_degree() == 2
+        assert (Count(A_B) * Count(A_C) + Count(B_C)).max_degree() == 2
+
+
+class TestStringParsing:
+    def test_simple_sum(self):
+        from repro.core import parse_expression
+
+        expression = parse_expression("COUNT((A (B))) + COUNT((A (C)))")
+        assert sorted(expression.expand()) == sorted(
+            [(1, (A_B,)), (1, (A_C,))]
+        )
+
+    def test_xpath_argument(self):
+        from repro.core import parse_expression
+
+        expression = parse_expression("COUNT(A/B)")
+        assert expression.expand() == [(1, (A_B,))]
+
+    def test_precedence(self):
+        from repro.core import parse_expression
+
+        expression = parse_expression("COUNT(A/B) + COUNT(A/C) * COUNT(B/C)")
+        degrees = sorted(len(atoms) for _, atoms in expression.expand())
+        assert degrees == [1, 2]
+
+    def test_parentheses_group(self):
+        from repro.core import parse_expression
+
+        expression = parse_expression(
+            "(COUNT(A/B) + COUNT(A/C)) * COUNT(B/C)"
+        )
+        assert all(len(atoms) == 2 for _, atoms in expression.expand())
+        assert len(expression.expand()) == 2
+
+    def test_difference(self):
+        from repro.core import parse_expression
+
+        expression = parse_expression("COUNT(A/B) - COUNT(A/C)")
+        assert (-1, (A_C,)) in expression.expand()
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "COUNT",
+            "COUNT()",
+            "COUNT(A/B",
+            "COUNT(A/B) +",
+            "COUNT(A//B)",          # not a concrete pattern
+            "2 * COUNT(A/B)",       # scalars not in the grammar
+            "COUNT(A/B) COUNT(A/C)",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        from repro.core import parse_expression
+
+        with pytest.raises(QueryError):
+            parse_expression(bad)
+
+    def test_estimate_expression_accepts_string(self):
+        from repro import SketchTree, SketchTreeConfig
+
+        synopsis = SketchTree(
+            SketchTreeConfig(s1=40, s2=5, max_pattern_edges=2,
+                             n_virtual_streams=31, seed=2)
+        )
+        for _ in range(10):
+            synopsis.update(from_sexpr("(A (B) (C))"))
+        value = synopsis.estimate_expression("COUNT(A/B) - COUNT(A/C)")
+        assert abs(value) <= 8  # both counts are 10; difference near 0
+
+
+class TestIndependenceRequirement:
+    def test_linear_needs_four(self):
+        assert required_independence(Count(A_B) + Count(A_C)) == 4
+
+    def test_product_needs_2d(self):
+        assert required_independence(Count(A_B) * Count(A_C)) == 4
+        triple = Count(A_B) * Count(A_C) * Count(B_C)
+        assert required_independence(triple) == 6
+
+
+class TestExactEvaluation:
+    def test_example3_shape(self):
+        # COUNT(Q1)·COUNT(Q2) + COUNT(Q3)·COUNT(Q4) − COUNT(Q5)·COUNT(Q6)
+        trees = [from_sexpr("(A (B) (C))")] * 6 + [from_sexpr("(B (C))")] * 2
+        exact = ExactCounter(2).ingest(trees)
+        q1, q2, q3 = A_B, A_C, B_C
+        expression = Count(q1) * Count(q2) + Count(q3) - Count(q1)
+        expected = (
+            exact.count_ordered(q1) * exact.count_ordered(q2)
+            + exact.count_ordered(q3)
+            - exact.count_ordered(q1)
+        )
+        assert exact.evaluate_expression(expression) == expected
+
+    def test_paper_example6_difference(self):
+        # COUNT(Q) - COUNT(Q') where Q' extends Q with a parent: the
+        # "SQ without parent SBARQ" query shape.
+        trees = [
+            from_sexpr("(SBARQ (SQ (NN)))"),
+            from_sexpr("(X (SQ (NN)))"),
+            from_sexpr("(SQ (NN))"),
+        ]
+        exact = ExactCounter(2).ingest(trees)
+        q = ("SQ", (("NN", ()),))
+        q_prime = ("SBARQ", (("SQ", (("NN", ()),)),))
+        value = exact.evaluate_expression(Count(q) - Count(q_prime))
+        assert value == 3 - 1  # three SQ/NN occurrences, one under SBARQ

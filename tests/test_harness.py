@@ -1,0 +1,127 @@
+"""Tests for the experiment harness (error metric, factory, averaging)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExactCounter, SketchTreeConfig
+from repro.errors import ConfigError
+from repro.experiments.harness import (
+    SynopsisFactory,
+    averaged_over_runs,
+    evaluate_single,
+    relative_error,
+    run_seeds,
+)
+from repro.trees import from_sexpr
+from repro.workload import generate_workload
+
+
+def small_exact():
+    exact = ExactCounter(2)
+    for _ in range(30):
+        exact.update(from_sexpr("(A (B) (C))"))
+        exact.update(from_sexpr("(A (D))"))
+    return exact
+
+
+BASE = SketchTreeConfig(
+    s1=40, s2=5, max_pattern_edges=2, n_virtual_streams=31,
+    seed=0, encoder_seed=42,
+)
+
+
+class TestRelativeError:
+    def test_exact_estimate_is_zero_error(self):
+        assert relative_error(10.0, 10) == 0.0
+
+    def test_standard_definition(self):
+        assert relative_error(12.0, 10) == pytest.approx(0.2)
+        assert relative_error(8.0, 10) == pytest.approx(0.2)
+
+    def test_sanity_bound_for_nonpositive(self):
+        # Paper Section 7.5: approx <= 0 is replaced by 0.1 * actual.
+        assert relative_error(-5.0, 100) == pytest.approx(0.9)
+        assert relative_error(0.0, 100) == pytest.approx(0.9)
+
+    def test_rejects_nonpositive_actual(self):
+        with pytest.raises(ConfigError):
+            relative_error(1.0, 0)
+
+
+class TestSynopsisFactory:
+    def test_factory_matches_direct_ingest(self):
+        exact = small_exact()
+        factory = SynopsisFactory(exact, BASE)
+        from_factory = factory.build(seed=5)
+        import dataclasses
+
+        from repro.core import SketchTree
+
+        direct = SketchTree(dataclasses.replace(BASE, seed=5))
+        direct.ingest_counts(exact.counts, n_trees=exact.n_trees)
+        pattern = ("A", (("B", ()),))
+        assert from_factory.estimate_ordered(pattern) == direct.estimate_ordered(
+            pattern
+        )
+        assert from_factory.n_values == direct.n_values
+
+    def test_overrides_applied(self):
+        factory = SynopsisFactory(small_exact(), BASE)
+        synopsis = factory.build(seed=1, s1=13, topk_size=2)
+        assert synopsis.config.s1 == 13
+        assert synopsis.config.topk_size == 2
+
+    def test_distinct_values_counted(self):
+        factory = SynopsisFactory(small_exact(), BASE)
+        assert factory.n_distinct_values == small_exact().n_distinct_patterns
+
+    def test_pairing_mapping_rejected(self):
+        import dataclasses
+
+        pairing = dataclasses.replace(BASE, mapping="pairing")
+        with pytest.raises(ConfigError):
+            SynopsisFactory(small_exact(), pairing)
+
+
+class TestEvaluation:
+    def test_evaluate_single_buckets(self):
+        exact = small_exact()
+        workload = generate_workload(exact, ((0.0, 0.3), (0.3, 1.0)), seed=1)
+        synopsis = SynopsisFactory(exact, BASE).build(seed=2)
+        results = evaluate_single(synopsis, workload)
+        assert len(results) == 2
+        for result in results:
+            if result.n_queries:
+                assert result.mean_relative_error >= 0
+
+    def test_empty_bucket_is_nan(self):
+        exact = small_exact()
+        workload = generate_workload(exact, ((0.9, 1.0),), seed=1)
+        synopsis = SynopsisFactory(exact, BASE).build(seed=2)
+        result = evaluate_single(synopsis, workload)[0]
+        assert result.n_queries == 0
+        assert result.mean_relative_error != result.mean_relative_error
+
+    def test_averaging_over_runs(self):
+        exact = small_exact()
+        workload = generate_workload(exact, ((0.0, 1.0),), seed=1)
+        factory = SynopsisFactory(exact, BASE)
+        averaged = averaged_over_runs(
+            factory, workload, evaluate_single, seeds=(1, 2, 3)
+        )
+        singles = [
+            evaluate_single(factory.build(seed), workload)[0].mean_relative_error
+            for seed in (1, 2, 3)
+        ]
+        assert averaged[0].mean_relative_error == pytest.approx(np.mean(singles))
+
+    def test_averaging_requires_seeds(self):
+        exact = small_exact()
+        workload = generate_workload(exact, ((0.0, 1.0),), seed=1)
+        factory = SynopsisFactory(exact, BASE)
+        with pytest.raises(ConfigError):
+            averaged_over_runs(factory, workload, evaluate_single, seeds=())
+
+    def test_run_seeds_distinct(self):
+        seeds = run_seeds(10)
+        assert len(set(seeds)) == 10

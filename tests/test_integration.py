@@ -1,0 +1,186 @@
+"""Randomised end-to-end consistency and failure-injection tests.
+
+These tie the whole pipeline together: random streams flow through both
+the synopsis and the exact counter, and every estimate must sit within
+the tolerance Theorem 1 predicts from the stream's *actual* self-join
+size — the strongest end-to-end statement the theory licenses.
+"""
+
+import math
+import pickle
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Count, ExactCounter, SketchTree, SketchTreeConfig
+from repro.datasets import DblpGenerator, TreebankGenerator
+from repro.errors import ReproError
+from repro.trees import from_nested
+from tests.strategies import nested_trees
+
+
+def random_stream(seed, n_trees=40, max_nodes=8):
+    rng = random.Random(seed)
+    trees = []
+    for _ in range(n_trees):
+        # Trees drawn from a small shape pool so patterns repeat.
+        depth = rng.randrange(1, 4)
+        node = ("L%d" % rng.randrange(3), ())
+        for _ in range(depth):
+            width = rng.randrange(1, 3)
+            node = (
+                "L%d" % rng.randrange(3),
+                tuple(node if i == 0 else ("L%d" % rng.randrange(3), ())
+                      for i in range(width)),
+            )
+        trees.append(from_nested(node))
+    return trees
+
+
+class TestEndToEndConsistency:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_estimates_within_theoretical_tolerance(self, seed):
+        trees = random_stream(seed)
+        k = 3
+        config = SketchTreeConfig(
+            s1=100, s2=7, max_pattern_edges=k, n_virtual_streams=31,
+            seed=seed + 50,
+        )
+        synopsis = SketchTree(config)
+        exact = ExactCounter(k)
+        for tree in trees:
+            synopsis.update(tree)
+            exact.update(tree)
+        # Per-stream self-join sizes bound each estimate's deviation.
+        encoder = synopsis.encoder
+        checked = 0
+        for pattern, count in exact.counts.most_common(25):
+            value = encoder.encode(pattern)
+            residue = synopsis.streams.residue(value)
+            stream_sj = sum(
+                c * c
+                for p, c in exact.counts.items()
+                if synopsis.streams.residue(encoder.encode(p)) == residue
+            )
+            estimate = synopsis.estimate_ordered(pattern)
+            # 6-sigma of the s1-group variance bound: essentially certain.
+            tolerance = 6 * math.sqrt(stream_sj / config.s1)
+            assert abs(estimate - count) <= tolerance + 1e-9
+            checked += 1
+        assert checked > 0
+
+    @pytest.mark.parametrize("generator_cls", [TreebankGenerator, DblpGenerator])
+    def test_real_shaped_streams(self, generator_cls):
+        trees = list(generator_cls(seed=3).generate(60))
+        k = 3
+        synopsis = SketchTree(
+            SketchTreeConfig(s1=120, s2=7, max_pattern_edges=k,
+                             n_virtual_streams=229, topk_size=4, seed=9)
+        )
+        exact = ExactCounter(k)
+        for tree in trees:
+            synopsis.update(tree)
+            exact.update(tree)
+        # The top-5 patterns are (almost surely) tracked exactly or
+        # estimated tightly.
+        for pattern, count in exact.counts.most_common(5):
+            estimate = synopsis.estimate_ordered(pattern)
+            assert abs(estimate - count) <= max(10, 0.35 * count)
+
+    def test_unordered_and_sum_consistency(self):
+        trees = random_stream(7)
+        synopsis = SketchTree(
+            SketchTreeConfig(s1=120, s2=7, max_pattern_edges=3,
+                             n_virtual_streams=31, seed=4)
+        )
+        exact = ExactCounter(3)
+        for tree in trees:
+            synopsis.update(tree)
+            exact.update(tree)
+        for pattern, count in exact.counts.most_common(8):
+            unordered_estimate = synopsis.estimate_unordered(pattern)
+            unordered_actual = exact.count_unordered(pattern)
+            assert abs(unordered_estimate - unordered_actual) <= max(
+                12, 0.5 * unordered_actual
+            )
+
+    @given(st.integers(0, 10))
+    @settings(max_examples=10, deadline=None)
+    def test_expression_estimator_statistically_unbiased(self, stream_seed):
+        """Mean of single-instance expression estimates over many sketch
+        draws approaches the exact expression value."""
+        trees = random_stream(stream_seed, n_trees=15)
+        exact = ExactCounter(2)
+        for tree in trees:
+            exact.update(tree)
+        patterns = [p for p, _ in exact.counts.most_common(2)]
+        if len(patterns) < 2:
+            return
+        expression = Count(patterns[0]) - Count(patterns[1])
+        actual = exact.evaluate_expression(expression)
+        estimates = []
+        for draw in range(60):
+            synopsis = SketchTree(
+                SketchTreeConfig(s1=1, s2=1, max_pattern_edges=2,
+                                 n_virtual_streams=1, seed=1000 + draw)
+            )
+            synopsis.ingest_counts(exact.counts)
+            estimates.append(synopsis.estimate_expression(expression))
+        spread = np.std(estimates) / math.sqrt(len(estimates)) + 1e-9
+        assert abs(np.mean(estimates) - actual) <= 5 * spread + 1
+
+
+class TestFailureInjection:
+    def test_corrupt_snapshot_rejected(self):
+        synopsis = SketchTree(
+            SketchTreeConfig(s1=10, s2=3, n_virtual_streams=31)
+        )
+        blob = synopsis.to_bytes()
+        with pytest.raises(Exception):
+            SketchTree.from_bytes(blob[: len(blob) // 2])
+        with pytest.raises(Exception):
+            SketchTree.from_bytes(b"not a pickle")
+
+    def test_snapshot_of_wrong_structure_rejected(self):
+        with pytest.raises(Exception):
+            SketchTree.from_bytes(pickle.dumps({"something": "else"}))
+
+    def test_library_errors_share_base_class(self):
+        from repro import (
+            ConfigError,
+            HashingError,
+            PatternError,
+            QueryError,
+            TreeError,
+            XmlParseError,
+        )
+
+        for error in (ConfigError, HashingError, PatternError, QueryError,
+                      TreeError, XmlParseError):
+            assert issubclass(error, ReproError)
+
+    @given(nested_trees(max_nodes=8))
+    @settings(max_examples=30, deadline=None)
+    def test_update_never_corrupts_other_estimates(self, nested):
+        """Adding then deleting any tree restores every counter exactly
+        (AMS linearity end-to-end, including encoding)."""
+        config = SketchTreeConfig(
+            s1=10, s2=3, max_pattern_edges=3, n_virtual_streams=31, seed=1
+        )
+        synopsis = SketchTree(config)
+        synopsis.update(from_nested(("Z", (("Q", ()),))))
+        before = {
+            r: m.counters.copy() for r, m in synopsis.streams.iter_sketches()
+        }
+        tree = from_nested(nested)
+        synopsis.update(tree)
+        synopsis.delete_tree(tree)
+        for residue, matrix in synopsis.streams.iter_sketches():
+            reference = before.get(residue)
+            if reference is None:
+                assert not matrix.counters.any()
+            else:
+                assert np.array_equal(matrix.counters, reference)

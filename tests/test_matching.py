@@ -1,0 +1,160 @@
+"""Tests for exact pattern matching: paper Figure 1 + oracle identities."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+
+from repro.enumtree import enumerate_patterns
+from repro.query import count_ordered, count_unordered
+from repro.query.matching import (
+    count_ordered_in_stream,
+    count_unordered_in_stream,
+)
+from repro.trees import from_sexpr
+from tests.strategies import labeled_trees, nested_trees
+
+# The Figure 1 stream: T1, T2, T3 built to reproduce the paper's counts
+# for Q = A(B, C): ordered matches 2 (T1) + 0 (T2) + 1 (T3) = 3, and
+# unordered matches 5 in total (T2 contributes two C-before-B matches).
+T1 = from_sexpr("(A (B) (C) (C))")        # two ordered matches B..C
+T2 = from_sexpr("(A (C) (C) (B))")        # two unordered (C-before-B) matches only
+T3 = from_sexpr("(X (A (B) (C)))")        # one ordered match
+Q = from_sexpr("(A (B) (C))").to_nested()
+
+
+class TestPaperFigure1:
+    def test_t1_ordered(self):
+        assert count_ordered(T1, Q) == 2
+
+    def test_t3_ordered(self):
+        assert count_ordered(T3, Q) == 1
+
+    def test_stream_unordered_total_is_five(self):
+        # The paper: COUNT(Q) = 5 over the three trees.
+        assert count_unordered_in_stream([T1, T2, T3], Q) == 5
+
+    def test_stream_ordered(self):
+        assert count_ordered_in_stream([T1, T2, T3], Q) == 3
+
+
+class TestOrderedMatching:
+    def test_label_mismatch(self):
+        assert count_ordered(from_sexpr("(A (B))"), ("X", (("B", ()),))) == 0
+
+    def test_single_node_pattern(self):
+        tree = from_sexpr("(A (A (A)))")
+        assert count_ordered(tree, ("A", ())) == 3
+
+    def test_subsequence_choices(self):
+        # A with four B children: A(B,B) matches C(4,2) = 6 ways.
+        tree = from_sexpr("(A (B) (B) (B) (B))")
+        assert count_ordered(tree, ("A", (("B", ()), ("B", ())))) == 6
+
+    def test_order_constraint_enforced(self):
+        tree = from_sexpr("(A (C) (B))")
+        assert count_ordered(tree, ("A", (("B", ()), ("C", ())))) == 0
+        assert count_ordered(tree, ("A", (("C", ()), ("B", ())))) == 1
+
+    def test_deep_pattern(self):
+        tree = from_sexpr("(A (B (C (D))) (B (C)))")
+        assert count_ordered(tree, ("A", (("B", (("C", ()),)),))) == 2
+
+    def test_pattern_larger_than_tree(self):
+        tree = from_sexpr("(A (B))")
+        pattern = ("A", (("B", ()), ("C", ())))
+        assert count_ordered(tree, pattern) == 0
+
+
+class TestUnorderedMatching:
+    def test_symmetric_pattern_counted_once(self):
+        # Q = A(B, B) has a single distinct arrangement.
+        tree = from_sexpr("(A (B) (B))")
+        assert count_unordered(tree, ("A", (("B", ()), ("B", ())))) == 1
+
+    def test_asymmetric_pattern_counts_both_orders(self):
+        tree = from_sexpr("(A (C) (B))")
+        assert count_unordered(tree, ("A", (("B", ()), ("C", ())))) == 1
+        tree2 = from_sexpr("(A (B) (C) (B))")
+        # ordered B..C: 1; ordered C..B: 1 -> unordered 2.
+        assert count_unordered(tree2, ("A", (("B", ()), ("C", ())))) == 2
+
+    def test_unordered_at_least_ordered(self):
+        tree = from_sexpr("(A (B) (C) (C) (B))")
+        pattern = ("A", (("B", ()), ("C", ())))
+        assert count_unordered(tree, pattern) >= count_ordered(tree, pattern)
+
+
+class TestEmbeddingEnumeration:
+    def test_embedding_count_matches_dp(self):
+        from repro.query import iter_ordered_embeddings
+
+        tree = from_sexpr("(A (B) (B) (C (B)))")
+        pattern = ("A", (("B", ()), ("C", ())))
+        embeddings = list(iter_ordered_embeddings(tree, pattern))
+        assert len(embeddings) == count_ordered(tree, pattern)
+
+    def test_embeddings_are_valid_mappings(self):
+        from repro.query import iter_ordered_embeddings
+
+        tree = from_sexpr("(A (B (C)) (B (C) (C)))")
+        pattern = ("A", (("B", (("C", ()),)),))
+        for embedding in iter_ordered_embeddings(tree, pattern):
+            a, b, c = embedding  # query preorder: A, B, C
+            assert tree.label_of(a) == "A"
+            assert tree.label_of(b) == "B"
+            assert tree.label_of(c) == "C"
+            assert tree.parent_of(b) == a
+            assert tree.parent_of(c) == b
+
+    def test_embeddings_distinct(self):
+        from repro.query import iter_ordered_embeddings
+
+        tree = from_sexpr("(A (B) (B) (B))")
+        pattern = ("A", (("B", ()), ("B", ())))
+        embeddings = list(iter_ordered_embeddings(tree, pattern))
+        assert len(embeddings) == len(set(embeddings)) == 3
+
+    def test_no_embeddings_for_absent_pattern(self):
+        from repro.query import iter_ordered_embeddings
+
+        tree = from_sexpr("(A (B))")
+        assert list(iter_ordered_embeddings(tree, ("A", (("Z", ()),)))) == []
+
+    @given(labeled_trees(max_nodes=8), nested_trees(max_nodes=4))
+    @settings(max_examples=40, deadline=None)
+    def test_enumeration_count_property(self, tree, pattern):
+        from repro.query import iter_ordered_embeddings
+        from repro.query.pattern import pattern_nodes
+
+        if pattern_nodes(pattern) > 5:
+            return
+        embeddings = list(iter_ordered_embeddings(tree, pattern))
+        assert len(embeddings) == count_ordered(tree, pattern)
+        assert len(embeddings) == len(set(embeddings))
+
+
+class TestOracleIdentities:
+    """The three ground-truth paths must agree:
+
+    matcher DP == multiplicity in the EnumTree output (per tree), and the
+    unordered count == sum of ordered counts over arrangements.
+    """
+
+    @given(labeled_trees(max_nodes=9), nested_trees(max_nodes=4))
+    @settings(max_examples=60, deadline=None)
+    def test_matcher_equals_enumtree_multiplicity(self, tree, pattern):
+        from repro.query.pattern import pattern_edges
+
+        edges = pattern_edges(pattern)
+        if not 1 <= edges <= 3:
+            return
+        multiplicity = Counter(enumerate_patterns(tree, 3))[pattern]
+        assert count_ordered(tree, pattern) == multiplicity
+
+    @given(labeled_trees(max_nodes=9), nested_trees(max_nodes=4))
+    @settings(max_examples=40, deadline=None)
+    def test_unordered_is_arrangement_sum(self, tree, pattern):
+        from repro.query.pattern import arrangements
+
+        total = sum(count_ordered(tree, a) for a in arrangements(pattern))
+        assert count_unordered(tree, pattern) == total

@@ -1,0 +1,125 @@
+"""Coverage for small supporting pieces: scales, reprs, package surface."""
+
+import pytest
+
+from repro.experiments.scale import DEFAULT, PAPER, SMOKE, by_name
+
+
+class TestScales:
+    def test_by_name(self):
+        assert by_name("smoke") is SMOKE
+        assert by_name("default") is DEFAULT
+        assert by_name("paper") is PAPER
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            by_name("galactic")
+
+    def test_paper_scale_matches_table1(self):
+        assert PAPER.treebank_trees == 28699
+        assert PAPER.dblp_trees == 98061
+        assert PAPER.treebank_k == 6
+        assert PAPER.dblp_k == 4
+        assert PAPER.n_virtual_streams == 229
+
+    def test_paper_s1_sweeps(self):
+        assert PAPER.treebank_s1 == (25, 50)
+        assert PAPER.dblp_s1 == (50, 75)
+
+    def test_scales_ordered_by_size(self):
+        assert SMOKE.treebank_trees < DEFAULT.treebank_trees < PAPER.treebank_trees
+
+
+class TestPublicSurface:
+    def test_top_level_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackage_exports_resolve(self):
+        import repro.core
+        import repro.datasets
+        import repro.enumtree
+        import repro.hashing
+        import repro.prufer
+        import repro.query
+        import repro.sketch
+        import repro.stream
+        import repro.trees
+        import repro.workload
+
+        for module in (
+            repro.core, repro.datasets, repro.enumtree, repro.hashing,
+            repro.prufer, repro.query, repro.sketch, repro.stream,
+            repro.trees, repro.workload,
+        ):
+            for name in module.__all__:
+                assert getattr(module, name) is not None
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+
+class TestReprs:
+    """Reprs are part of the debugging surface; keep them informative."""
+
+    def test_core_reprs(self):
+        from repro import ExactCounter, SketchTree, SketchTreeConfig
+        from repro.core import PatternEncoder, TopKTracker, VirtualStreams
+        from repro.sketch import SketchMatrix
+
+        config = SketchTreeConfig(s1=4, s2=2, n_virtual_streams=31)
+        assert "SketchTree" in repr(SketchTree(config))
+        assert "ExactCounter" in repr(ExactCounter(2))
+        assert "PatternEncoder" in repr(PatternEncoder())
+        assert "VirtualStreams" in repr(VirtualStreams(31, 4, 2))
+        matrix = SketchMatrix(4, 2, seed=0)
+        assert "SketchMatrix" in repr(matrix)
+        assert "TopKTracker" in repr(TopKTracker(2, matrix))
+
+    def test_substrate_reprs(self):
+        from repro.datasets import (
+            DblpGenerator,
+            TreebankGenerator,
+            XMarkGenerator,
+            ZipfSampler,
+        )
+        from repro.hashing import LabelHasher, RabinFingerprint
+        from repro.sketch import BchXiGenerator, CountSketch, XiGenerator
+        from repro.trees import from_sexpr
+
+        import numpy as np
+
+        assert "TreebankGenerator" in repr(TreebankGenerator())
+        assert "DblpGenerator" in repr(DblpGenerator())
+        assert "XMarkGenerator" in repr(XMarkGenerator())
+        assert "ZipfSampler" in repr(
+            ZipfSampler(["a"], 1.0, np.random.default_rng(0))
+        )
+        assert "RabinFingerprint" in repr(RabinFingerprint(seed=0))
+        assert "LabelHasher" in repr(LabelHasher())
+        assert "XiGenerator" in repr(XiGenerator(4))
+        assert "BchXiGenerator" in repr(BchXiGenerator(4))
+        assert "CountSketch" in repr(CountSketch(8, 2))
+        assert "LabeledTree" in repr(from_sexpr("(A (B))"))
+
+
+class TestStreamEngineWithWindow:
+    def test_window_as_consumer(self):
+        from repro.core import SketchTreeConfig, WindowedSketchTree
+        from repro.stream import StreamProcessor
+        from repro.trees import from_sexpr
+
+        window = WindowedSketchTree(
+            SketchTreeConfig(s1=10, s2=3, n_virtual_streams=31),
+            window_trees=4,
+            bucket_trees=2,
+        )
+        stats = StreamProcessor([window]).run(
+            [from_sexpr("(A (B))")] * 10
+        )
+        assert stats.n_trees == 10
+        assert 4 <= window.window_size_actual < 6

@@ -1,0 +1,137 @@
+"""Tests for pattern helpers: arrangements, OR expansion, validation."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import PatternError
+from repro.query import (
+    arrangements,
+    expand_or_labels,
+    pattern_edges,
+    pattern_from_sexpr,
+    pattern_nodes,
+    validate_pattern,
+)
+from tests.strategies import nested_trees
+
+
+class TestValidation:
+    def test_accepts_wellformed(self):
+        validate_pattern(("A", (("B", ()),)))
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "A",                       # bare string is not nested form
+            ("A",),                    # wrong arity
+            ("A", [("B", ())]),        # list instead of tuple
+            (1, ()),                   # non-string label
+            ("", ()),                  # empty label
+            ("A", (("B",),)),          # malformed child
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(PatternError):
+            validate_pattern(bad)
+
+    def test_sizes(self):
+        pattern = pattern_from_sexpr("(A (B (C)) (D))")
+        assert pattern_nodes(pattern) == 4
+        assert pattern_edges(pattern) == 3
+
+
+class TestArrangements:
+    def test_paper_figure4(self):
+        # Figure 4: Q = A(B, B(C)) — wait, the figure shows four ordered
+        # arrangements of one unordered Q; the canonical small case with
+        # exactly 4 arrangements is two levels of 2-permutations:
+        pattern = pattern_from_sexpr("(A (B (C) (D)))")
+        # children of B permute (2) and B is the only child of A: 2 total.
+        assert len(arrangements(pattern)) == 2
+
+    def test_two_distinct_children(self):
+        out = arrangements(pattern_from_sexpr("(A (B) (C))"))
+        assert out == {
+            ("A", (("B", ()), ("C", ()))),
+            ("A", (("C", ()), ("B", ()))),
+        }
+
+    def test_identical_children_deduplicated(self):
+        out = arrangements(pattern_from_sexpr("(A (B) (B))"))
+        assert out == {("A", (("B", ()), ("B", ())))}
+
+    def test_nested_permutations_multiply(self):
+        # A(B(X, Y), C): 2 child orders at A x 2 at B = 4.
+        out = arrangements(pattern_from_sexpr("(A (B (X) (Y)) (C))"))
+        assert len(out) == 4
+
+    def test_original_always_included(self):
+        pattern = pattern_from_sexpr("(A (B (X)) (C))")
+        assert pattern in arrangements(pattern)
+
+    def test_three_distinct_children(self):
+        out = arrangements(pattern_from_sexpr("(A (B) (C) (D))"))
+        assert len(out) == 6
+
+    def test_explosion_guard(self):
+        wide = ("A", tuple((f"C{i}", ()) for i in range(9)))  # 9! > 10k
+        with pytest.raises(PatternError):
+            arrangements(wide)
+        assert len(arrangements(wide, limit=None)) == 362880
+
+    @given(nested_trees(max_nodes=6))
+    @settings(max_examples=50, deadline=None)
+    def test_arrangement_count_bounds(self, pattern):
+        out = arrangements(pattern)
+        assert 1 <= len(out)
+        assert pattern in out
+        # Every arrangement has the same node multiset.
+        def labels(p):
+            out = [p[0]]
+            for c in p[1]:
+                out.extend(labels(c))
+            return sorted(out)
+
+        base = labels(pattern)
+        assert all(labels(a) == base for a in out)
+
+    @given(nested_trees(max_nodes=5))
+    @settings(max_examples=50, deadline=None)
+    def test_arrangements_closed(self, pattern):
+        # Arranging an arrangement yields the same set.
+        out = arrangements(pattern)
+        any_other = next(iter(out))
+        assert arrangements(any_other) == out
+
+
+class TestOrExpansion:
+    def test_paper_example5(self):
+        # 'VBD|VBP|VBZ' expands into three distinct queries.
+        pattern = pattern_from_sexpr("(VP (VBD|VBP|VBZ) (NP))")
+        expanded = expand_or_labels(pattern)
+        assert len(expanded) == 3
+        assert ("VP", (("VBD", ()), ("NP", ()))) in expanded
+        assert ("VP", (("VBZ", ()), ("NP", ()))) in expanded
+
+    def test_no_or_returns_single(self):
+        pattern = pattern_from_sexpr("(A (B))")
+        assert expand_or_labels(pattern) == [pattern]
+
+    def test_multiple_or_nodes_cartesian(self):
+        pattern = pattern_from_sexpr("(A|X (B|Y))")
+        assert len(expand_or_labels(pattern)) == 4
+
+    def test_duplicate_operands_deduplicated(self):
+        pattern = pattern_from_sexpr("(A (B|B))")
+        assert expand_or_labels(pattern) == [("A", (("B", ()),))]
+
+    def test_empty_operand_rejected(self):
+        with pytest.raises(PatternError):
+            expand_or_labels(("A", (("B|", ()),)))
+
+    def test_or_in_root(self):
+        expanded = expand_or_labels(pattern_from_sexpr("(A|B (C))"))
+        assert set(expanded) == {
+            ("A", (("C", ()),)),
+            ("B", (("C", ()),)),
+        }

@@ -1,0 +1,114 @@
+"""Tests for extended Prüfer sequences (construction + reconstruction)."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import TreeError
+from repro.prufer import (
+    PruferSequences,
+    prufer_of_nested,
+    prufer_of_tree,
+    tree_from_prufer,
+)
+from repro.trees import from_nested, from_sexpr
+from tests.strategies import labeled_trees, nested_trees
+
+
+class TestConstruction:
+    def test_paper_example_1_t1(self):
+        # Figure 3, T1: the chain X -> Y -> Z gives LPS = Z Y X, NPS = 2 3 4.
+        sequences = prufer_of_tree(from_sexpr("(X (Y (Z)))"))
+        assert sequences.lps == ("Z", "Y", "X")
+        assert sequences.nps == (2, 3, 4)
+
+    def test_paper_example_1_t2(self):
+        # Figure 3, T2: X with children Y and Z (both leaves) gives
+        # LPS = Y X Z X, NPS = 2 5 4 5.
+        sequences = prufer_of_tree(from_sexpr("(X (Y) (Z))"))
+        assert sequences.lps == ("Y", "X", "Z", "X")
+        assert sequences.nps == (2, 5, 4, 5)
+
+    def test_single_node(self):
+        sequences = prufer_of_nested(("A", ()))
+        assert sequences.lps == ("A",)
+        assert sequences.nps == (2,)
+
+    def test_leaf_labels_survive_via_extension(self):
+        # Without extension, leaf labels would be lost; extended sequences
+        # must contain every original label.
+        tree = from_sexpr("(A (B) (C (D)))")
+        sequences = prufer_of_tree(tree)
+        assert set(sequences.lps) == {"A", "B", "C", "D"}
+
+    def test_length_is_extended_nodes_minus_one(self):
+        tree = from_sexpr("(A (B) (C))")  # 3 nodes, 2 leaves -> 5 extended
+        assert len(prufer_of_tree(tree)) == 4
+
+    def test_nested_and_tree_paths_agree(self):
+        tree = from_sexpr("(A (B (C) (D)) (E))")
+        assert prufer_of_tree(tree) == prufer_of_nested(tree.to_nested())
+
+    def test_rejects_malformed_nested(self):
+        with pytest.raises(TreeError):
+            prufer_of_nested("A")
+        with pytest.raises(TreeError):
+            prufer_of_nested(("A", ("oops",)))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(TreeError):
+            PruferSequences(("A",), (1, 2))
+
+    def test_interleaved(self):
+        sequences = PruferSequences(("A", "B"), (2, 4))
+        assert sequences.interleaved() == ("A", 2, "B", 4)
+
+    def test_deep_chain_no_recursion_error(self):
+        nested = ("A", ())
+        for _ in range(4000):
+            nested = ("A", (nested,))
+        sequences = prufer_of_nested(nested)
+        assert len(sequences) == 4001  # 4001 original + 1 dummy - 1
+
+
+class TestReconstruction:
+    def test_roundtrip_simple(self):
+        tree = from_sexpr("(A (B) (C (D) (E)))")
+        assert tree_from_prufer(prufer_of_tree(tree)) == tree
+
+    def test_roundtrip_single_node(self):
+        tree = from_nested("A")
+        assert tree_from_prufer(prufer_of_tree(tree)) == tree
+
+    def test_empty_sequences_rejected(self):
+        with pytest.raises(TreeError):
+            tree_from_prufer(PruferSequences((), ()))
+
+    def test_invalid_parent_pointer_rejected(self):
+        # NPS[i-1] must exceed i in a postorder parent array.
+        with pytest.raises(TreeError):
+            tree_from_prufer(PruferSequences(("A", "A"), (1, 3)))
+
+    def test_conflicting_labels_rejected(self):
+        with pytest.raises(TreeError):
+            tree_from_prufer(PruferSequences(("A", "B"), (3, 3)))
+
+    def test_non_extension_encoding_rejected(self):
+        # A structurally valid parent array that the extension rule could
+        # not have produced (internal node with a dummy *and* a real child).
+        with pytest.raises(TreeError):
+            tree_from_prufer(PruferSequences(("A", "B", "A"), (4, 3, 4)))
+
+    @given(labeled_trees(max_nodes=12))
+    def test_roundtrip_property(self, tree):
+        assert tree_from_prufer(prufer_of_tree(tree)) == tree
+
+    @given(nested_trees(max_nodes=12))
+    def test_injectivity_property(self, nested):
+        # Sequences determine the tree: same sequences -> same tree.
+        sequences = prufer_of_nested(nested)
+        assert tree_from_prufer(sequences).to_nested() == nested
+
+    @given(nested_trees(max_nodes=10), nested_trees(max_nodes=10))
+    def test_distinct_trees_distinct_sequences(self, a, b):
+        if a != b:
+            assert prufer_of_nested(a) != prufer_of_nested(b)

@@ -1,0 +1,71 @@
+"""Tests for the stream-processing engine."""
+
+import pytest
+
+from repro.core import ExactCounter
+from repro.errors import ConfigError
+from repro.stream import StreamProcessor
+from repro.trees import from_sexpr
+
+
+def trees(n=6):
+    return [from_sexpr("(A (B) (C))") for _ in range(n)]
+
+
+class TestStreamProcessor:
+    def test_feeds_every_consumer(self):
+        a, b = ExactCounter(2), ExactCounter(2)
+        stats = StreamProcessor([a, b]).run(trees(4))
+        assert a.n_trees == b.n_trees == 4
+        assert stats.n_trees == 4
+        assert stats.total_nodes == 12
+
+    def test_elapsed_positive(self):
+        stats = StreamProcessor([ExactCounter(2)]).run(trees())
+        assert stats.elapsed_seconds > 0
+        assert stats.trees_per_second > 0
+
+    def test_checkpoints_fire(self):
+        seen = []
+        processor = StreamProcessor(
+            [ExactCounter(2)],
+            checkpoint_every=2,
+            on_checkpoint=lambda n: seen.append(n) or n,
+        )
+        stats = processor.run(trees(6))
+        assert seen == [2, 4, 6]
+        assert stats.checkpoint_results == [2, 4, 6]
+
+    def test_checkpoint_queries_see_prefix(self):
+        # The Figure 2 model: a query at time t sees exactly the prefix.
+        exact = ExactCounter(2)
+        pattern = ("A", (("B", ()),))
+        processor = StreamProcessor(
+            [exact],
+            checkpoint_every=3,
+            on_checkpoint=lambda n: exact.count_ordered(pattern),
+        )
+        stats = processor.run(trees(6))
+        assert stats.checkpoint_results == [3, 6]
+
+    def test_requires_consumer(self):
+        with pytest.raises(ConfigError):
+            StreamProcessor([])
+
+    def test_requires_update_method(self):
+        with pytest.raises(ConfigError):
+            StreamProcessor([object()])
+
+    def test_negative_checkpoint_rejected(self):
+        with pytest.raises(ConfigError):
+            StreamProcessor([ExactCounter(2)], checkpoint_every=-1)
+
+    def test_works_with_sketchtree(self):
+        from repro import SketchTree, SketchTreeConfig
+
+        synopsis = SketchTree(
+            SketchTreeConfig(s1=20, s2=3, max_pattern_edges=2,
+                             n_virtual_streams=31, seed=0)
+        )
+        StreamProcessor([synopsis]).run(trees(5))
+        assert synopsis.n_trees == 5

@@ -1,0 +1,139 @@
+"""Tests for the structural summary and * / // query resolution."""
+
+import pytest
+
+from repro.errors import PatternError, QueryError
+from repro.query import QueryNode, StructuralSummary
+from repro.trees import from_sexpr
+
+
+def summary_of(*sexprs: str) -> StructuralSummary:
+    summary = StructuralSummary()
+    summary.add_trees(from_sexpr(s) for s in sexprs)
+    return summary
+
+
+class TestQueryNode:
+    def test_from_sexpr_plain(self):
+        query = QueryNode.from_sexpr("(A (B) (C))")
+        assert query.label == "A"
+        assert [c.label for c in query.children] == ["B", "C"]
+        assert query.is_plain()
+
+    def test_from_sexpr_descendant_and_wildcard(self):
+        query = QueryNode.from_sexpr("(A (//B) (*))")
+        assert query.children[0].edge == "descendant"
+        assert query.children[1].label == "*"
+        assert not query.is_plain()
+
+    def test_descendant_prefix_requires_label(self):
+        with pytest.raises(PatternError):
+            QueryNode.from_sexpr("(A (//))")
+
+    def test_to_pattern_plain_only(self):
+        assert QueryNode.from_sexpr("(A (B))").to_pattern() == ("A", (("B", ()),))
+        with pytest.raises(QueryError):
+            QueryNode.from_sexpr("(A (//B))").to_pattern()
+        with pytest.raises(QueryError):
+            QueryNode.from_sexpr("(* (B))").to_pattern()
+
+    def test_invalid_edge_kind(self):
+        with pytest.raises(PatternError):
+            QueryNode("A", edge="sibling")
+
+
+class TestSummaryConstruction:
+    def test_counts_distinct_paths(self):
+        summary = summary_of("(A (B) (C))", "(A (B (D)))")
+        # Paths: A, A/B, A/C, A/B/D.
+        assert summary.n_paths == 4
+
+    def test_incremental(self):
+        summary = StructuralSummary()
+        summary.add_tree(from_sexpr("(A (B))"))
+        assert summary.n_paths == 2
+        summary.add_tree(from_sexpr("(A (B))"))
+        assert summary.n_paths == 2  # no new paths
+        summary.add_tree(from_sexpr("(X (B))"))
+        assert summary.n_paths == 4
+
+
+class TestResolution:
+    def test_paper_figure7_wildcard(self):
+        # Summary: A with children B and C, B with child C.
+        summary = summary_of("(A (B (C)) (C))")
+        query = QueryNode.from_sexpr("(A (*))")
+        resolved = summary.resolve(query)
+        assert resolved == {
+            ("A", (("B", ()),)),
+            ("A", (("C", ()),)),
+        }
+
+    def test_paper_figure7_descendant(self):
+        # Q2 = A//C resolves to A/C and A/B/C, materialising B.
+        summary = summary_of("(A (B (C)) (C))")
+        query = QueryNode.from_sexpr("(A (//C))")
+        resolved = summary.resolve(query)
+        assert resolved == {
+            ("A", (("C", ()),)),
+            ("A", (("B", (("C", ()),)),)),
+        }
+
+    def test_query_anchors_anywhere(self):
+        summary = summary_of("(R (A (B)))")
+        resolved = summary.resolve(QueryNode.from_sexpr("(A (B))"))
+        assert resolved == {("A", (("B", ()),))}
+
+    def test_unmatchable_query_empty(self):
+        summary = summary_of("(A (B))")
+        assert summary.resolve(QueryNode.from_sexpr("(A (Z))")) == set()
+
+    def test_wildcard_root(self):
+        summary = summary_of("(A (X))", "(B (X))")
+        resolved = summary.resolve(QueryNode.from_sexpr("(* (X))"))
+        assert resolved == {("A", (("X", ()),)), ("B", (("X", ()),))}
+
+    def test_descendant_with_wildcard_target(self):
+        summary = summary_of("(A (B (C)))")
+        resolved = summary.resolve(QueryNode.from_sexpr("(A (//*))"))
+        assert resolved == {
+            ("A", (("B", ()),)),
+            ("A", (("B", (("C", ()),)),)),
+        }
+
+    def test_multi_branch(self):
+        summary = summary_of("(A (B) (C))")
+        resolved = summary.resolve(QueryNode.from_sexpr("(A (*) (*))"))
+        # Each wildcard child resolves independently to B or C.
+        assert ("A", (("B", ()), ("C", ()))) in resolved
+
+    def test_max_edges_enforced(self):
+        summary = summary_of("(A (B (C (D (E)))))")
+        query = QueryNode.from_sexpr("(A (//E))")
+        with pytest.raises(QueryError):
+            summary.resolve(query, max_edges=2)
+
+    def test_resolved_patterns_consistent_with_data(self):
+        # Resolution must never invent patterns the summary cannot contain.
+        summary = summary_of("(A (B (C)))", "(A (D))")
+        resolved = summary.resolve(QueryNode.from_sexpr("(A (//C))"))
+        assert resolved == {("A", (("B", (("C", ()),)),))}
+
+    def test_resolution_total_count_identity(self):
+        """Sum of resolved-pattern counts equals the extended query's
+        ground-truth count (single-branch case, the paper's identity)."""
+        from repro.core import ExactCounter
+
+        trees = [
+            from_sexpr("(A (B (C)) (C))"),
+            from_sexpr("(A (C))"),
+            from_sexpr("(A (B (C)))"),
+        ]
+        summary = StructuralSummary()
+        summary.add_trees(trees)
+        exact = ExactCounter(3).ingest(trees)
+        resolved = summary.resolve(QueryNode.from_sexpr("(A (//C))"))
+        total = exact.count_sum(resolved)
+        # Direct count: A/C occurs in trees 1 and 2 (2 total) and A/B/C in
+        # trees 1 and 3 (2 total).
+        assert total == 2 + 2

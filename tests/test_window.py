@@ -1,0 +1,95 @@
+"""Tests for sliding-window pattern counting."""
+
+import pytest
+
+from repro.core import SketchTreeConfig, WindowedSketchTree
+from repro.errors import ConfigError
+from repro.trees import from_sexpr
+
+CONFIG = SketchTreeConfig(
+    s1=50, s2=5, max_pattern_edges=2, n_virtual_streams=31, seed=6
+)
+
+EARLY = from_sexpr("(E (E1))")
+LATE = from_sexpr("(L (L1))")
+
+
+class TestConstruction:
+    def test_rejects_topk(self):
+        config = SketchTreeConfig(
+            s1=10, s2=3, n_virtual_streams=31, topk_size=2
+        )
+        with pytest.raises(ConfigError):
+            WindowedSketchTree(config, window_trees=10)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigError):
+            WindowedSketchTree(CONFIG, window_trees=0)
+        with pytest.raises(ConfigError):
+            WindowedSketchTree(CONFIG, window_trees=10, bucket_trees=20)
+
+    def test_default_bucket_size(self):
+        window = WindowedSketchTree(CONFIG, window_trees=80)
+        assert window.bucket_trees == 10
+        assert window.n_buckets == 8
+
+
+class TestWindowSemantics:
+    def test_old_trees_expire(self):
+        window = WindowedSketchTree(CONFIG, window_trees=20, bucket_trees=5)
+        window.ingest([EARLY] * 20)   # fills the window with E
+        window.ingest([LATE] * 40)    # pushes E entirely out
+        assert window.estimate_ordered("(E (E1))") == pytest.approx(0.0, abs=3)
+        covered = window.window_size_actual
+        assert window.estimate_ordered("(L (L1))") == pytest.approx(
+            covered, abs=5
+        )
+
+    def test_window_size_bounds(self):
+        window = WindowedSketchTree(CONFIG, window_trees=20, bucket_trees=5)
+        window.ingest([EARLY] * 100)
+        # Covered trees stay within [window, window + bucket).
+        assert 20 <= window.window_size_actual < 25
+
+    def test_before_window_fills_counts_everything(self):
+        window = WindowedSketchTree(CONFIG, window_trees=50, bucket_trees=10)
+        window.ingest([EARLY] * 7)
+        assert window.window_size_actual == 7
+        assert window.estimate_ordered("(E (E1))") == pytest.approx(7, abs=3)
+
+    def test_bucket_count_bounded(self):
+        window = WindowedSketchTree(CONFIG, window_trees=20, bucket_trees=5)
+        window.ingest([EARLY] * 500)
+        assert window.n_live_buckets <= window.n_buckets + 1
+
+    def test_mixed_window(self):
+        window = WindowedSketchTree(CONFIG, window_trees=10, bucket_trees=5)
+        window.ingest([EARLY] * 10 + [LATE] * 5)
+        # The last 15 trees covered are at most 10 E + 5 L; E is expiring.
+        early = window.estimate_ordered("(E (E1))")
+        late = window.estimate_ordered("(L (L1))")
+        assert late == pytest.approx(5, abs=3)
+        assert early <= 10 + 3
+
+    def test_unordered_and_sum(self):
+        window = WindowedSketchTree(CONFIG, window_trees=10, bucket_trees=2)
+        window.ingest([from_sexpr("(A (C) (B))")] * 8)
+        assert window.estimate_unordered("(A (B) (C))") == pytest.approx(
+            8, abs=4
+        )
+        total = window.estimate_sum(["(A (B))", "(A (C))"])
+        assert total == pytest.approx(16, abs=6)
+
+    def test_memory_report_scales_with_buckets(self):
+        small = WindowedSketchTree(CONFIG, window_trees=10, bucket_trees=5)
+        large = WindowedSketchTree(CONFIG, window_trees=10, bucket_trees=1)
+        small.ingest([EARLY] * 10)
+        large.ingest([EARLY] * 10)
+        assert (
+            large.memory_report().provisioned_sketch_bytes
+            > small.memory_report().provisioned_sketch_bytes
+        )
+
+    def test_repr(self):
+        window = WindowedSketchTree(CONFIG, window_trees=10, bucket_trees=5)
+        assert "WindowedSketchTree" in repr(window)

@@ -1,0 +1,122 @@
+"""Tests for workload generation (single, SUM, PRODUCT)."""
+
+import pytest
+
+from repro.core import ExactCounter
+from repro.errors import ConfigError
+from repro.trees import from_sexpr
+from repro.workload import (
+    generate_product_workload,
+    generate_sum_workload,
+    generate_workload,
+)
+
+
+def small_exact():
+    exact = ExactCounter(2)
+    trees = (
+        [from_sexpr("(A (B) (C))")] * 50
+        + [from_sexpr("(A (D))")] * 10
+        + [from_sexpr(f"(A (R{i}))") for i in range(20)]
+    )
+    for tree in trees:
+        exact.update(tree)
+    return exact
+
+
+class TestSingleWorkload:
+    def test_queries_bucketed_by_selectivity(self):
+        exact = small_exact()
+        buckets = ((0.0, 0.05), (0.05, 0.5))
+        workload = generate_workload(exact, buckets, max_per_bucket=100, seed=1)
+        for bucket, queries in zip(workload.buckets, workload.queries_by_bucket):
+            for query in queries:
+                assert bucket[0] <= query.selectivity < bucket[1]
+                assert query.actual == exact.count_ordered(query.pattern)
+
+    def test_max_per_bucket_enforced(self):
+        exact = small_exact()
+        workload = generate_workload(
+            exact, ((0.0, 1.0),), max_per_bucket=5, seed=1
+        )
+        assert workload.queries_by_bucket[0] is not None
+        assert len(workload.queries_by_bucket[0]) == 5
+
+    def test_deterministic(self):
+        exact = small_exact()
+        a = generate_workload(exact, ((0.0, 1.0),), max_per_bucket=5, seed=3)
+        b = generate_workload(exact, ((0.0, 1.0),), max_per_bucket=5, seed=3)
+        assert a == b
+
+    def test_edge_bounds_respected(self):
+        exact = small_exact()
+        workload = generate_workload(
+            exact, ((0.0, 1.0),), min_edges=2, max_edges=2, seed=1
+        )
+        from repro.query.pattern import pattern_edges
+
+        for query in workload.all_queries():
+            assert pattern_edges(query.pattern) == 2
+
+    def test_histogram(self):
+        exact = small_exact()
+        workload = generate_workload(exact, ((0.0, 0.05), (0.05, 1.0)), seed=1)
+        histogram = workload.histogram()
+        assert len(histogram) == 2
+        assert sum(count for _, count in histogram) == workload.n_queries
+
+    def test_empty_exact_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_workload(ExactCounter(2), ((0.0, 1.0),))
+
+    def test_invalid_buckets(self):
+        exact = small_exact()
+        with pytest.raises(ConfigError):
+            generate_workload(exact, ())
+        with pytest.raises(ConfigError):
+            generate_workload(exact, ((0.5, 0.5),))
+
+
+class TestCompositeWorkloads:
+    def test_sum_queries_have_distinct_patterns(self):
+        exact = small_exact()
+        base = generate_workload(exact, ((0.0, 1.0),), max_per_bucket=30, seed=1)
+        workload = generate_sum_workload(
+            base, exact, ((0.0, 10.0),), n_queries=50, n_patterns=3, seed=2
+        )
+        for query in workload.all_queries():
+            assert len(set(query.patterns)) == 3
+            assert query.actual == sum(
+                exact.count_ordered(p) for p in query.patterns
+            )
+
+    def test_product_actual_is_product(self):
+        exact = small_exact()
+        base = generate_workload(exact, ((0.0, 1.0),), max_per_bucket=30, seed=1)
+        workload = generate_product_workload(
+            base, exact, ((0.0, 1e9),), n_queries=30, n_patterns=2, seed=2
+        )
+        assert workload.n_queries > 0
+        for query in workload.all_queries():
+            product = 1
+            for pattern in query.patterns:
+                product *= exact.count_ordered(pattern)
+            assert query.actual == product
+
+    def test_selectivity_definition(self):
+        # Paper: composite selectivity divides by total sequences processed.
+        exact = small_exact()
+        base = generate_workload(exact, ((0.0, 1.0),), max_per_bucket=30, seed=1)
+        workload = generate_sum_workload(
+            base, exact, ((0.0, 10.0),), n_queries=10, seed=4
+        )
+        for query in workload.all_queries():
+            assert query.selectivity == pytest.approx(
+                query.actual / exact.n_values
+            )
+
+    def test_pool_too_small_rejected(self):
+        exact = small_exact()
+        base = generate_workload(exact, ((0.9, 1.0),), seed=1)  # empty pool
+        with pytest.raises(ConfigError):
+            generate_sum_workload(base, exact, ((0.0, 1.0),), n_patterns=3)

@@ -1,0 +1,150 @@
+"""Tests for the from-scratch XML parser and serializer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import XmlParseError
+from repro.trees import from_sexpr, parse_forest, parse_xml, to_xml
+from repro.trees.xml import iter_parse_forest
+
+
+class TestParser:
+    def test_simple_element(self):
+        tree = parse_xml("<a/>")
+        assert tree.labels == ("a",)
+
+    def test_nested_elements(self):
+        tree = parse_xml("<a><b/><c><d/></c></a>")
+        assert tree.to_nested() == ("a", (("b", ()), ("c", (("d", ()),))))
+
+    def test_text_becomes_leaf_child(self):
+        tree = parse_xml("<a>hello</a>")
+        assert tree.to_nested() == ("a", (("hello", ()),))
+
+    def test_mixed_content_order_preserved(self):
+        tree = parse_xml("<a>x<b/>y</a>")
+        assert tree.to_nested() == ("a", (("x", ()), ("b", ()), ("y", ())))
+
+    def test_whitespace_only_text_skipped(self):
+        tree = parse_xml("<a>\n  <b/>\n</a>")
+        assert tree.to_nested() == ("a", (("b", ()),))
+
+    def test_attributes_become_at_children(self):
+        tree = parse_xml('<a x="1" y="two"/>')
+        assert tree.to_nested() == (
+            "a",
+            (("@x", (("1", ()),)), ("@y", (("two", ()),))),
+        )
+
+    def test_attributes_dropped_when_disabled(self):
+        tree = parse_xml('<a x="1"><b/></a>', keep_attributes=False)
+        assert tree.to_nested() == ("a", (("b", ()),))
+
+    def test_empty_attribute_value(self):
+        tree = parse_xml('<a x=""/>')
+        assert tree.to_nested() == ("a", (("@x", ()),))
+
+    def test_entities_unescaped(self):
+        tree = parse_xml("<a>x &amp; y &lt;z&gt; &#65; &#x42;</a>")
+        assert tree.labels[0] == "x & y <z> A B"
+
+    def test_unknown_entity_kept_verbatim(self):
+        tree = parse_xml("<a>&nbsp;</a>")
+        assert tree.labels[0] == "&nbsp;"
+
+    def test_cdata_section(self):
+        tree = parse_xml("<a><![CDATA[<raw> & stuff]]></a>")
+        assert tree.labels[0] == "<raw> & stuff"
+
+    def test_comments_and_pis_skipped(self):
+        tree = parse_xml("<?xml version='1.0'?><!-- hi --><a><!-- x --><b/></a>")
+        assert tree.to_nested() == ("a", (("b", ()),))
+
+    def test_doctype_skipped(self):
+        tree = parse_xml("<!DOCTYPE a><a/>")
+        assert tree.labels == ("a",)
+
+    def test_forest(self):
+        trees = parse_forest("<a/><b><c/></b><a/>")
+        assert [t.label_of(t.root) for t in trees] == ["a", "b", "a"]
+
+    def test_iter_parse_forest_lazy(self):
+        iterator = iter_parse_forest("<a/><b/>")
+        first = next(iterator)
+        assert first.labels == ("a",)
+        assert next(iterator).labels == ("b",)
+        with pytest.raises(StopIteration):
+            next(iterator)
+
+    def test_parse_xml_requires_single_root(self):
+        with pytest.raises(XmlParseError):
+            parse_xml("<a/><b/>")
+        with pytest.raises(XmlParseError):
+            parse_xml("   ")
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "<a>",                 # unterminated element
+            "<a></b>",             # mismatched close tag
+            "<a x=1/>",            # unquoted attribute
+            "<a x/>",              # attribute without value
+            "<a x='1/>",           # unterminated attribute value
+            "<a><![CDATA[x</a>",   # unterminated CDATA
+            "<!-- never closed",   # unterminated comment
+            "text<a/>",            # top-level character data
+            "<>",                  # missing name
+        ],
+    )
+    def test_malformed_documents_raise(self, text):
+        with pytest.raises(XmlParseError):
+            parse_forest(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(XmlParseError) as excinfo:
+            parse_xml("<a x=1/>")
+        assert excinfo.value.position is not None
+
+
+class TestSerializer:
+    def test_roundtrip_elements(self):
+        text = "<a><b/><c><d/></c></a>"
+        assert to_xml(parse_xml(text)) == text
+
+    def test_roundtrip_text(self):
+        tree = parse_xml("<a>hello world</a>")
+        assert to_xml(tree) == "<a>hello world</a>"
+
+    def test_roundtrip_attributes(self):
+        tree = parse_xml('<a x="1"><b/></a>')
+        assert to_xml(tree) == '<a x="1"><b/></a>'
+
+    def test_escapes_special_characters(self):
+        tree = parse_xml("<a>x &amp; &lt;y&gt;</a>")
+        assert to_xml(tree) == "<a>x &amp; &lt;y&gt;</a>"
+
+    def test_sexpr_tree_serialises(self):
+        tree = from_sexpr("(a (b) (c))")
+        assert to_xml(tree) == "<a><b/><c/></a>"
+
+    def test_deep_document_roundtrip_no_recursion_error(self):
+        # Both the parser and the serializer are iterative; a 5000-deep
+        # chain must round-trip without hitting the recursion limit.
+        from repro.trees import from_nested
+
+        nested = ("a", ())
+        for _ in range(5000):
+            nested = ("a", (nested,))
+        tree = from_nested(nested)
+        assert parse_xml(to_xml(tree)) == tree
+
+    @given(st.integers(0, 3))
+    def test_parse_serialise_fixpoint(self, depth):
+        # Build a nested document of the given depth and round-trip twice;
+        # the second round-trip must be a fixpoint.
+        text = "<a>" * (depth + 1) + "v" + "</a>" * (depth + 1)
+        once = to_xml(parse_xml(text))
+        assert to_xml(parse_xml(once)) == once
