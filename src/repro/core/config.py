@@ -13,6 +13,25 @@ from repro.errors import ConfigError
 
 _MAPPINGS = ("rabin", "pairing")
 
+#: Seed used by components constructed without an explicit one (notably
+#: ad-hoc :class:`~repro.hashing.rabin.RabinFingerprint` instances and
+#: :func:`~repro.hashing.gf2.random_irreducible` draws), so that *every*
+#: polynomial draw in the system is reproducible run-to-run.
+DEFAULT_SEED = 0
+
+#: Offset added to the master seed for the ξ-family coefficient draw, so
+#: the sketch randomness and the encoder randomness never coincide even
+#: when ``encoder_seed`` is left unset.
+XI_SEED_OFFSET = 101
+
+#: XOR salt deriving the top-k sampling RNG from the master seed
+#: (Algorithm 4's probabilistic relief valve, ``topk_probability < 1``).
+TOPK_RNG_SALT = 0x53EED
+
+#: Offset deriving the label-hashing fingerprint polynomial from the
+#: encoder seed, keeping it independent of the sequence polynomial.
+LABEL_SEED_OFFSET = 1
+
 
 @dataclass(frozen=True)
 class SketchTreeConfig:

@@ -18,6 +18,7 @@ patterns against vastly more occurrences).
 
 from __future__ import annotations
 
+from repro.core.config import LABEL_SEED_OFFSET
 from repro.errors import ConfigError
 from repro.hashing.labels import LabelHasher
 from repro.hashing.pairing import pair_sequence
@@ -42,7 +43,7 @@ class PatternEncoder:
             # Independent polynomials for the sequence and the labels, both
             # derived from the master seed.
             self._sequence_fp = RabinFingerprint(degree=degree, seed=seed)
-            self._labels = LabelHasher("rabin", seed=seed + 1)
+            self._labels = LabelHasher("rabin", seed=seed + LABEL_SEED_OFFSET)
         else:
             self._sequence_fp = None
             self._labels = LabelHasher("enumerate")

@@ -28,13 +28,12 @@ Two ingestion paths are provided:
 from __future__ import annotations
 
 import pickle
-import random
 from collections import Counter
 from typing import Iterable
 
 import numpy as np
 
-from repro.core.config import SketchTreeConfig
+from repro.core.config import TOPK_RNG_SALT, XI_SEED_OFFSET, SketchTreeConfig
 from repro.core.encoding import PatternEncoder
 from repro.core.expressions import Expression, required_independence
 from repro.core.memory import MemoryReport
@@ -106,11 +105,11 @@ class SketchTree:
             s1=config.s1,
             s2=config.s2,
             independence=config.independence,
-            seed=config.seed + 101,
+            seed=config.seed + XI_SEED_OFFSET,
             topk_size=config.topk_size,
             xi_family=config.xi_family,
         )
-        self._rng = random.Random(config.seed ^ 0x53EED)
+        self._rng = np.random.default_rng(config.seed ^ TOPK_RNG_SALT)
         self.summary: StructuralSummary | None = (
             StructuralSummary() if config.maintain_summary else None
         )

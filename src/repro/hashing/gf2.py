@@ -8,9 +8,10 @@ the irreducibility test (Rabin's criterion).
 
 from __future__ import annotations
 
-import random
+import numpy as np
 
 from repro.errors import HashingError
+from repro.hashing.rng import default_generator, random_bits
 
 
 def gf2_degree(poly: int) -> int:
@@ -107,7 +108,9 @@ def is_irreducible(poly: int) -> bool:
     return True
 
 
-def random_irreducible(degree: int, rng: random.Random | None = None) -> int:
+def random_irreducible(
+    degree: int, rng: np.random.Generator | int | None = None
+) -> int:
     """Draw a uniformly random irreducible polynomial of the given degree.
 
     As in Rabin's fingerprinting scheme: candidates of the exact degree
@@ -115,12 +118,18 @@ def random_irreducible(degree: int, rng: random.Random | None = None) -> int:
     ``degree >= 1``) are sampled until one passes the irreducibility test.
     Roughly one in ``degree`` monic polynomials is irreducible, so this
     terminates quickly.
+
+    ``rng`` is an injectable seeded :class:`numpy.random.Generator`; an
+    int is taken as a seed, and ``None`` falls back to the repository-wide
+    :data:`~repro.core.config.DEFAULT_SEED` so the draw is reproducible
+    run-to-run either way.
     """
     if degree < 1:
         raise HashingError(f"degree must be >= 1, got {degree}")
-    rng = rng if rng is not None else random.Random()
+    if not isinstance(rng, np.random.Generator):
+        rng = default_generator(rng)
     high_bit = 1 << degree
     while True:
-        candidate = high_bit | rng.getrandbits(degree) | 1
+        candidate = high_bit | random_bits(rng, degree) | 1
         if is_irreducible(candidate):
             return candidate

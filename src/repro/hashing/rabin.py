@@ -15,8 +15,9 @@ label strings.
 
 from __future__ import annotations
 
-import random
 from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro.errors import HashingError
 from repro.hashing.gf2 import gf2_degree, gf2_mod, is_irreducible, random_irreducible
@@ -39,7 +40,12 @@ class RabinFingerprint:
         the paper).
     seed:
         Seed for the random polynomial draw; fingerprints are fully
-        deterministic given ``(poly)`` or ``(degree, seed)``.
+        deterministic given ``(poly)`` or ``(degree, seed)``.  ``None``
+        falls back to :data:`repro.core.config.DEFAULT_SEED` — there is
+        deliberately no irreproducible path.
+    rng:
+        Alternatively, an already-seeded :class:`numpy.random.Generator`
+        to draw the polynomial from (takes precedence over ``seed``).
     """
 
     def __init__(
@@ -47,9 +53,10 @@ class RabinFingerprint:
         poly: int | None = None,
         degree: int = DEFAULT_DEGREE,
         seed: int | None = None,
+        rng: np.random.Generator | None = None,
     ):
         if poly is None:
-            poly = random_irreducible(degree, random.Random(seed))
+            poly = random_irreducible(degree, rng if rng is not None else seed)
         elif not is_irreducible(poly):
             raise HashingError(f"polynomial {poly:#x} is not irreducible")
         self.poly = poly

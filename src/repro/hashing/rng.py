@@ -1,0 +1,43 @@
+"""Seeded randomness for the hashing layer.
+
+Every random draw behind the fingerprinting machinery (irreducible
+polynomials above all) must be reproducible run-to-run: the paper's
+collision and accuracy guarantees are statements about a *fixed* random
+choice, and a synopsis can only answer queries about a stream if both
+sides drew the same polynomial.  This module is the single place the
+hashing layer obtains randomness: an explicitly seeded
+:class:`numpy.random.Generator`, defaulting to
+:data:`repro.core.config.DEFAULT_SEED`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def default_generator(seed: int | None = None) -> np.random.Generator:
+    """A seeded :class:`numpy.random.Generator`.
+
+    ``None`` falls back to :data:`repro.core.config.DEFAULT_SEED` rather
+    than OS entropy — an unseeded draw here would silently break
+    run-to-run reproducibility of every fingerprint in the system.
+    """
+    if seed is None:
+        # Imported lazily: repro.core.__init__ pulls in the sketch stack,
+        # which imports this package — a module-level import would cycle.
+        from repro.core.config import DEFAULT_SEED
+
+        seed = DEFAULT_SEED
+    return np.random.default_rng(seed)
+
+
+def random_bits(rng: np.random.Generator, n_bits: int) -> int:
+    """A uniformly random ``n_bits``-bit integer from ``rng``.
+
+    Assembled from 32-bit draws so the result is exact for widths beyond
+    what a single ``integers`` call can return.
+    """
+    value = 0
+    for _ in range((n_bits + 31) // 32):
+        value = (value << 32) | int(rng.integers(0, 1 << 32, dtype=np.uint64))
+    return value & ((1 << n_bits) - 1)

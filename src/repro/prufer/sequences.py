@@ -33,12 +33,14 @@ from repro.errors import TreeError
 from repro.trees.tree import LabeledTree, Nested
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PruferSequences:
     """The (LPS, NPS) pair uniquely identifying an ordered labeled tree.
 
     ``lps[i]`` is the label of the node whose postorder number is
-    ``nps[i]``; both sequences have length ``n_extended − 1``.
+    ``nps[i]``; both sequences have length ``n_extended − 1``.  Slotted:
+    one instance is built per encoded pattern occurrence, so per-instance
+    ``__dict__`` overhead would dominate at stream scale.
     """
 
     lps: tuple[str, ...]

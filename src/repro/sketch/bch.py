@@ -21,12 +21,11 @@ suite verifies this construction's independence *exhaustively* for small
 
 from __future__ import annotations
 
-import random
-
 import numpy as np
 
 from repro.errors import ConfigError
 from repro.hashing.gf2 import gf2_mulmod, random_irreducible
+from repro.hashing.rng import default_generator
 
 
 class BchXiGenerator:
@@ -54,18 +53,12 @@ class BchXiGenerator:
         self.n_instances = n_instances
         self.m = m
         self.seed = seed
-        rng = random.Random(seed)
+        rng = default_generator(seed)
         self._poly = random_irreducible(m, rng)
         bound = 1 << m
-        self._s0 = np.asarray(
-            [rng.getrandbits(1) for _ in range(n_instances)], dtype=np.int64
-        )
-        self._s1 = np.asarray(
-            [rng.randrange(bound) for _ in range(n_instances)], dtype=np.int64
-        )
-        self._s2 = np.asarray(
-            [rng.randrange(bound) for _ in range(n_instances)], dtype=np.int64
-        )
+        self._s0 = rng.integers(0, 2, size=n_instances, dtype=np.int64)
+        self._s1 = rng.integers(0, bound, size=n_instances, dtype=np.int64)
+        self._s2 = rng.integers(0, bound, size=n_instances, dtype=np.int64)
         self._cube_cache: dict[int, int] = {}
 
     def _cube(self, value: int) -> int:

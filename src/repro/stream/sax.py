@@ -44,6 +44,8 @@ class SaxPatternEnumerator:
         pattern, as soon as its root node closes.
     """
 
+    __slots__ = ("k", "emit", "n_patterns", "_frames")
+
     def __init__(self, k: int, emit: Callable[[Nested], None]):
         if k < 1:
             raise ConfigError(f"k must be >= 1, got {k}")

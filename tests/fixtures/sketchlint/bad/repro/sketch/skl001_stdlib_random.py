@@ -1,0 +1,7 @@
+"""Triggers SKL001 exactly once: stdlib random imported in a hot path."""
+
+import random
+
+
+def draw(seed: int) -> float:
+    return random.Random(seed).random()

@@ -1,0 +1,5 @@
+"""Triggers SKL002 exactly once: float equality in estimator code."""
+
+
+def estimate_matches(estimate: float) -> bool:
+    return estimate == 1.0

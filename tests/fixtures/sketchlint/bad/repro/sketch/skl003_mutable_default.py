@@ -1,0 +1,6 @@
+"""Triggers SKL003 exactly once: mutable default argument."""
+
+
+def collect(values, into=[]):
+    into.extend(values)
+    return into

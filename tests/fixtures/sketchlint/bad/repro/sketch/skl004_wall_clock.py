@@ -1,0 +1,9 @@
+"""Triggers SKL004 exactly once: wall-clock time in a measured section."""
+
+import time
+
+
+def measure(fn) -> float:
+    start = time.time()
+    fn()
+    return time.perf_counter() - start

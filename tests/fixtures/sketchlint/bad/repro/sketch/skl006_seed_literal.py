@@ -1,0 +1,5 @@
+"""Triggers SKL006 exactly once: hard-coded seed literal at a call site."""
+
+
+def build_generator(factory):
+    return factory(independence=4, seed=12345)

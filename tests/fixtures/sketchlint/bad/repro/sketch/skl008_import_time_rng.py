@@ -1,0 +1,9 @@
+"""Triggers SKL008 exactly once: RNG constructed at module import time."""
+
+import numpy as np
+
+_RNG = np.random.default_rng(7)
+
+
+def draw() -> float:
+    return float(_RNG.random())

@@ -1,0 +1,9 @@
+"""Triggers SKL005 exactly once: bare except in the stream engine."""
+
+
+def feed(consumer, tree):
+    try:
+        consumer.update(tree)
+    except:
+        return False
+    return True

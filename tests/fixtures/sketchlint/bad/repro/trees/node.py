@@ -1,0 +1,7 @@
+"""Triggers SKL007 exactly once: inner-loop class without __slots__."""
+
+
+class PatternNode:
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.children: list["PatternNode"] = []

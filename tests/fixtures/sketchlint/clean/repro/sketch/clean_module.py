@@ -1,0 +1,35 @@
+"""Triggers no sketchlint rule: the patterns the codebase should follow."""
+
+import math
+import time
+
+import numpy as np
+
+
+def build_generator(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def estimate_matches(estimate: float, expected: float) -> bool:
+    return math.isclose(estimate, expected, rel_tol=1e-9)
+
+
+def collect(values, into=None):
+    if into is None:
+        into = []
+    into.extend(values)
+    return into
+
+
+def measure(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def feed(consumer, tree) -> bool:
+    try:
+        consumer.update(tree)
+    except ValueError:
+        return False
+    return True

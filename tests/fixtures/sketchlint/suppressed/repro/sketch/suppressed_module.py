@@ -1,0 +1,11 @@
+"""A violation on every line is silenced by an inline disable comment."""
+
+import random  # sketchlint: disable=SKL001
+
+
+def draw_legacy(seed: int) -> float:
+    return random.Random(seed).random()
+
+
+def build(factory):
+    return factory(seed=999)  # sketchlint: disable=SKL006

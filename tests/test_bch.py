@@ -81,9 +81,7 @@ class TestExactFourwiseIndependence:
         return True
 
     def test_any_four_columns_linearly_independent(self):
-        import random
-
-        poly = random_irreducible(self.M, random.Random(0))
+        poly = random_irreducible(self.M, np.random.default_rng(0))
         vectors = self._vectors(poly)
         for subset in combinations(range(1 << self.M), 4):
             assert self._independent([vectors[i] for i in subset])
@@ -92,11 +90,10 @@ class TestExactFourwiseIndependence:
         """For sample 4-tuples, enumerating every (s0, s1, s2) seed gives
         a perfectly uniform joint bit distribution — exact independence,
         not just statistical."""
-        import random
         from collections import Counter
 
         m = 4
-        poly = random_irreducible(m, random.Random(1))
+        poly = random_irreducible(m, np.random.default_rng(1))
 
         def cube(i):
             return gf2_mulmod(gf2_mulmod(i, i, poly), i, poly)

@@ -2,6 +2,7 @@
 
 import random
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -126,11 +127,20 @@ class TestGf2:
         assert count == 3
 
     def test_random_irreducible_deterministic(self):
-        rng_a, rng_b = random.Random(5), random.Random(5)
+        rng_a, rng_b = np.random.default_rng(5), np.random.default_rng(5)
         assert random_irreducible(31, rng_a) == random_irreducible(31, rng_b)
 
+    def test_random_irreducible_accepts_int_seed(self):
+        assert random_irreducible(31, 5) == random_irreducible(
+            31, np.random.default_rng(5)
+        )
+
+    def test_random_irreducible_unseeded_default_is_reproducible(self):
+        # None falls back to repro.core.config.DEFAULT_SEED, never OS entropy.
+        assert random_irreducible(31) == random_irreducible(31)
+
     def test_random_irreducible_has_requested_degree(self):
-        poly = random_irreducible(16, random.Random(1))
+        poly = random_irreducible(16, np.random.default_rng(1))
         assert gf2_degree(poly) == 16
         assert is_irreducible(poly)
 

@@ -1,0 +1,179 @@
+"""Self-tests for the sketchlint static-analysis pass.
+
+Three layers: (1) every SKL rule fires exactly once on its dedicated
+fixture and nowhere else; (2) suppression comments and rule selection
+work; (3) the real ``src/repro`` tree is violation-free — the invariant
+the whole pass exists to keep true — and the CLI exit codes agree.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from tools.sketchlint import (
+    RULES,
+    RULES_BY_ID,
+    LintUsageError,
+    lint_file,
+    lint_paths,
+    lint_source,
+    select_rules,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "sketchlint"
+SRC = REPO_ROOT / "src"
+
+RULE_FIXTURES = {
+    "SKL001": FIXTURES / "bad/repro/sketch/skl001_stdlib_random.py",
+    "SKL002": FIXTURES / "bad/repro/sketch/skl002_float_eq.py",
+    "SKL003": FIXTURES / "bad/repro/sketch/skl003_mutable_default.py",
+    "SKL004": FIXTURES / "bad/repro/sketch/skl004_wall_clock.py",
+    "SKL005": FIXTURES / "bad/repro/stream/skl005_bare_except.py",
+    "SKL006": FIXTURES / "bad/repro/sketch/skl006_seed_literal.py",
+    "SKL007": FIXTURES / "bad/repro/trees/node.py",
+    "SKL008": FIXTURES / "bad/repro/sketch/skl008_import_time_rng.py",
+}
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+    def test_fixture_triggers_its_rule_exactly_once(self, rule_id):
+        violations = lint_file(RULE_FIXTURES[rule_id])
+        assert [v.rule for v in violations] == [rule_id]
+
+    def test_every_rule_has_a_fixture(self):
+        assert sorted(RULE_FIXTURES) == sorted(rule.id for rule in RULES)
+
+    def test_clean_fixture_triggers_nothing(self):
+        violations = lint_file(
+            FIXTURES / "clean/repro/sketch/clean_module.py"
+        )
+        assert violations == []
+
+    def test_violation_carries_location(self):
+        (violation,) = lint_file(RULE_FIXTURES["SKL001"])
+        assert violation.line == 3
+        assert violation.path.endswith("skl001_stdlib_random.py")
+        assert "SKL001" in violation.render()
+
+
+class TestScoping:
+    def test_skl001_ignores_random_outside_hot_paths(self):
+        source = "import random\n"
+        assert lint_source(source, "src/repro/experiments/fig99.py") == []
+        assert lint_source(source, "src/repro/sketch/xi.py") != []
+
+    def test_skl006_exempts_config_module(self):
+        source = "def f(factory):\n    return factory(seed=777)\n"
+        assert lint_source(source, "src/repro/core/config.py") == []
+        assert lint_source(source, "src/repro/core/other.py") != []
+
+    def test_skl007_only_designated_modules(self):
+        source = "class Thing:\n    pass\n"
+        assert lint_source(source, "src/repro/query/pattern.py") == []
+        assert [v.rule for v in lint_source(source, "src/repro/trees/node.py")] == [
+            "SKL007"
+        ]
+
+    def test_skl007_accepts_dataclass_slots(self):
+        source = (
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True, slots=True)\n"
+            "class Thing:\n"
+            "    x: int\n"
+        )
+        assert lint_source(source, "src/repro/trees/node.py") == []
+
+
+class TestSuppression:
+    def test_inline_disable_comment_silences_rule(self):
+        violations = lint_file(
+            FIXTURES / "suppressed/repro/sketch/suppressed_module.py"
+        )
+        assert violations == []
+
+    def test_disable_all_token(self):
+        source = "import random  # sketchlint: disable=all\n"
+        assert lint_source(source, "src/repro/sketch/x.py") == []
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        source = "import random  # sketchlint: disable=SKL002\n"
+        assert [v.rule for v in lint_source(source, "src/repro/sketch/x.py")] == [
+            "SKL001"
+        ]
+
+
+class TestEngine:
+    def test_select_rules_unknown_id_raises(self):
+        with pytest.raises(LintUsageError):
+            select_rules(["SKL999"])
+
+    def test_select_rules_subset(self):
+        rules = select_rules(["skl003", "SKL005"])
+        assert [rule.id for rule in rules] == ["SKL003", "SKL005"]
+
+    def test_syntax_error_reported_not_raised(self):
+        violations = lint_source("def broken(:\n", "src/repro/sketch/x.py")
+        assert [v.rule for v in violations] == ["SKL000"]
+
+    def test_lint_paths_walks_directories(self):
+        violations, n_files = lint_paths([FIXTURES / "bad"])
+        assert n_files == len(RULE_FIXTURES)
+        assert sorted(v.rule for v in violations) == sorted(RULE_FIXTURES)
+
+    def test_rule_catalogue_is_consistent(self):
+        assert set(RULES_BY_ID) == {rule.id for rule in RULES}
+        assert all(rule.summary for rule in RULES)
+
+
+class TestSourceTreeIsClean:
+    def test_src_repro_is_violation_free(self):
+        """The invariant this PR establishes: the shipped tree lints clean."""
+        violations, n_files = lint_paths([SRC])
+        assert n_files > 50  # sanity: the walk actually found the package
+        assert violations == []
+
+    def test_tools_package_is_violation_free(self):
+        violations, _ = lint_paths([REPO_ROOT / "tools"])
+        assert violations == []
+
+
+class TestCli:
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "tools.sketchlint", *args],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+
+    def test_clean_tree_exits_zero(self):
+        result = self._run("src")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "0 violations" in result.stdout
+
+    def test_violation_fixture_exits_one_with_rule_id(self):
+        result = self._run(str(RULE_FIXTURES["SKL001"]))
+        assert result.returncode == 1
+        assert "SKL001" in result.stdout
+
+    def test_json_format(self):
+        result = self._run("--format", "json", str(RULE_FIXTURES["SKL006"]))
+        assert result.returncode == 1
+        payload = json.loads(result.stdout)
+        assert payload["files_checked"] == 1
+        assert [v["rule"] for v in payload["violations"]] == ["SKL006"]
+
+    def test_unknown_rule_exits_two(self):
+        result = self._run("--select", "SKL999", "src")
+        assert result.returncode == 2
+
+    def test_list_rules(self):
+        result = self._run("--list-rules")
+        assert result.returncode == 0
+        for rule in RULES:
+            assert rule.id in result.stdout

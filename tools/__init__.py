@@ -1,0 +1,1 @@
+"""Repository-internal developer tooling (not shipped with the package)."""

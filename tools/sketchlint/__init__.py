@@ -1,0 +1,47 @@
+"""sketchlint: domain-aware static analysis for the SketchTree repro.
+
+The paper's accuracy guarantees rest on invariants the type system cannot
+see — four-wise-independent ξ families drawn from reproducible seeds,
+fixed irreducible fingerprint polynomials, monotonic benchmark clocks.
+This package enforces them with a pure-AST pass (no runtime deps beyond
+the stdlib):
+
+========  ==============================================================
+SKL001    unseeded / stdlib-``random`` RNG in sketch/hashing/core paths
+SKL002    float ``==`` / ``!=`` in estimator code
+SKL003    mutable default arguments
+SKL004    wall-clock ``time.time`` in measured sections
+SKL005    bare / silently swallowed exceptions
+SKL006    seed or polynomial literals outside ``repro.core.config``
+SKL007    missing ``__slots__`` on EnumTree inner-loop classes
+SKL008    module-import-time I/O or RNG construction
+========  ==============================================================
+
+Run ``python -m tools.sketchlint src/``; suppress one line with
+``# sketchlint: disable=SKL00x``.  See ``docs/static-analysis.md``.
+"""
+
+from tools.sketchlint.engine import (
+    LintUsageError,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    select_rules,
+)
+from tools.sketchlint.rules import RULES, RULES_BY_ID, Rule
+from tools.sketchlint.violations import FileContext, Violation
+
+__all__ = [
+    "FileContext",
+    "LintUsageError",
+    "RULES",
+    "RULES_BY_ID",
+    "Rule",
+    "Violation",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "select_rules",
+]

@@ -1,0 +1,83 @@
+"""Command-line front end: ``python -m tools.sketchlint src/``.
+
+Exit codes: 0 = clean, 1 = violations found, 2 = usage/parse failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from tools.sketchlint.engine import LintUsageError, lint_paths
+from tools.sketchlint.rules import RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.sketchlint",
+        description=(
+            "Domain-aware static analysis for the SketchTree reproduction: "
+            "determinism, numeric-safety and sketch-correctness invariants "
+            "(rules SKL001-SKL008). Suppress a hit inline with "
+            "`# sketchlint: disable=SKL00x`."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.id}  {rule.summary}")
+        return 0
+    select = args.select.split(",") if args.select else None
+    try:
+        violations, n_files = lint_paths(args.paths, select=select)
+    except (LintUsageError, OSError) as error:
+        print(f"sketchlint: error: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "files_checked": n_files,
+                    "violations": [v.to_dict() for v in violations],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for violation in violations:
+            print(violation.render())
+        noun = "violation" if len(violations) == 1 else "violations"
+        print(f"sketchlint: {len(violations)} {noun} in {n_files} files checked")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,133 @@
+"""File discovery, suppression handling and rule dispatch."""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from tools.sketchlint.rules import RULES, Rule
+from tools.sketchlint.violations import FileContext, Violation
+
+#: Rule id reserved for files the linter cannot parse.
+PARSE_ERROR_RULE = "SKL000"
+
+_SUPPRESS_RE = re.compile(r"#\s*sketchlint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "build", "dist"}
+
+
+class LintUsageError(Exception):
+    """Bad invocation: unknown rule id, missing path, …"""
+
+
+def _parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids disabled on that line (or {"ALL"})."""
+    suppressions: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = {
+            token.strip().upper()
+            for token in match.group(1).split(",")
+            if token.strip()
+        }
+        if rules:
+            suppressions.setdefault(lineno, set()).update(rules)
+    return suppressions
+
+
+def _is_suppressed(violation: Violation, suppressions: dict[int, set[str]]) -> bool:
+    rules = suppressions.get(violation.line)
+    if rules is None:
+        return False
+    return "ALL" in rules or violation.rule in rules
+
+
+def select_rules(select: Iterable[str] | None) -> tuple[Rule, ...]:
+    """Resolve a ``--select`` list (None = all rules)."""
+    if select is None:
+        return RULES
+    wanted = [token.strip().upper() for token in select if token.strip()]
+    by_id = {rule.id: rule for rule in RULES}
+    unknown = [token for token in wanted if token not in by_id]
+    if unknown:
+        raise LintUsageError(
+            f"unknown rule id(s): {', '.join(unknown)}; "
+            f"known: {', '.join(by_id)}"
+        )
+    return tuple(by_id[token] for token in wanted)
+
+
+def lint_source(source: str, path: str, rules: tuple[Rule, ...] = RULES) -> list[Violation]:
+    """Lint one already-read source string ("path" is for scoping/reports)."""
+    normalised = Path(path).as_posix()
+    try:
+        tree = ast.parse(source, filename=normalised)
+    except SyntaxError as error:
+        return [
+            Violation(
+                rule=PARSE_ERROR_RULE,
+                path=normalised,
+                line=error.lineno or 1,
+                col=(error.offset or 0) + 1,
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    context = FileContext(path=normalised, tree=tree, source=source)
+    suppressions = _parse_suppressions(source)
+    found: list[Violation] = []
+    for rule in rules:
+        if not rule.applies_to(normalised):
+            continue
+        for violation in rule.check(context):
+            if not _is_suppressed(violation, suppressions):
+                found.append(violation)
+    found.sort(key=Violation.sort_key)
+    return found
+
+
+def lint_file(path: str | Path, rules: tuple[Rule, ...] = RULES) -> list[Violation]:
+    """Lint one file on disk."""
+    file_path = Path(path)
+    source = file_path.read_text(encoding="utf-8")
+    return lint_source(source, str(file_path), rules)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into the .py files to lint, skipping caches
+    and build artifacts."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                parts = set(candidate.parts)
+                if parts & _SKIP_DIRS:
+                    continue
+                if any(part.endswith(".egg-info") for part in candidate.parts):
+                    continue
+                yield candidate
+        elif path.suffix == ".py":
+            yield path
+        elif not path.exists():
+            raise LintUsageError(f"path does not exist: {path}")
+
+
+def lint_paths(
+    paths: Iterable[str | Path], select: Iterable[str] | None = None
+) -> tuple[list[Violation], int]:
+    """Lint files and/or directory trees.
+
+    Returns ``(violations, n_files_checked)``; violations are sorted by
+    location.
+    """
+    rules = select_rules(select)
+    violations: list[Violation] = []
+    n_files = 0
+    for file_path in iter_python_files(paths):
+        n_files += 1
+        violations.extend(lint_file(file_path, rules))
+    violations.sort(key=Violation.sort_key)
+    return violations, n_files

@@ -1,0 +1,536 @@
+"""The SKL rule set: domain invariants of the SketchTree reproduction.
+
+Every rule is a pure function ``FileContext -> Iterator[Violation]`` plus
+a scope predicate over the (POSIX-normalised) file path.  The invariants
+come straight from the paper's accuracy analysis — see
+``docs/static-analysis.md`` for the rule-by-rule rationale.
+
+Scope matching is by package sub-path (``/repro/sketch/`` …) rather than
+by import name, so the same rules run unchanged over ``src/`` and over
+the test fixtures, which mirror the package layout under
+``tests/fixtures/sketchlint/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from tools.sketchlint.violations import FileContext, Violation
+
+# ---------------------------------------------------------------------------
+# Scopes
+# ---------------------------------------------------------------------------
+
+#: Packages whose randomness must be reproducible: the sketch/hashing/core
+#: hot paths plus the workload generator and stream engine that drive them.
+RNG_SCOPE = (
+    "/repro/sketch/",
+    "/repro/hashing/",
+    "/repro/core/",
+    "/repro/workload/",
+    "/repro/stream/",
+)
+
+#: Estimator code where float equality silently breaks median-of-means
+#: tie-breaking and top-k compensation.
+ESTIMATOR_SCOPE = ("/repro/sketch/", "/repro/core/")
+
+#: Packages where seed / polynomial literals must live in repro.core.config.
+SEED_LITERAL_SCOPE = ("/repro/sketch/", "/repro/hashing/", "/repro/core/")
+
+#: The one module allowed to define seed/polynomial constants.
+SEED_LITERAL_EXEMPT = ("repro/core/config.py",)
+
+#: Modules whose classes are instantiated per node / per pattern inside the
+#: EnumTree inner loop and therefore must declare ``__slots__``.
+SLOTS_REQUIRED_FILES = (
+    "repro/trees/node.py",
+    "repro/prufer/sequences.py",
+    "repro/stream/sax.py",
+)
+
+
+def _in_scope(path: str, prefixes: tuple[str, ...]) -> bool:
+    slashed = "/" + path
+    return any(prefix in slashed for prefix in prefixes)
+
+
+def _ends_with(path: str, suffixes: tuple[str, ...]) -> bool:
+    return any(path.endswith(suffix) for suffix in suffixes)
+
+
+# ---------------------------------------------------------------------------
+# AST helpers
+# ---------------------------------------------------------------------------
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for an Attribute/Name chain rooted at a Name, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_int_literal(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, int)
+        and not isinstance(node.value, bool)
+    )
+
+
+def _contains_nonzero_int(node: ast.AST) -> bool:
+    return any(
+        _is_int_literal(child) and child.value != 0 for child in ast.walk(node)
+    )
+
+
+def _literal_arithmetic_only(node: ast.AST) -> bool:
+    """True when the expression is built purely from constants/arithmetic."""
+    allowed = (ast.Constant, ast.BinOp, ast.UnaryOp, ast.operator, ast.unaryop)
+    return all(isinstance(child, allowed) for child in ast.walk(node))
+
+
+def _mentions_seed(node: ast.AST) -> bool:
+    """Does the expression reference a seed-named variable or attribute?
+
+    Deliberately narrower than the keyword-argument check: polynomial
+    *values* flow through arithmetic constantly (``poly.bit_length() - 1``),
+    so only names containing "seed" make an adjacent literal suspicious.
+    """
+    for child in ast.walk(node):
+        name: str | None = None
+        if isinstance(child, ast.Name):
+            name = child.id
+        elif isinstance(child, ast.Attribute):
+            name = child.attr
+        if name is not None and "seed" in name.lower():
+            return True
+    return False
+
+
+def _body_is_swallow(body: list[ast.stmt]) -> bool:
+    """A handler body that discards the exception: only pass / ... / docstring."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or bare Ellipsis
+        return False
+    return True
+
+
+def _handler_catches_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for node in types:
+        name = _dotted_name(node)
+        if name is not None and name.rsplit(".", 1)[-1] in (
+            "Exception",
+            "BaseException",
+        ):
+            return True
+    return False
+
+
+def _module_level_calls(tree: ast.Module) -> Iterator[ast.Call]:
+    """Calls executed at import time: module body and class bodies, but not
+    the bodies of function definitions or lambdas."""
+    todo: list[ast.AST] = list(tree.body)
+    while todo:
+        node = todo.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        todo.extend(ast.iter_child_nodes(node))
+
+
+# ---------------------------------------------------------------------------
+# SKL001 — reproducible randomness in hot paths
+# ---------------------------------------------------------------------------
+
+_NUMPY_LEGACY_RNG = {
+    "seed",
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "choice",
+    "shuffle",
+    "permutation",
+}
+
+
+def check_skl001(ctx: FileContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield ctx.violation(
+                        "SKL001",
+                        node,
+                        "stdlib `random` in a sketch/hashing hot path; thread "
+                        "an explicitly seeded np.random.Generator (see "
+                        "repro.core.config) instead",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random" and node.level == 0:
+                yield ctx.violation(
+                    "SKL001",
+                    node,
+                    "stdlib `random` in a sketch/hashing hot path; thread "
+                    "an explicitly seeded np.random.Generator (see "
+                    "repro.core.config) instead",
+                )
+        elif isinstance(node, ast.Call):
+            name = _dotted_name(node.func)
+            if name is None:
+                continue
+            leaf = name.rsplit(".", 1)[-1]
+            if leaf == "default_rng" and not node.args and not node.keywords:
+                yield ctx.violation(
+                    "SKL001",
+                    node,
+                    "np.random.default_rng() without a seed is irreproducible; "
+                    "derive the seed from SketchTreeConfig.seed",
+                )
+            elif (
+                leaf == "default_rng"
+                and len(node.args) == 1
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is None
+            ):
+                yield ctx.violation(
+                    "SKL001",
+                    node,
+                    "np.random.default_rng(None) is irreproducible; derive "
+                    "the seed from SketchTreeConfig.seed",
+                )
+            elif (
+                name.startswith(("np.random.", "numpy.random."))
+                and leaf in _NUMPY_LEGACY_RNG
+            ):
+                yield ctx.violation(
+                    "SKL001",
+                    node,
+                    f"legacy global numpy RNG `{name}`; use an explicitly "
+                    "seeded np.random.Generator instance",
+                )
+
+
+# ---------------------------------------------------------------------------
+# SKL002 — no float equality in estimator code
+# ---------------------------------------------------------------------------
+
+def _is_floaty(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.Call) and _dotted_name(node.func) == "float":
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+        return True
+    return False
+
+
+def check_skl002(ctx: FileContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[index], operands[index + 1]
+            if _is_floaty(left) or _is_floaty(right):
+                yield ctx.violation(
+                    "SKL002",
+                    node,
+                    "float == / != in estimator code; estimator outputs are "
+                    "reals — compare with math.isclose or an explicit "
+                    "tolerance",
+                )
+
+
+# ---------------------------------------------------------------------------
+# SKL003 — mutable default arguments
+# ---------------------------------------------------------------------------
+
+_MUTABLE_CALLS = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "defaultdict",
+    "collections.defaultdict",
+    "Counter",
+    "collections.Counter",
+    "deque",
+    "collections.deque",
+}
+
+
+def _is_mutable_default(node: ast.AST | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(
+        node,
+        (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        name = _dotted_name(node.func)
+        return name in _MUTABLE_CALLS
+    return False
+
+
+def check_skl003(ctx: FileContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for default in [*node.args.defaults, *node.args.kw_defaults]:
+            if _is_mutable_default(default):
+                yield ctx.violation(
+                    "SKL003",
+                    default,
+                    f"mutable default argument in `{node.name}`; defaults are "
+                    "shared across calls — use None and construct inside",
+                )
+
+
+# ---------------------------------------------------------------------------
+# SKL004 — monotonic clocks in measured sections
+# ---------------------------------------------------------------------------
+
+def check_skl004(ctx: FileContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Attribute) and _dotted_name(node) == "time.time":
+            yield ctx.violation(
+                "SKL004",
+                node,
+                "wall-clock time.time in measured code; it is not monotonic "
+                "(NTP steps corrupt cost ratios) — use time.perf_counter",
+            )
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name == "time":
+                    yield ctx.violation(
+                        "SKL004",
+                        node,
+                        "`from time import time` imports the wall clock; "
+                        "use time.perf_counter for measured sections",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# SKL005 — no bare / swallowed exceptions
+# ---------------------------------------------------------------------------
+
+def check_skl005(ctx: FileContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            yield ctx.violation(
+                "SKL005",
+                node,
+                "bare `except:` catches SystemExit/KeyboardInterrupt and hides "
+                "stream-engine failures; name the exception types",
+            )
+        elif _handler_catches_broad(node) and _body_is_swallow(node.body):
+            yield ctx.violation(
+                "SKL005",
+                node,
+                "broad exception swallowed silently; a dropped stream update "
+                "corrupts the synopsis without a trace — handle or re-raise",
+            )
+
+
+# ---------------------------------------------------------------------------
+# SKL006 — seed / polynomial literals belong in repro.core.config
+# ---------------------------------------------------------------------------
+
+_SEEDY_KEYWORDS = {"seed", "encoder_seed", "poly", "polynomial", "irreducible_poly"}
+
+
+def check_skl006(ctx: FileContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if (
+                    keyword.arg is not None
+                    and keyword.arg.lower() in _SEEDY_KEYWORDS
+                    and _literal_arithmetic_only(keyword.value)
+                    and _contains_nonzero_int(keyword.value)
+                ):
+                    yield ctx.violation(
+                        "SKL006",
+                        keyword.value,
+                        f"hard-coded `{keyword.arg}` literal; seed and "
+                        "polynomial constants belong in repro.core.config so "
+                        "every run derives from one master seed",
+                    )
+        elif isinstance(node, ast.BinOp):
+            left, right = node.left, node.right
+            if (_mentions_seed(left) and _contains_nonzero_int(right)) or (
+                _mentions_seed(right) and _contains_nonzero_int(left)
+            ):
+                yield ctx.violation(
+                    "SKL006",
+                    node,
+                    "seed derived with an inline literal offset/salt; name "
+                    "the constant in repro.core.config so derivations are "
+                    "auditable in one place",
+                )
+
+
+# ---------------------------------------------------------------------------
+# SKL007 — __slots__ on per-node / per-pattern classes
+# ---------------------------------------------------------------------------
+
+def _declares_slots(cls: ast.ClassDef) -> bool:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            if any(
+                isinstance(target, ast.Name) and target.id == "__slots__"
+                for target in stmt.targets
+            ):
+                return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == "__slots__":
+                return True
+    for decorator in cls.decorator_list:
+        if isinstance(decorator, ast.Call):
+            name = _dotted_name(decorator.func)
+            if name is not None and name.rsplit(".", 1)[-1] == "dataclass":
+                for keyword in decorator.keywords:
+                    if (
+                        keyword.arg == "slots"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True
+                    ):
+                        return True
+    return False
+
+
+def check_skl007(ctx: FileContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ClassDef) and not _declares_slots(node):
+            yield ctx.violation(
+                "SKL007",
+                node,
+                f"class `{node.name}` is instantiated per node/pattern in the "
+                "EnumTree inner loop but declares no __slots__; per-instance "
+                "__dict__ overhead dominates at stream scale",
+            )
+
+
+# ---------------------------------------------------------------------------
+# SKL008 — no import-time I/O or RNG construction
+# ---------------------------------------------------------------------------
+
+_IMPORT_TIME_EXACT = {"open", "io.open", "time.time", "default_rng", "Random"}
+_IMPORT_TIME_PREFIXES = ("random.", "np.random.", "numpy.random.")
+_IMPORT_TIME_METHODS = {"read_text", "read_bytes", "urlopen", "urlretrieve"}
+
+
+def check_skl008(ctx: FileContext) -> Iterator[Violation]:
+    for call in _module_level_calls(ctx.tree):
+        name = _dotted_name(call.func)
+        flagged = False
+        if name is not None and (
+            name in _IMPORT_TIME_EXACT or name.startswith(_IMPORT_TIME_PREFIXES)
+        ):
+            flagged = True
+        elif (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in _IMPORT_TIME_METHODS
+        ):
+            flagged = True
+        if flagged:
+            yield ctx.violation(
+                "SKL008",
+                call,
+                f"I/O or RNG construction (`{name or call.func.attr}`) at "
+                "module import time; importing a module must not consume "
+                "entropy or touch files — construct lazily inside functions",
+            )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered rule: id, summary, path scope, and check function."""
+
+    id: str
+    summary: str
+    applies_to: Callable[[str], bool]
+    check: Callable[[FileContext], Iterator[Violation]]
+
+
+RULES: tuple[Rule, ...] = (
+    Rule(
+        "SKL001",
+        "unseeded or stdlib-random RNG in sketch/hashing/core hot paths",
+        lambda path: _in_scope(path, RNG_SCOPE),
+        check_skl001,
+    ),
+    Rule(
+        "SKL002",
+        "float ==/!= comparison in estimator code",
+        lambda path: _in_scope(path, ESTIMATOR_SCOPE),
+        check_skl002,
+    ),
+    Rule(
+        "SKL003",
+        "mutable default argument",
+        lambda path: True,
+        check_skl003,
+    ),
+    Rule(
+        "SKL004",
+        "wall-clock time.time in measured sections",
+        lambda path: True,
+        check_skl004,
+    ),
+    Rule(
+        "SKL005",
+        "bare or silently swallowed exception",
+        lambda path: True,
+        check_skl005,
+    ),
+    Rule(
+        "SKL006",
+        "seed/polynomial literal outside repro.core.config",
+        lambda path: _in_scope(path, SEED_LITERAL_SCOPE)
+        and not _ends_with(path, SEED_LITERAL_EXEMPT),
+        check_skl006,
+    ),
+    Rule(
+        "SKL007",
+        "missing __slots__ on EnumTree inner-loop classes",
+        lambda path: _ends_with(path, SLOTS_REQUIRED_FILES),
+        check_skl007,
+    ),
+    Rule(
+        "SKL008",
+        "module-import-time I/O or RNG construction",
+        lambda path: True,
+        check_skl008,
+    ),
+)
+
+RULES_BY_ID: dict[str, Rule] = {rule.id: rule for rule in RULES}

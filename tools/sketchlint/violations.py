@@ -1,0 +1,58 @@
+"""Core datatypes shared by the sketchlint rules, engine and CLI."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at a source location.
+
+    Ordering is (path, line, col, rule) so reports read top-to-bottom per
+    file regardless of which rule fired first.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a rule needs to inspect one source file.
+
+    ``path`` is normalised to POSIX separators so scope predicates can
+    match package sub-paths (``/repro/sketch/``) portably.
+    """
+
+    path: str
+    tree: ast.Module
+    source: str
+
+    def violation(self, rule: str, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            rule=rule,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
