@@ -52,6 +52,11 @@ from repro.errors import (
     PatternError,
     QueryError,
     ReproError,
+    SnapshotConfigError,
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotIntegrityError,
+    SnapshotVersionError,
     TreeError,
     XmlParseError,
 )
@@ -71,6 +76,11 @@ __all__ = [
     "ReproError",
     "SketchTree",
     "SketchTreeConfig",
+    "SnapshotConfigError",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "SnapshotIntegrityError",
+    "SnapshotVersionError",
     "StructuralSummary",
     "TreeError",
     "XmlParseError",

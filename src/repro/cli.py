@@ -1,10 +1,13 @@
-"""Command-line entry point: regenerate any paper table or figure.
+"""Command-line entry point: paper experiments and snapshot operations.
 
 Usage::
 
     sketchtree-experiments table1 --scale default
     sketchtree-experiments fig10 --dataset dblp --s1 75 --scale smoke
     sketchtree-experiments all --scale smoke
+    sketchtree-experiments snapshot save out.sktsnap --dataset dblp --n-trees 300
+    sketchtree-experiments snapshot load out.sktsnap --query "(article (author))"
+    sketchtree-experiments snapshot resume ckpts/ --dataset dblp --n-trees 600
 """
 
 from __future__ import annotations
@@ -39,14 +42,10 @@ _EXPERIMENTS = (
     "all",
 )
 
+_DATASETS = ("treebank", "dblp", "xmark")
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="sketchtree-experiments",
-        description="Regenerate the SketchTree paper's tables and figures "
-        "on synthetic streams (see DESIGN.md for the substitutions).",
-    )
-    parser.add_argument("experiment", choices=_EXPERIMENTS)
+
+def _add_experiment_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale",
         default="default",
@@ -56,7 +55,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--dataset",
         default=None,
-        choices=("treebank", "dblp", "xmark"),
+        choices=_DATASETS,
         help="restrict dataset-parameterised experiments (default: the "
         "paper's two corpora; 'xmark' selects the appendix dataset)",
     )
@@ -73,11 +72,204 @@ def build_parser() -> argparse.ArgumentParser:
         help="also append all rendered tables to FILE; for the 'export' "
         "experiment, the XML output path (default <dataset>.xml)",
     )
+
+
+def _add_synopsis_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("synopsis configuration")
+    group.add_argument("--s1", type=int, default=50, help="AMS instances per group")
+    group.add_argument("--s2", type=int, default=7, help="median-of-means groups")
+    group.add_argument("--k", type=int, default=3, help="max pattern edges")
+    group.add_argument(
+        "--streams", type=int, default=229, help="virtual streams (prime)"
+    )
+    group.add_argument(
+        "--topk", type=int, default=0, help="top-k tracked per stream (0 = off)"
+    )
+    group.add_argument(
+        "--summary",
+        action="store_true",
+        help="maintain the structural summary (enables * and // queries)",
+    )
+    group.add_argument("--seed", type=int, default=0, help="master seed")
+
+
+def _add_stream_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("input stream")
+    group.add_argument(
+        "--dataset", default="dblp", choices=_DATASETS, help="synthetic corpus"
+    )
+    group.add_argument(
+        "--n-trees", type=int, default=200, help="trees to stream"
+    )
+    group.add_argument(
+        "--data-seed", type=int, default=0, help="corpus generator seed"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sketchtree-experiments",
+        description="Regenerate the SketchTree paper's tables and figures "
+        "on synthetic streams (see DESIGN.md for the substitutions), and "
+        "save/load/resume synopsis snapshots.",
+    )
+    commands = parser.add_subparsers(
+        dest="experiment", required=True, metavar="experiment"
+    )
+    for name in _EXPERIMENTS:
+        _add_experiment_options(commands.add_parser(name))
+
+    snapshot = commands.add_parser(
+        "snapshot",
+        help="versioned synopsis persistence (save / load / resume)",
+    )
+    actions = snapshot.add_subparsers(
+        dest="snapshot_command", required=True, metavar="action"
+    )
+
+    save = actions.add_parser(
+        "save", help="stream a corpus into a synopsis and snapshot it"
+    )
+    save.add_argument("path", help="snapshot file to write")
+    _add_stream_options(save)
+    _add_synopsis_options(save)
+
+    load = actions.add_parser(
+        "load", help="validate a snapshot and describe (or query) it"
+    )
+    load.add_argument("path", help="snapshot file to read")
+    load.add_argument(
+        "--query",
+        default=None,
+        metavar="SEXPR",
+        help="also estimate this ordered pattern, e.g. \"(article (author))\"",
+    )
+
+    resume = actions.add_parser(
+        "resume",
+        help="continue a checkpointed streaming run from its last checkpoint",
+    )
+    resume.add_argument("directory", help="checkpoint directory")
+    resume.add_argument(
+        "--every", type=int, default=100, help="checkpoint every N trees"
+    )
+    resume.add_argument(
+        "--keep", type=int, default=3, help="checkpoints retained (keep-last-N)"
+    )
+    resume.add_argument(
+        "--query", default=None, metavar="SEXPR", help="estimate after the run"
+    )
+    _add_stream_options(resume)
+    _add_synopsis_options(resume)
     return parser
 
 
+# ---------------------------------------------------------------------------
+# Snapshot subcommands
+# ---------------------------------------------------------------------------
+
+def _synopsis_config(args: argparse.Namespace):
+    from repro.core.config import SketchTreeConfig
+
+    return SketchTreeConfig(
+        s1=args.s1,
+        s2=args.s2,
+        max_pattern_edges=args.k,
+        n_virtual_streams=args.streams,
+        topk_size=args.topk,
+        maintain_summary=args.summary,
+        seed=args.seed,
+    )
+
+
+def _dataset_stream(args: argparse.Namespace):
+    from repro.datasets import DblpGenerator, TreebankGenerator, XMarkGenerator
+
+    generator_cls = {
+        "treebank": TreebankGenerator,
+        "dblp": DblpGenerator,
+        "xmark": XMarkGenerator,
+    }[args.dataset]
+    return generator_cls(seed=args.data_seed).generate(args.n_trees)
+
+
+def _describe(synopsis) -> None:
+    from repro.core.snapshot import FORMAT_VERSION, config_fingerprint
+
+    config = synopsis.config
+    print(f"format version:  {FORMAT_VERSION}")
+    print(f"fingerprint:     {config_fingerprint(config)[:16]}…")
+    print(
+        f"config:          s1={config.s1} s2={config.s2} "
+        f"k={config.max_pattern_edges} streams={config.n_virtual_streams} "
+        f"topk={config.topk_size} summary={config.maintain_summary} "
+        f"seed={config.seed}"
+    )
+    print(f"trees:           {synopsis.n_trees}")
+    print(f"occurrences:     {synopsis.n_values}")
+    print(f"streams in use:  {synopsis.streams.n_allocated}")
+    if synopsis.summary is not None:
+        print(f"summary paths:   {synopsis.summary.n_paths}")
+
+
+def _run_snapshot(args: argparse.Namespace) -> int:
+    from repro.core.sketchtree import SketchTree
+    from repro.core.snapshot import (
+        CheckpointManager,
+        load_snapshot,
+        save_snapshot,
+    )
+    from repro.errors import ReproError
+    from repro.stream.engine import StreamProcessor
+
+    try:
+        if args.snapshot_command == "save":
+            synopsis = SketchTree(_synopsis_config(args))
+            for tree in _dataset_stream(args):
+                synopsis.update(tree)
+            path = save_snapshot(synopsis, args.path)
+            print(f"wrote {path}")
+            _describe(synopsis)
+        elif args.snapshot_command == "load":
+            synopsis = load_snapshot(args.path)
+            print(f"loaded {args.path}")
+            _describe(synopsis)
+            if args.query:
+                estimate = synopsis.estimate_ordered(args.query)
+                print(f"estimate:        {args.query} -> {estimate:.1f}")
+        else:  # resume
+            manager = CheckpointManager(args.directory, keep_last=args.keep)
+            processor = StreamProcessor(
+                [SketchTree(_synopsis_config(args))],
+                snapshot_every=args.every,
+                checkpoints=manager,
+            )
+            stats = processor.resume(_dataset_stream(args))
+            synopsis = processor.consumers[0]
+            processor.snapshot_now()
+            print(
+                f"resumed from {stats.resumed_from} checkpointed trees; "
+                f"processed {stats.n_trees} more "
+                f"({len(stats.snapshot_paths) + 1} checkpoints written)"
+            )
+            _describe(synopsis)
+            if args.query:
+                estimate = synopsis.estimate_ordered(args.query)
+                print(f"estimate:        {args.query} -> {estimate:.1f}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Experiment dispatch
+# ---------------------------------------------------------------------------
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.experiment == "snapshot":
+        return _run_snapshot(args)
     scale = by_name(args.scale)
     datasets = (args.dataset,) if args.dataset else ("treebank", "dblp")
     sink = open(args.out, "a") if args.out else None

@@ -29,18 +29,34 @@ from repro.core.intervals import (
 )
 from repro.core.memory import MemoryReport
 from repro.core.sketchtree import SketchTree
+from repro.core.snapshot import (
+    FORMAT_VERSION,
+    CheckpointManager,
+    config_fingerprint,
+    load_snapshot,
+    save_snapshot,
+    snapshot_from_bytes,
+    snapshot_to_bytes,
+)
 from repro.core.topk import TopKTracker
 from repro.core.window import WindowedSketchTree
 from repro.core.virtual import VirtualStreams, is_prime, next_prime
 
 __all__ = [
+    "CheckpointManager",
     "ConfigRecommendation",
     "Count",
     "ExactCounter",
+    "FORMAT_VERSION",
     "Interval",
     "chebyshev_half_width",
+    "config_fingerprint",
+    "load_snapshot",
     "parse_expression",
     "recommend_config",
+    "save_snapshot",
+    "snapshot_from_bytes",
+    "snapshot_to_bytes",
     "Expression",
     "MemoryReport",
     "PatternEncoder",

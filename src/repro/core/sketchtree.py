@@ -27,7 +27,6 @@ Two ingestion paths are provided:
 
 from __future__ import annotations
 
-import pickle
 from collections import Counter
 from typing import Iterable
 
@@ -43,7 +42,6 @@ from repro.errors import ConfigError, QueryError
 from repro.query.pattern import arrangements, pattern_edges, validate_pattern
 from repro.query.summary import QueryNode, StructuralSummary
 from repro.sketch.ams import SketchMatrix
-from repro.sketch.xi import MERSENNE_31
 from repro.trees.tree import LabeledTree, Nested
 
 
@@ -220,11 +218,8 @@ class SketchTree:
         for value in values:
             by_residue.setdefault(self._streams.residue(value), []).append(value)
         for residue, stream_values in by_residue.items():
-            arr = np.fromiter(
-                (v % MERSENNE_31 for v in stream_values),
-                dtype=np.int64,
-                count=len(stream_values),
-            )
+            # The ξ family owns the one canonical value → field reduction.
+            arr = self._streams.xi.to_field(stream_values, count=len(stream_values))
             counts = np.full(len(stream_values), count, dtype=np.int64)
             self._streams.sketch(residue).update_batch(arr, counts)
 
@@ -467,47 +462,87 @@ class SketchTree:
                 merged._streams.sketch(residue).counters += matrix.counters
         merged.n_trees = self.n_trees + other.n_trees
         merged.n_values = self.n_values + other.n_values
-        if self.summary is not None:
-            merged.summary = StructuralSummary()
-            # Summaries are monotone tries; re-adding is not possible from
-            # here, so merging keeps only counts. Documented limitation.
+        if self.summary is not None and other.summary is not None:
+            # The dataguide of a union of streams is the union of the
+            # tries, so the merged synopsis answers extended queries
+            # exactly as a single-node run over both streams would.
+            merged.summary = self.summary.merge(other.summary)
+        elif self.summary is not None or other.summary is not None:
+            raise ConfigError(
+                "cannot merge a synopsis with a structural summary into one "
+                "without: extended queries on the result would undercount"
+            )
         return merged
 
     def to_bytes(self) -> bytes:
-        """Serialise the synopsis (counters, top-k state, bookkeeping).
+        """Serialise the synopsis (counters, top-k state, summary,
+        bookkeeping) into the versioned, pickle-free snapshot format of
+        :mod:`repro.core.snapshot`."""
+        from repro.core.snapshot import snapshot_to_bytes
 
-        Uses :mod:`pickle`; only load snapshots you produced yourself.
-        """
-        state = {
-            "config": self.config,
-            "n_trees": self.n_trees,
-            "n_values": self.n_values,
-            "sketches": {
-                r: m.counters for r, m in self._streams.iter_sketches()
-            },
-            "trackers": {
-                r: t.tracked for r, t in self._streams.iter_trackers()
-            },
-        }
-        return pickle.dumps(state)
+        return snapshot_to_bytes(self)
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "SketchTree":
-        """Restore a synopsis serialised with :meth:`to_bytes`."""
-        state = pickle.loads(blob)
+        """Restore a synopsis serialised with :meth:`to_bytes`.
+
+        Raises a typed :class:`~repro.errors.SnapshotError` for corrupt,
+        truncated, or version-mismatched blobs.  Pre-1.1 pickle blobs are
+        not accepted here; use :meth:`from_legacy_pickle` (deprecated).
+        """
+        from repro.core.snapshot import snapshot_from_bytes
+
+        return snapshot_from_bytes(blob)
+
+    @classmethod
+    def from_legacy_pickle(cls, blob: bytes) -> "SketchTree":
+        """Restore a pre-1.1 pickle snapshot (deprecated, one release).
+
+        .. deprecated:: 1.1
+            The pickle format is unversioned, executes arbitrary code on
+            load, and never carried the structural summary.  Re-save with
+            :meth:`to_bytes` immediately; this loader will be removed in
+            the next release.
+
+        Only load blobs you produced yourself — this calls
+        :func:`pickle.loads`.
+        """
+        import pickle  # noqa: PLC0415 — quarantined to the legacy loader
+        import warnings
+
+        warnings.warn(
+            "SketchTree.from_legacy_pickle is deprecated; re-save this "
+            "synopsis with to_bytes() (versioned pickle-free snapshots)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.errors import SnapshotFormatError
+
+        try:
+            state = pickle.loads(blob)
+        except Exception as exc:
+            raise SnapshotFormatError(
+                f"blob is not a legacy pickle snapshot: {exc}"
+            ) from exc
+        if not isinstance(state, dict) or not {
+            "config",
+            "n_trees",
+            "n_values",
+            "sketches",
+            "trackers",
+        } <= state.keys():
+            raise SnapshotFormatError(
+                "legacy pickle snapshot is missing required entries"
+            )
         synopsis = cls(state["config"])
         synopsis.n_trees = state["n_trees"]
         synopsis.n_values = state["n_values"]
         for residue, counters in state["sketches"].items():
-            synopsis._streams.sketch(residue).counters = counters.copy()
+            synopsis._streams.set_counters(residue, counters)
         for residue, tracked in state["trackers"].items():
             tracker = synopsis._streams.tracker(residue)
             if tracker is not None:
-                tracker._freq = dict(tracked)
-                import heapq
-
-                tracker._heap = [(f, v) for v, f in tracked.items()]
-                heapq.heapify(tracker._heap)
+                tracker.restore(tracked)
         return synopsis
 
     def __repr__(self) -> str:

@@ -1,0 +1,483 @@
+"""Versioned, pickle-free snapshot & recovery for SketchTree synopses.
+
+A synopsis that runs for days over a stream is only useful if its state
+survives process death.  This module is the persistence subsystem: a
+self-describing binary snapshot format that round-trips *all* synopsis
+state — sketch counters, top-k tracker state, the structural summary,
+and bookkeeping — plus crash-safe checkpointing on top of it.
+
+Format (version 1)
+------------------
+
+::
+
+    MAGIC (8 bytes) | header length (8 bytes, big-endian) | header | payload
+
+* ``header`` — canonical JSON (sorted keys) carrying the format version,
+  the full :class:`~repro.core.config.SketchTreeConfig`, a config/ξ-seed
+  fingerprint, top-k tracker state (values as decimal strings, so
+  pairing-mode big integers survive), the structural summary trie, the
+  tree/value counts, and the payload's size and SHA-256 checksum.
+* ``payload`` — an ``npz`` archive (``numpy.savez_compressed``, loaded
+  with ``allow_pickle=False``) holding one int64 counter array per
+  allocated virtual stream, named ``sketch_<residue>``.
+
+Nothing in the format executes code on load: the header is JSON, the
+payload is raw arrays.  Loaders *refuse* — with typed
+:class:`~repro.errors.SnapshotError` subclasses — anything corrupt,
+truncated, version-mismatched, or configured differently than expected,
+instead of restoring garbage that would answer queries wrongly.
+
+Version policy: ``FORMAT_VERSION`` is bumped on any incompatible layout
+change; a loader accepts exactly the versions it knows how to restore
+bit-faithfully and raises :class:`~repro.errors.SnapshotVersionError`
+otherwise.  Pre-versioned pickle blobs are handled only by the guarded
+:meth:`SketchTree.from_legacy_pickle` loader (deprecated, one release).
+
+Checkpointing
+-------------
+
+:class:`CheckpointManager` turns the snapshot format into crash-safe
+periodic checkpoints: atomic write-then-rename (a crash mid-write never
+clobbers the previous checkpoint), keep-last-N retention, and a
+:meth:`~CheckpointManager.load_latest` that falls back to older
+checkpoints when the newest fails validation.
+:class:`~repro.stream.engine.StreamProcessor` wires this into streaming
+runs (``snapshot_every=...``) and recovery (``resume(...)``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import zipfile
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.config import XI_SEED_OFFSET, SketchTreeConfig
+from repro.core.sketchtree import SketchTree
+from repro.errors import (
+    ConfigError,
+    PatternError,
+    SnapshotConfigError,
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotIntegrityError,
+    SnapshotVersionError,
+)
+from repro.query.summary import StructuralSummary
+
+#: First 8 bytes of every snapshot; the trailing newline makes accidental
+#: text-mode corruption (CRLF translation) fail the magic check loudly.
+MAGIC = b"SKTSNAP\n"
+
+#: Current snapshot format version.  Bumped on any incompatible change to
+#: the layout, header schema, or payload encoding; see the module
+#: docstring for the acceptance policy.
+FORMAT_VERSION = 1
+
+_FORMAT_NAME = "sketchtree-snapshot"
+_HEADER_LEN_BYTES = 8
+_PREFIX_LEN = len(MAGIC) + _HEADER_LEN_BYTES
+
+_REQUIRED_HEADER_KEYS = frozenset(
+    {
+        "format",
+        "format_version",
+        "config",
+        "fingerprint",
+        "n_trees",
+        "n_values",
+        "trackers",
+        "summary",
+        "payload_size",
+        "payload_sha256",
+    }
+)
+
+
+def config_fingerprint(config: SketchTreeConfig) -> str:
+    """SHA-256 fingerprint of a config, including the derived ξ seed.
+
+    Two synopses agree on every estimate-relevant random draw iff their
+    fingerprints match, which is what checkpoint resume and distributed
+    merge check before trusting foreign state.  The derived ξ seed is
+    folded in explicitly so the fingerprint documents the randomness it
+    covers, not just the knobs it was derived from.
+    """
+    record: dict[str, Any] = dict(asdict(config))
+    record["xi_seed"] = config.seed + XI_SEED_OFFSET
+    canonical = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Serialisation
+# ---------------------------------------------------------------------------
+
+def snapshot_to_bytes(synopsis: SketchTree) -> bytes:
+    """Serialise a synopsis into the versioned snapshot format."""
+    arrays: dict[str, np.ndarray] = {
+        f"sketch_{residue}": matrix.counters
+        for residue, matrix in synopsis.streams.iter_sketches()
+    }
+    payload_io = io.BytesIO()
+    np.savez_compressed(payload_io, **arrays)
+    payload = payload_io.getvalue()
+
+    trackers: dict[str, list[list[Any]]] = {}
+    for residue, tracker in synopsis.streams.iter_trackers():
+        state = tracker.snapshot()
+        if state:
+            trackers[str(residue)] = [
+                [str(value), count] for value, count in sorted(state.items())
+            ]
+
+    header: dict[str, Any] = {
+        "format": _FORMAT_NAME,
+        "format_version": FORMAT_VERSION,
+        "config": asdict(synopsis.config),
+        "fingerprint": config_fingerprint(synopsis.config),
+        "n_trees": synopsis.n_trees,
+        "n_values": synopsis.n_values,
+        "trackers": trackers,
+        "summary": (
+            synopsis.summary.to_dict() if synopsis.summary is not None else None
+        ),
+        "payload_size": len(payload),
+        "payload_sha256": hashlib.sha256(payload).hexdigest(),
+    }
+    header_bytes = json.dumps(
+        header, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return (
+        MAGIC
+        + len(header_bytes).to_bytes(_HEADER_LEN_BYTES, "big")
+        + header_bytes
+        + payload
+    )
+
+
+# ---------------------------------------------------------------------------
+# Deserialisation
+# ---------------------------------------------------------------------------
+
+def _split_blob(blob: bytes) -> tuple[dict[str, Any], bytes]:
+    """Validate framing and return (header, payload) or raise typed errors."""
+    if not blob.startswith(MAGIC[: min(len(blob), len(MAGIC))]) or not blob:
+        hint = ""
+        if blob[:1] == b"\x80":
+            hint = (
+                "; this looks like a legacy pickle snapshot — load it with "
+                "SketchTree.from_legacy_pickle"
+            )
+        raise SnapshotFormatError(f"not a SketchTree snapshot (bad magic){hint}")
+    if len(blob) < _PREFIX_LEN:
+        raise SnapshotIntegrityError(
+            f"snapshot truncated inside the {_PREFIX_LEN}-byte prefix"
+        )
+    header_len = int.from_bytes(blob[len(MAGIC) : _PREFIX_LEN], "big")
+    if _PREFIX_LEN + header_len > len(blob):
+        raise SnapshotIntegrityError(
+            f"snapshot truncated inside its header (need {header_len} bytes, "
+            f"have {len(blob) - _PREFIX_LEN})"
+        )
+    header_bytes = blob[_PREFIX_LEN : _PREFIX_LEN + header_len]
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotFormatError(f"snapshot header is not valid JSON: {exc}") from exc
+    if not isinstance(header, dict) or header.get("format") != _FORMAT_NAME:
+        raise SnapshotFormatError(
+            "snapshot header is not a sketchtree-snapshot header"
+        )
+    version = header.get("format_version")
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise SnapshotFormatError(
+            f"snapshot format_version must be an integer, got {version!r}"
+        )
+    if version != FORMAT_VERSION:
+        raise SnapshotVersionError(
+            f"snapshot format version {version} is not supported by this "
+            f"loader (supports exactly {FORMAT_VERSION})"
+        )
+    missing = _REQUIRED_HEADER_KEYS - header.keys()
+    if missing:
+        raise SnapshotFormatError(
+            f"snapshot header is missing keys: {sorted(missing)}"
+        )
+    payload = blob[_PREFIX_LEN + header_len :]
+    expected_size = header["payload_size"]
+    if not isinstance(expected_size, int) or expected_size != len(payload):
+        raise SnapshotIntegrityError(
+            f"snapshot payload is {len(payload)} bytes, header declares "
+            f"{expected_size} — truncated or corrupt"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header["payload_sha256"]:
+        raise SnapshotIntegrityError(
+            "snapshot payload checksum mismatch — the snapshot is corrupt"
+        )
+    return header, payload
+
+
+def _config_from_header(header: dict[str, Any]) -> SketchTreeConfig:
+    raw = header["config"]
+    if not isinstance(raw, dict):
+        raise SnapshotFormatError("snapshot config must be a mapping")
+    try:
+        config = SketchTreeConfig(**raw)
+    except (TypeError, ConfigError) as exc:
+        raise SnapshotFormatError(f"snapshot config is invalid: {exc}") from exc
+    if config_fingerprint(config) != header["fingerprint"]:
+        raise SnapshotIntegrityError(
+            "snapshot config fingerprint mismatch — the header was edited "
+            "or corrupted after the snapshot was written"
+        )
+    return config
+
+
+def _restore_counters(synopsis: SketchTree, payload: bytes) -> None:
+    try:
+        npz = np.load(io.BytesIO(payload), allow_pickle=False)
+    except (ValueError, OSError, zipfile.BadZipFile) as exc:
+        raise SnapshotFormatError(
+            f"snapshot payload is not a readable npz archive: {exc}"
+        ) from exc
+    with npz:
+        for name in npz.files:
+            prefix, _, residue_text = name.partition("_")
+            if prefix != "sketch" or not residue_text.isdigit():
+                raise SnapshotFormatError(
+                    f"unexpected array {name!r} in snapshot payload"
+                )
+            try:
+                synopsis.streams.set_counters(int(residue_text), npz[name])
+            except ConfigError as exc:
+                raise SnapshotFormatError(
+                    f"snapshot counters for {name!r} are invalid: {exc}"
+                ) from exc
+
+
+def _restore_trackers(synopsis: SketchTree, header: dict[str, Any]) -> None:
+    trackers = header["trackers"]
+    if not isinstance(trackers, dict):
+        raise SnapshotFormatError("snapshot tracker state must be a mapping")
+    if trackers and not synopsis.config.topk_size:
+        raise SnapshotFormatError(
+            "snapshot carries top-k tracker state but its config has "
+            "topk_size=0 — refusing an inconsistent restore"
+        )
+    for residue_text, entries in trackers.items():
+        try:
+            residue = int(residue_text)
+            state = {int(value): int(count) for value, count in entries}
+        except (TypeError, ValueError) as exc:
+            raise SnapshotFormatError(
+                f"snapshot tracker state for stream {residue_text!r} is "
+                f"malformed: {exc}"
+            ) from exc
+        if not 0 <= residue < synopsis.config.n_virtual_streams:
+            raise SnapshotFormatError(
+                f"snapshot tracker stream {residue} outside "
+                f"[0, {synopsis.config.n_virtual_streams})"
+            )
+        tracker = synopsis.streams.tracker(residue)
+        assert tracker is not None  # topk_size checked above
+        try:
+            tracker.restore(state)
+        except ConfigError as exc:
+            raise SnapshotFormatError(
+                f"snapshot tracker state for stream {residue} is invalid: "
+                f"{exc}"
+            ) from exc
+
+
+def _restore_summary(synopsis: SketchTree, header: dict[str, Any]) -> None:
+    summary = header["summary"]
+    if synopsis.config.maintain_summary:
+        if not isinstance(summary, dict):
+            raise SnapshotFormatError(
+                "snapshot config maintains a structural summary but the "
+                "snapshot carries none — refusing a restore that would "
+                "answer extended queries with 0"
+            )
+        try:
+            synopsis.summary = StructuralSummary.from_dict(summary)
+        except PatternError as exc:
+            raise SnapshotFormatError(
+                f"snapshot structural summary is malformed: {exc}"
+            ) from exc
+    elif summary is not None:
+        raise SnapshotFormatError(
+            "snapshot carries a structural summary but its config has "
+            "maintain_summary=False — refusing an inconsistent restore"
+        )
+
+
+def snapshot_from_bytes(blob: bytes) -> SketchTree:
+    """Restore a synopsis from :func:`snapshot_to_bytes` output.
+
+    Raises a :class:`~repro.errors.SnapshotError` subclass — never
+    returns a partially restored synopsis — when the blob is corrupt,
+    truncated, of an unsupported version, or internally inconsistent.
+    """
+    header, payload = _split_blob(blob)
+    config = _config_from_header(header)
+    synopsis = SketchTree(config)
+    n_trees, n_values = header["n_trees"], header["n_values"]
+    for label, count in (("n_trees", n_trees), ("n_values", n_values)):
+        if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+            raise SnapshotFormatError(
+                f"snapshot {label} must be a non-negative integer, got {count!r}"
+            )
+    _restore_counters(synopsis, payload)
+    _restore_trackers(synopsis, header)
+    _restore_summary(synopsis, header)
+    synopsis.n_trees = n_trees
+    synopsis.n_values = n_values
+    return synopsis
+
+
+# ---------------------------------------------------------------------------
+# Files
+# ---------------------------------------------------------------------------
+
+def save_snapshot(synopsis: SketchTree, path: str | Path) -> Path:
+    """Write a snapshot atomically: temp file, fsync, then rename.
+
+    A crash at any point leaves either the previous file or the new one,
+    never a torn mixture — the property periodic checkpointing relies on.
+    """
+    target = Path(path)
+    blob = snapshot_to_bytes(synopsis)
+    tmp = target.with_name(f".{target.name}.{os.getpid()}.tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+    if os.name == "posix":
+        # Persist the rename itself, not just the file contents.
+        dir_fd = os.open(str(target.parent), os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    return target
+
+
+def load_snapshot(
+    path: str | Path, expected_config: SketchTreeConfig | None = None
+) -> SketchTree:
+    """Load a snapshot file, optionally insisting on a specific config.
+
+    ``expected_config`` guards resume paths: restoring a synopsis whose
+    config (and therefore ξ randomness) differs from the running job's
+    would silently produce garbage estimates, so a mismatch raises
+    :class:`~repro.errors.SnapshotConfigError` instead.
+    """
+    synopsis = snapshot_from_bytes(Path(path).read_bytes())
+    if expected_config is not None and synopsis.config != expected_config:
+        raise SnapshotConfigError(
+            f"snapshot {path} was written with a different configuration "
+            f"(fingerprint {config_fingerprint(synopsis.config)[:12]}… vs "
+            f"expected {config_fingerprint(expected_config)[:12]}…)"
+        )
+    return synopsis
+
+
+class CheckpointManager:
+    """Crash-safe, keep-last-N checkpoint directory for one synopsis run.
+
+    Checkpoints are snapshot files named ``<prefix>-<n_trees>`` (zero
+    padded, so lexicographic order is stream order) written atomically by
+    :func:`save_snapshot`.  Retention keeps the newest ``keep_last``
+    files; recovery loads the newest checkpoint that validates, falling
+    back to older ones if the newest is damaged.
+
+    >>> manager = CheckpointManager("/tmp/ckpts", keep_last=3)  # doctest: +SKIP
+    """
+
+    #: File extension shared by every checkpoint this manager writes.
+    SUFFIX = ".sktsnap"
+
+    def __init__(
+        self,
+        directory: str | Path,
+        keep_last: int = 3,
+        prefix: str = "checkpoint",
+    ):
+        if keep_last < 1:
+            raise ConfigError(f"keep_last must be >= 1, got {keep_last}")
+        if not prefix or "/" in prefix:
+            raise ConfigError(f"invalid checkpoint prefix {prefix!r}")
+        self.directory = Path(directory)
+        self.keep_last = keep_last
+        self.prefix = prefix
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def paths(self) -> list[Path]:
+        """Existing checkpoint files, oldest first."""
+        return sorted(self.directory.glob(f"{self.prefix}-*{self.SUFFIX}"))
+
+    def latest_path(self) -> Path | None:
+        """The newest checkpoint file, or ``None`` when none exist."""
+        existing = self.paths()
+        return existing[-1] if existing else None
+
+    def save(self, synopsis: SketchTree) -> Path:
+        """Checkpoint ``synopsis`` now and prune to ``keep_last`` files."""
+        name = f"{self.prefix}-{synopsis.n_trees:012d}{self.SUFFIX}"
+        path = save_snapshot(synopsis, self.directory / name)
+        self.prune()
+        return path
+
+    def prune(self) -> None:
+        """Delete all but the newest ``keep_last`` checkpoints."""
+        for stale in self.paths()[: -self.keep_last]:
+            stale.unlink(missing_ok=True)
+
+    def load(
+        self,
+        path: str | Path,
+        expected_config: SketchTreeConfig | None = None,
+    ) -> SketchTree:
+        """Load one checkpoint file (see :func:`load_snapshot`)."""
+        return load_snapshot(path, expected_config)
+
+    def load_latest(
+        self, expected_config: SketchTreeConfig | None = None
+    ) -> SketchTree | None:
+        """Restore from the newest checkpoint that validates.
+
+        Returns ``None`` when the directory holds no checkpoints.  When
+        checkpoints exist but every one fails validation, raises the
+        newest checkpoint's error — recovery must not silently start
+        from scratch and undercount.
+        """
+        failures: list[tuple[Path, SnapshotError]] = []
+        for path in reversed(self.paths()):
+            try:
+                return self.load(path, expected_config)
+            except SnapshotError as exc:
+                failures.append((path, exc))
+        if failures:
+            names = ", ".join(path.name for path, _ in failures)
+            raise SnapshotIntegrityError(
+                f"no loadable checkpoint in {self.directory} "
+                f"(all failed validation: {names}); newest error: "
+                f"{failures[0][1]}"
+            ) from failures[0][1]
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"CheckpointManager(directory={str(self.directory)!r}, "
+            f"keep_last={self.keep_last}, checkpoints={len(self.paths())})"
+        )

@@ -27,7 +27,7 @@ counters (the paper's modification of Algorithm 2).
 from __future__ import annotations
 
 import heapq
-from typing import Iterable
+from typing import Iterable, Mapping
 
 import numpy as np
 
@@ -104,9 +104,7 @@ class TopKTracker:
         """
         if not values:
             return
-        arr = np.fromiter(
-            (v % (2**31 - 1) for v in values), dtype=np.int64, count=len(values)
-        )
+        arr = self.sketch.xi.to_field(values, count=len(values))
         estimates = self.sketch.estimate_batch(arr)
         order = np.argsort(-estimates)
         limit = min(len(values), candidate_factor * self.size)
@@ -137,6 +135,51 @@ class TopKTracker:
         signs = self.sketch.xi.xi_values([q for q, _ in relevant])
         freqs = np.asarray([f for _, f in relevant], dtype=np.int64)
         return signs @ freqs
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[int, int]:
+        """The tracker's complete serialisable state.
+
+        A plain value → deleted-frequency map; together with the bound
+        sketch's counters (from which exactly these frequencies have been
+        deleted) it captures everything :meth:`restore` needs.
+        """
+        return dict(self._freq)
+
+    def restore(self, state: Mapping[int, int]) -> None:
+        """Install state captured by :meth:`snapshot`, replacing any
+        current state.
+
+        Re-establishes the delete-condition invariant on the tracker's
+        side: the heap is rebuilt to agree exactly with the frequency
+        map, so every future eviction adds back precisely the stored
+        frequency.  The *counter* side of the invariant is the caller's
+        contract — the bound sketch must hold counters from which these
+        frequencies were already deleted (i.e. restored from the same
+        snapshot as ``state``).
+
+        Raises :class:`~repro.errors.ConfigError` for states this tracker
+        cannot have produced (non-positive frequencies, more entries than
+        ``size``).
+        """
+        freq: dict[int, int] = {}
+        for value, count in state.items():
+            value, count = int(value), int(count)
+            if count <= 0:
+                raise ConfigError(
+                    f"tracked frequency must be positive, got {count} for "
+                    f"value {value}"
+                )
+            freq[value] = count
+        if len(freq) > self.size:
+            raise ConfigError(
+                f"state tracks {len(freq)} values, tracker size is {self.size}"
+            )
+        self._freq = freq
+        self._heap = [(count, value) for value, count in freq.items()]
+        heapq.heapify(self._heap)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -112,6 +112,25 @@ class VirtualStreams:
     def sketch_if_allocated(self, residue: int) -> SketchMatrix | None:
         return self._sketches.get(residue)
 
+    def set_counters(self, residue: int, counters: np.ndarray) -> None:
+        """Install counters for stream ``residue`` (snapshot restore path).
+
+        Allocates the stream if needed and validates residue range, shape
+        and dtype, so a malformed snapshot cannot plant a matrix whose
+        estimates silently broadcast or truncate.
+        """
+        if not 0 <= residue < self.n_streams:
+            raise ConfigError(
+                f"residue {residue} outside [0, {self.n_streams})"
+            )
+        counters = np.asarray(counters)
+        if counters.shape != (self.s1 * self.s2,):
+            raise ConfigError(
+                f"counters for stream {residue} have shape {counters.shape}, "
+                f"expected ({self.s1 * self.s2},)"
+            )
+        self.sketch(residue).counters = counters.astype(np.int64).copy()
+
     def tracker(self, residue: int) -> TopKTracker | None:
         """The stream's top-k tracker, or ``None`` when disabled/unused."""
         if not self.topk_size:

@@ -42,3 +42,30 @@ class ConfigError(ReproError):
 
 class HashingError(ReproError):
     """An integer-mapping (pairing / fingerprint) operation failed."""
+
+
+class SnapshotError(ReproError):
+    """A synopsis snapshot could not be written or restored.
+
+    Restoring garbage into a synopsis silently produces wrong counts, so
+    every defect a loader can detect is a refusal, not a best-effort
+    repair.  The subclasses distinguish *what* is wrong so callers can
+    react differently (retry an older checkpoint on corruption, upgrade
+    on a version gap, reconfigure on a config mismatch).
+    """
+
+
+class SnapshotFormatError(SnapshotError):
+    """The blob is not a snapshot, or its header/payload is malformed."""
+
+
+class SnapshotVersionError(SnapshotError):
+    """The snapshot's format version is not supported by this loader."""
+
+
+class SnapshotIntegrityError(SnapshotError):
+    """The snapshot is truncated or fails its checksum — do not trust it."""
+
+
+class SnapshotConfigError(SnapshotError):
+    """The snapshot's configuration does not match the expected one."""

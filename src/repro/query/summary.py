@@ -28,7 +28,7 @@ semantics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.errors import PatternError, QueryError
@@ -170,6 +170,90 @@ class StructuralSummary:
     def n_paths(self) -> int:
         """Number of distinct label paths recorded (the summary's size)."""
         return self._n_paths
+
+    # ------------------------------------------------------------------
+    # Persistence and merging
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, dict]:
+        """JSON-serialisable form: nested label → children mappings.
+
+        Each trie node becomes the dict of its children keyed by label
+        (the node's own label is its key in the parent); the result maps
+        root labels to their subtrees.  Round-trips via :meth:`from_dict`.
+        """
+        out: dict[str, dict] = {}
+        stack: list[tuple[_TrieNode, dict[str, dict]]] = []
+        for label, node in self._roots.items():
+            packed: dict[str, dict] = {}
+            out[label] = packed
+            stack.append((node, packed))
+        while stack:
+            node, packed = stack.pop()
+            for label, child in node.children.items():
+                child_packed: dict[str, dict] = {}
+                packed[label] = child_packed
+                stack.append((child, child_packed))
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, dict]) -> "StructuralSummary":
+        """Rebuild a summary serialised with :meth:`to_dict`.
+
+        Raises :class:`~repro.errors.PatternError` when the mapping is
+        not of the nested ``{label: {label: ...}}`` shape.
+        """
+        summary = cls()
+        if not isinstance(data, dict):
+            raise PatternError(
+                f"summary must be a mapping, got {type(data).__name__}"
+            )
+        stack: list[tuple[dict[str, _TrieNode], dict]] = [(summary._roots, data)]
+        while stack:
+            children, packed = stack.pop()
+            for label, sub in packed.items():
+                if not isinstance(label, str) or not label:
+                    raise PatternError(
+                        f"summary labels must be non-empty strings, got {label!r}"
+                    )
+                if not isinstance(sub, dict):
+                    raise PatternError(
+                        f"summary subtree for {label!r} must be a mapping, "
+                        f"got {type(sub).__name__}"
+                    )
+                node = children[label] = _TrieNode(label)
+                summary._n_paths += 1
+                stack.append((node.children, sub))
+        return summary
+
+    def update(self, other: "StructuralSummary") -> None:
+        """Fold every label path of ``other`` into this summary in place.
+
+        The dataguide of a union of streams is the union of the tries, so
+        after updating, this summary resolves queries exactly as if it
+        had seen both streams' trees — the merge the distributed-ingest
+        scenario needs.
+        """
+        stack: list[tuple[dict[str, _TrieNode], _TrieNode]] = []
+        for label, theirs in other._roots.items():
+            mine = self._roots.get(label)
+            if mine is None:
+                mine = self._roots[label] = _TrieNode(label)
+                self._n_paths += 1
+            stack.append((mine.children, theirs))
+        while stack:
+            children, theirs = stack.pop()
+            for label, their_child in theirs.children.items():
+                my_child = children.get(label)
+                if my_child is None:
+                    my_child = children[label] = _TrieNode(label)
+                    self._n_paths += 1
+                stack.append((my_child.children, their_child))
+
+    def merge(self, other: "StructuralSummary") -> "StructuralSummary":
+        """A new summary holding the union of both tries (inputs unchanged)."""
+        merged = StructuralSummary.from_dict(self.to_dict())
+        merged.update(other)
+        return merged
 
     # ------------------------------------------------------------------
     # Resolution

@@ -27,7 +27,7 @@ from math import factorial
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.sketch.xi import MERSENNE_31, XiGenerator
+from repro.sketch.xi import XiGenerator
 
 #: Batch size for chunked ξ evaluation; bounds peak memory of an update to
 #: roughly ``n_instances × _CHUNK`` int64 cells.
@@ -130,10 +130,7 @@ class SketchMatrix:
         """Add a whole frequency table at once (order-independent)."""
         if not counts_by_value:
             return
-        values = np.fromiter(
-            (v % MERSENNE_31 for v in counts_by_value), dtype=np.int64,
-            count=len(counts_by_value),
-        )
+        values = self.xi.to_field(counts_by_value, count=len(counts_by_value))
         counts = np.fromiter(
             counts_by_value.values(), dtype=np.int64, count=len(counts_by_value)
         )

@@ -95,12 +95,21 @@ class BchXiGenerator:
         ) & 1
         return bits.astype(np.int64) * 2 - 1
 
+    def to_field(self, values, count: int = -1) -> np.ndarray:
+        """Canonical value → field-domain conversion (``[0, 2^m)``).
+
+        The BCH counterpart of :meth:`XiGenerator.to_field`: masking in
+        Python accepts arbitrary-precision values and agrees with the
+        reduction :meth:`xi_batch` applies to int64 batches.
+        """
+        mask = (1 << self.m) - 1
+        return np.fromiter(
+            (int(v) & mask for v in values), dtype=np.int64, count=count
+        )
+
     def xi_values(self, values) -> np.ndarray:
         """ξ for an iterable of Python ints (convenience wrapper)."""
-        arr = np.fromiter(
-            (int(v) & ((1 << self.m) - 1) for v in values), dtype=np.int64
-        )
-        return self.xi_batch(arr)
+        return self.xi_batch(self.to_field(values))
 
     def __repr__(self) -> str:
         return (

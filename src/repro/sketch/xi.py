@@ -22,6 +22,8 @@ SketchTree fast enough to replay the paper's experiments.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 import numpy as np
 
 from repro.errors import ConfigError
@@ -94,12 +96,23 @@ class XiGenerator:
             h %= MERSENNE_31
         return (h & 1) * 2 - 1
 
-    def xi_values(self, values) -> np.ndarray:
-        """ξ for an iterable of Python ints (convenience wrapper)."""
-        arr = np.fromiter(
-            (int(v) % MERSENNE_31 for v in values), dtype=np.int64
+    def to_field(self, values: Iterable[int], count: int = -1) -> np.ndarray:
+        """The canonical value → field-element conversion, as int64 array.
+
+        Every path that turns Python-int stream values into a numpy array
+        for this family goes through here — the *single* reduction point
+        into ``GF(2^31 − 1)``.  Reducing in Python keeps pairing-mode
+        values (arbitrary-precision ints, Section 2.2) from overflowing
+        the int64 conversion; ξ is invariant under the reduction, so
+        estimates are unchanged.
+        """
+        return np.fromiter(
+            (int(v) % MERSENNE_31 for v in values), dtype=np.int64, count=count
         )
-        return self.xi_batch(arr)
+
+    def xi_values(self, values: Iterable[int]) -> np.ndarray:
+        """ξ for an iterable of Python ints (convenience wrapper)."""
+        return self.xi_batch(self.to_field(values))
 
     def spawn(self, seed_offset: int) -> "XiGenerator":
         """An independent generator with a derived seed (for extra runs)."""

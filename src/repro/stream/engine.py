@@ -1,19 +1,26 @@
-"""Driving trees through synopses, with instrumentation.
+"""Driving trees through synopses, with instrumentation and recovery.
 
 The paper's Sections 7.6/7.7 report stream-processing *cost ratios*
 (doubling ``s1`` multiplied processing time by ≈2.3; growing top-k was
 nearly free).  :class:`StreamProcessor` captures the timings those claims
-are checked against.
+are checked against, and — for long-running deployments — can checkpoint
+the synopsis crash-safely while the stream flows and resume an
+interrupted run from the last checkpoint
+(:mod:`repro.core.snapshot`).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.errors import ConfigError
 from repro.trees.tree import LabeledTree
+
+if TYPE_CHECKING:
+    from repro.core.snapshot import CheckpointManager
 
 
 @dataclass
@@ -24,11 +31,17 @@ class ProcessingStats:
     total_nodes: int = 0
     elapsed_seconds: float = 0.0
     checkpoint_results: list = field(default_factory=list)
+    #: Snapshot files written during the run, in order.
+    snapshot_paths: list = field(default_factory=list)
+    #: Trees recovered from a checkpoint (skipped, not reprocessed) when
+    #: the run was started by :meth:`StreamProcessor.resume`.
+    resumed_from: int = 0
 
     @property
     def trees_per_second(self) -> float:
-        if self.elapsed_seconds <= 0:
-            return float("inf")
+        """Throughput of the run; 0.0 for an empty or unmeasured run."""
+        if self.n_trees <= 0 or self.elapsed_seconds <= 0:
+            return 0.0
         return self.n_trees / self.elapsed_seconds
 
 
@@ -45,6 +58,14 @@ class StreamProcessor:
         ``callback(n_trees_so_far) -> result``; results are collected in
         the returned stats.  This is the Figure 2 "issue a count query at
         time t" hook.
+    snapshot_every:
+        Write a crash-safe snapshot of the *first* consumer after every
+        this many trees (0 = never).  Requires ``checkpoints`` and a
+        first consumer with ``to_bytes()`` (a
+        :class:`~repro.core.sketchtree.SketchTree`).
+    checkpoints:
+        The :class:`~repro.core.snapshot.CheckpointManager` that owns the
+        snapshot directory, retention, and recovery.
     """
 
     def __init__(
@@ -52,6 +73,8 @@ class StreamProcessor:
         consumers: Sequence,
         checkpoint_every: int = 0,
         on_checkpoint: Callable[[int], object] | None = None,
+        snapshot_every: int = 0,
+        checkpoints: "CheckpointManager | None" = None,
     ):
         if not consumers:
             raise ConfigError("at least one consumer is required")
@@ -62,15 +85,29 @@ class StreamProcessor:
                 )
         if checkpoint_every < 0:
             raise ConfigError("checkpoint_every must be >= 0")
+        if snapshot_every < 0:
+            raise ConfigError("snapshot_every must be >= 0")
+        if snapshot_every and checkpoints is None:
+            raise ConfigError(
+                "snapshot_every needs a CheckpointManager (checkpoints=...)"
+            )
+        if checkpoints is not None and not hasattr(consumers[0], "to_bytes"):
+            raise ConfigError(
+                "checkpointing snapshots the first consumer, which must "
+                f"support to_bytes(); {type(consumers[0]).__name__} does not"
+            )
         self.consumers = list(consumers)
         self.checkpoint_every = checkpoint_every
         self.on_checkpoint = on_checkpoint
+        self.snapshot_every = snapshot_every
+        self.checkpoints = checkpoints
 
     def run(self, trees: Iterable[LabeledTree]) -> ProcessingStats:
         """Process the whole stream; returns timing statistics.
 
         Only the consumers' ``update`` calls are inside the timed region,
-        so generator cost does not pollute the processing-cost ratios.
+        so neither generator cost nor snapshot I/O pollutes the
+        processing-cost ratios.
         """
         stats = ProcessingStats()
         clock = time.perf_counter
@@ -87,4 +124,48 @@ class StreamProcessor:
                 and stats.n_trees % self.checkpoint_every == 0
             ):
                 stats.checkpoint_results.append(self.on_checkpoint(stats.n_trees))
+            if (
+                self.snapshot_every
+                and self.checkpoints is not None
+                and stats.n_trees % self.snapshot_every == 0
+            ):
+                stats.snapshot_paths.append(self.snapshot_now())
+        return stats
+
+    def snapshot_now(self) -> Path:
+        """Checkpoint the first consumer immediately (crash-safe write)."""
+        if self.checkpoints is None:
+            raise ConfigError("no CheckpointManager configured")
+        return self.checkpoints.save(self.consumers[0])
+
+    def resume(self, trees: Iterable[LabeledTree]) -> ProcessingStats:
+        """Recover from the latest checkpoint, then continue the run.
+
+        ``trees`` must replay the *same stream in the same order* as the
+        interrupted run (the deterministic-replay model: regenerate the
+        dataset, re-read the log, re-parse the forest).  The newest valid
+        checkpoint replaces the first consumer — read it back from
+        ``processor.consumers[0]`` afterwards — and exactly the
+        ``n_trees`` trees it already absorbed are skipped, so the
+        finished synopsis is identical to an uninterrupted run.  With no
+        checkpoint on disk this is simply :meth:`run`.
+
+        Any additional consumers are *not* restored; they see only the
+        suffix of the stream.  Keep auxiliary consumers out of resumed
+        runs or restore them yourself.
+        """
+        if self.checkpoints is None:
+            raise ConfigError("resume() needs a CheckpointManager")
+        expected = getattr(self.consumers[0], "config", None)
+        restored = self.checkpoints.load_latest(expected_config=expected)
+        if restored is None:
+            return self.run(trees)
+        skip = restored.n_trees
+        self.consumers[0] = restored
+        iterator = iter(trees)
+        skipped = 0
+        while skipped < skip and next(iterator, None) is not None:
+            skipped += 1
+        stats = self.run(iterator)
+        stats.resumed_from = skipped
         return stats

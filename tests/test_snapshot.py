@@ -1,0 +1,661 @@
+"""Tests for the versioned snapshot & recovery subsystem.
+
+Covers the format round trip (property-based), the typed rejection of
+corrupt / truncated / version-mismatched / misconfigured snapshots, the
+crash-safe :class:`CheckpointManager`, checkpoint-resume equivalence in
+:class:`StreamProcessor`, the summary-preserving merge fix, the guarded
+legacy pickle loader, and the canonical value-reduction regression for
+values at and beyond 2^31 - 1.
+"""
+
+import ast
+import json
+import pickle
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SketchTree, SketchTreeConfig
+from repro.core.snapshot import (
+    FORMAT_VERSION,
+    MAGIC,
+    CheckpointManager,
+    config_fingerprint,
+    load_snapshot,
+    save_snapshot,
+    snapshot_from_bytes,
+    snapshot_to_bytes,
+)
+from repro.core.topk import TopKTracker
+from repro.errors import (
+    ConfigError,
+    PatternError,
+    SnapshotConfigError,
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotIntegrityError,
+    SnapshotVersionError,
+)
+from repro.query.summary import QueryNode, StructuralSummary
+from repro.query.xpath import parse_xpath
+from repro.sketch.ams import SketchMatrix
+from repro.sketch.bch import BchXiGenerator
+from repro.sketch.xi import MERSENNE_31, XiGenerator
+from repro.stream.engine import StreamProcessor
+from repro.trees import from_sexpr
+from repro.trees.builders import from_nested
+from tests.strategies import nested_trees
+
+BASE = SketchTreeConfig(
+    s1=12, s2=3, max_pattern_edges=2, n_virtual_streams=13, seed=5
+)
+FULL = SketchTreeConfig(
+    s1=12,
+    s2=3,
+    max_pattern_edges=2,
+    n_virtual_streams=13,
+    topk_size=3,
+    maintain_summary=True,
+    seed=5,
+)
+
+STREAM = [
+    "(A (B) (C))",
+    "(A (C) (B))",
+    "(A (B (C)))",
+    "(X (A (B)))",
+    "(A (B) (B))",
+    "(B (C))",
+] * 4
+
+
+def build(config=FULL, texts=STREAM):
+    synopsis = SketchTree(config)
+    for text in texts:
+        synopsis.update(from_sexpr(text))
+    return synopsis
+
+
+def assert_same_state(a: SketchTree, b: SketchTree):
+    """Bit-identical counters plus identical trackers/summary/bookkeeping."""
+    assert a.config == b.config
+    assert a.n_trees == b.n_trees
+    assert a.n_values == b.n_values
+    left = dict(a.streams.iter_sketches())
+    right = dict(b.streams.iter_sketches())
+    assert left.keys() == right.keys()
+    for residue, matrix in left.items():
+        assert np.array_equal(matrix.counters, right[residue].counters)
+    left_tracked = {r: t.tracked for r, t in a.streams.iter_trackers()}
+    right_tracked = {r: t.tracked for r, t in b.streams.iter_trackers()}
+    assert {r: t for r, t in left_tracked.items() if t} == {
+        r: t for r, t in right_tracked.items() if t
+    }
+    if a.summary is None:
+        assert b.summary is None
+    else:
+        assert b.summary is not None
+        assert a.summary.to_dict() == b.summary.to_dict()
+
+
+def rewrite_header(blob: bytes, mutate) -> bytes:
+    """Re-frame ``blob`` after applying ``mutate(header_dict)``."""
+    header_len = int.from_bytes(blob[len(MAGIC) : len(MAGIC) + 8], "big")
+    start = len(MAGIC) + 8
+    header = json.loads(blob[start : start + header_len])
+    payload = blob[start + header_len :]
+    mutate(header)
+    header_bytes = json.dumps(
+        header, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return MAGIC + len(header_bytes).to_bytes(8, "big") + header_bytes + payload
+
+
+class TestRoundTrip:
+    def test_bit_identical_state(self):
+        synopsis = build()
+        restored = SketchTree.from_bytes(synopsis.to_bytes())
+        assert_same_state(synopsis, restored)
+
+    def test_estimates_identical(self):
+        synopsis = build()
+        restored = SketchTree.from_bytes(synopsis.to_bytes())
+        queries = ["(A (B))", "(A (B) (C))", "(B (C))"]
+        for q in queries:
+            assert synopsis.estimate_ordered(q) == restored.estimate_ordered(q)
+            assert synopsis.estimate_unordered(q) == restored.estimate_unordered(q)
+        assert synopsis.estimate_sum(queries) == restored.estimate_sum(queries)
+        extended = parse_xpath("//A/B")
+        assert synopsis.estimate_extended(extended) == restored.estimate_extended(
+            extended
+        )
+
+    def test_interrupted_run_equals_uninterrupted(self):
+        # The acceptance scenario: snapshot halfway, restore, continue —
+        # with top-k tracking and the structural summary enabled.
+        half = len(STREAM) // 2
+        uninterrupted = build(FULL, STREAM)
+        first_half = build(FULL, STREAM[:half])
+        resumed = SketchTree.from_bytes(first_half.to_bytes())
+        for text in STREAM[half:]:
+            resumed.update(from_sexpr(text))
+        assert_same_state(uninterrupted, resumed)
+        for q in ["(A (B))", "(A (C) (B))", "(X (A))"]:
+            assert uninterrupted.estimate_ordered(q) == resumed.estimate_ordered(q)
+            assert uninterrupted.estimate_unordered(
+                q
+            ) == resumed.estimate_unordered(q)
+        expression = "COUNT(A/B) + COUNT(A/C) - COUNT(B/C)"
+        assert uninterrupted.estimate_expression(
+            expression
+        ) == resumed.estimate_expression(expression)
+        extended = parse_xpath("//A/*")
+        assert uninterrupted.estimate_extended(
+            extended
+        ) == resumed.estimate_extended(extended)
+
+    def test_empty_synopsis_round_trips(self):
+        synopsis = SketchTree(FULL)
+        restored = SketchTree.from_bytes(synopsis.to_bytes())
+        assert_same_state(synopsis, restored)
+        assert restored.n_trees == 0
+
+    def test_pairing_big_values_round_trip(self):
+        # Pairing-mode values exceed 64 bits; tracker state must survive
+        # the decimal-string encoding in the header.
+        config = SketchTreeConfig(
+            s1=8,
+            s2=3,
+            max_pattern_edges=2,
+            n_virtual_streams=7,
+            topk_size=2,
+            mapping="pairing",
+            seed=3,
+        )
+        synopsis = build(config, STREAM[:8])
+        restored = SketchTree.from_bytes(synopsis.to_bytes())
+        assert_same_state(synopsis, restored)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(nested_trees(max_nodes=6), min_size=0, max_size=5))
+    def test_round_trip_property(self, forest):
+        synopsis = SketchTree(FULL)
+        for nested in forest:
+            synopsis.update(from_nested(nested))
+        restored = SketchTree.from_bytes(synopsis.to_bytes())
+        assert_same_state(synopsis, restored)
+        assert synopsis.estimate_ordered("(A (B))") == restored.estimate_ordered(
+            "(A (B))"
+        )
+
+
+class TestRejection:
+    def test_bad_magic(self):
+        with pytest.raises(SnapshotFormatError):
+            snapshot_from_bytes(b"NOTASNAP" + b"\x00" * 32)
+
+    def test_empty_blob(self):
+        with pytest.raises(SnapshotFormatError):
+            snapshot_from_bytes(b"")
+
+    def test_pickle_blob_hints_at_legacy_loader(self):
+        blob = pickle.dumps({"anything": 1})
+        with pytest.raises(SnapshotFormatError, match="from_legacy_pickle"):
+            snapshot_from_bytes(blob)
+
+    def test_truncation_rejected_everywhere(self):
+        blob = build(BASE, STREAM[:6]).to_bytes()
+        header_len = int.from_bytes(blob[len(MAGIC) : len(MAGIC) + 8], "big")
+        cuts = [
+            4,  # inside the magic
+            len(MAGIC) + 3,  # inside the length field
+            len(MAGIC) + 8 + header_len // 2,  # inside the header
+            len(MAGIC) + 8 + header_len,  # payload gone entirely
+            len(blob) - 1,  # one payload byte short
+        ]
+        for cut in cuts:
+            with pytest.raises(SnapshotIntegrityError):
+                snapshot_from_bytes(blob[:cut])
+
+    def test_flipped_payload_byte_rejected(self):
+        blob = bytearray(build(BASE, STREAM[:6]).to_bytes())
+        blob[-1] ^= 0xFF
+        with pytest.raises(SnapshotIntegrityError, match="checksum"):
+            snapshot_from_bytes(bytes(blob))
+
+    @pytest.mark.parametrize("version", [0, 2, FORMAT_VERSION + 7])
+    def test_version_mismatch_rejected(self, version):
+        blob = build(BASE, STREAM[:4]).to_bytes()
+        tampered = rewrite_header(
+            blob, lambda h: h.__setitem__("format_version", version)
+        )
+        with pytest.raises(SnapshotVersionError):
+            snapshot_from_bytes(tampered)
+
+    def test_non_integer_version_rejected(self):
+        blob = build(BASE, STREAM[:4]).to_bytes()
+        tampered = rewrite_header(
+            blob, lambda h: h.__setitem__("format_version", "1")
+        )
+        with pytest.raises(SnapshotFormatError):
+            snapshot_from_bytes(tampered)
+
+    def test_wrong_format_name_rejected(self):
+        blob = build(BASE, STREAM[:4]).to_bytes()
+        tampered = rewrite_header(
+            blob, lambda h: h.__setitem__("format", "other-format")
+        )
+        with pytest.raises(SnapshotFormatError):
+            snapshot_from_bytes(tampered)
+
+    def test_missing_header_key_rejected(self):
+        blob = build(BASE, STREAM[:4]).to_bytes()
+        tampered = rewrite_header(blob, lambda h: h.pop("n_trees"))
+        with pytest.raises(SnapshotFormatError, match="missing"):
+            snapshot_from_bytes(tampered)
+
+    def test_edited_config_fails_fingerprint(self):
+        blob = build(BASE, STREAM[:4]).to_bytes()
+        tampered = rewrite_header(
+            blob, lambda h: h["config"].__setitem__("seed", 999)
+        )
+        with pytest.raises(SnapshotIntegrityError, match="fingerprint"):
+            snapshot_from_bytes(tampered)
+
+    def test_tracker_state_without_topk_rejected(self):
+        blob = build(BASE, STREAM[:4]).to_bytes()  # BASE has topk_size=0
+        tampered = rewrite_header(
+            blob, lambda h: h.__setitem__("trackers", {"0": [["5", 2]]})
+        )
+        with pytest.raises(SnapshotFormatError, match="topk_size=0"):
+            snapshot_from_bytes(tampered)
+
+    def test_summary_without_maintain_summary_rejected(self):
+        blob = build(BASE, STREAM[:4]).to_bytes()
+        tampered = rewrite_header(
+            blob, lambda h: h.__setitem__("summary", {"A": {}})
+        )
+        with pytest.raises(SnapshotFormatError, match="maintain_summary"):
+            snapshot_from_bytes(tampered)
+
+    def test_maintain_summary_without_summary_rejected(self):
+        blob = build(FULL, STREAM[:4]).to_bytes()
+        tampered = rewrite_header(blob, lambda h: h.__setitem__("summary", None))
+        with pytest.raises(SnapshotFormatError, match="carries none"):
+            snapshot_from_bytes(tampered)
+
+    def test_negative_counts_rejected(self):
+        blob = build(BASE, STREAM[:4]).to_bytes()
+        tampered = rewrite_header(blob, lambda h: h.__setitem__("n_trees", -1))
+        with pytest.raises(SnapshotFormatError):
+            snapshot_from_bytes(tampered)
+
+    def test_garbage_payload_rejected(self):
+        blob = build(BASE, STREAM[:4]).to_bytes()
+        header_len = int.from_bytes(blob[len(MAGIC) : len(MAGIC) + 8], "big")
+        start = len(MAGIC) + 8
+        header = json.loads(blob[start : start + header_len])
+        payload = b"this is not an npz archive"
+        import hashlib
+
+        header["payload_size"] = len(payload)
+        header["payload_sha256"] = hashlib.sha256(payload).hexdigest()
+        header_bytes = json.dumps(
+            header, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        tampered = (
+            MAGIC + len(header_bytes).to_bytes(8, "big") + header_bytes + payload
+        )
+        with pytest.raises(SnapshotFormatError, match="npz"):
+            snapshot_from_bytes(tampered)
+
+
+class TestFiles:
+    def test_save_load_round_trip(self, tmp_path):
+        synopsis = build()
+        path = save_snapshot(synopsis, tmp_path / "snap.sktsnap")
+        assert path.exists()
+        assert_same_state(synopsis, load_snapshot(path))
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        save_snapshot(build(BASE, STREAM[:4]), tmp_path / "snap.sktsnap")
+        assert [p.name for p in tmp_path.iterdir()] == ["snap.sktsnap"]
+
+    def test_expected_config_match_accepted(self, tmp_path):
+        path = save_snapshot(build(), tmp_path / "snap.sktsnap")
+        assert load_snapshot(path, expected_config=FULL).n_trees == len(STREAM)
+
+    def test_expected_config_mismatch_rejected(self, tmp_path):
+        path = save_snapshot(build(), tmp_path / "snap.sktsnap")
+        with pytest.raises(SnapshotConfigError):
+            load_snapshot(path, expected_config=BASE)
+
+    def test_fingerprint_distinguishes_configs(self):
+        assert config_fingerprint(BASE) != config_fingerprint(FULL)
+        assert config_fingerprint(BASE) == config_fingerprint(BASE)
+
+
+class TestCheckpointManager:
+    def test_keep_last_n(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep_last=2)
+        synopsis = SketchTree(BASE)
+        for text in STREAM[:6]:
+            synopsis.update(from_sexpr(text))
+            manager.save(synopsis)
+        names = [p.name for p in manager.paths()]
+        assert names == [
+            "checkpoint-000000000005.sktsnap",
+            "checkpoint-000000000006.sktsnap",
+        ]
+
+    def test_load_latest_empty_directory(self, tmp_path):
+        assert CheckpointManager(tmp_path).load_latest() is None
+
+    def test_load_latest_falls_back_past_corruption(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep_last=3)
+        synopsis = SketchTree(BASE)
+        for text in STREAM[:3]:
+            synopsis.update(from_sexpr(text))
+            manager.save(synopsis)
+        newest = manager.latest_path()
+        newest.write_bytes(newest.read_bytes()[:-5])  # damage the newest
+        restored = manager.load_latest()
+        assert restored is not None
+        assert restored.n_trees == 2  # the newest *valid* checkpoint
+
+    def test_all_corrupt_raises(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        synopsis = build(BASE, STREAM[:2])
+        path = manager.save(synopsis)
+        path.write_bytes(b"garbage")
+        with pytest.raises(SnapshotIntegrityError, match="no loadable"):
+            manager.load_latest()
+
+    def test_invalid_parameters(self, tmp_path):
+        with pytest.raises(ConfigError):
+            CheckpointManager(tmp_path, keep_last=0)
+        with pytest.raises(ConfigError):
+            CheckpointManager(tmp_path, prefix="a/b")
+
+
+class TestStreamProcessorRecovery:
+    def trees(self):
+        return [from_sexpr(text) for text in STREAM]
+
+    def test_resume_equals_uninterrupted(self, tmp_path):
+        uninterrupted = SketchTree(FULL)
+        StreamProcessor([uninterrupted]).run(self.trees())
+
+        # "Crash" partway: only the first 10 trees get processed, with a
+        # checkpoint every 4 — the last checkpoint holds 8 trees.
+        manager = CheckpointManager(tmp_path, keep_last=2)
+        crashed = StreamProcessor(
+            [SketchTree(FULL)], snapshot_every=4, checkpoints=manager
+        )
+        crashed.run(self.trees()[:10])
+        assert len(manager.paths()) == 2
+
+        recovered = StreamProcessor(
+            [SketchTree(FULL)], snapshot_every=4, checkpoints=manager
+        )
+        stats = recovered.resume(self.trees())
+        assert stats.resumed_from == 8
+        assert stats.n_trees == len(STREAM) - 8
+        assert_same_state(uninterrupted, recovered.consumers[0])
+
+    def test_resume_without_checkpoints_is_plain_run(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        processor = StreamProcessor([SketchTree(BASE)], checkpoints=manager)
+        stats = processor.resume(self.trees())
+        assert stats.resumed_from == 0
+        assert stats.n_trees == len(STREAM)
+
+    def test_snapshot_every_requires_manager(self):
+        with pytest.raises(ConfigError):
+            StreamProcessor([SketchTree(BASE)], snapshot_every=5)
+
+    def test_checkpointing_requires_to_bytes(self, tmp_path):
+        from repro.core import ExactCounter
+
+        with pytest.raises(ConfigError, match="to_bytes"):
+            StreamProcessor(
+                [ExactCounter(2)],
+                checkpoints=CheckpointManager(tmp_path),
+            )
+
+    def test_run_writes_snapshots_on_schedule(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep_last=10)
+        processor = StreamProcessor(
+            [SketchTree(BASE)], snapshot_every=6, checkpoints=manager
+        )
+        stats = processor.run(self.trees())
+        assert len(stats.snapshot_paths) == len(STREAM) // 6
+        assert all(Path(p).exists() for p in stats.snapshot_paths)
+
+
+class TestTopKSnapshotRestore:
+    def make_tracker(self):
+        sketch = SketchMatrix(s1=8, s2=3, seed=11)
+        return TopKTracker(size=3, sketch=sketch)
+
+    def test_snapshot_is_independent_copy(self):
+        tracker = self.make_tracker()
+        for value in [5, 5, 5, 9, 9, 2]:
+            tracker.process(value)
+        state = tracker.snapshot()
+        state[12345] = 99
+        assert 12345 not in tracker.snapshot()
+
+    def test_restore_round_trip_continues_identically(self):
+        arrivals = [5, 5, 9, 5, 9, 2, 2, 2, 7]
+        a = self.make_tracker()
+        for value in arrivals:
+            a.process(value)
+
+        b = self.make_tracker()
+        for value in arrivals[:5]:
+            b.process(value)
+        state, counters = b.snapshot(), b.sketch.counters.copy()
+
+        c = self.make_tracker()
+        c.sketch.counters = counters
+        c.restore(state)
+        for value in arrivals[5:]:
+            c.process(value)
+        assert a.tracked == c.tracked
+        assert np.array_equal(a.sketch.counters, c.sketch.counters)
+
+    def test_restore_rejects_nonpositive_counts(self):
+        tracker = self.make_tracker()
+        with pytest.raises(ConfigError):
+            tracker.restore({5: 0})
+        with pytest.raises(ConfigError):
+            tracker.restore({5: -2})
+
+    def test_restore_rejects_oversized_state(self):
+        tracker = self.make_tracker()
+        with pytest.raises(ConfigError):
+            tracker.restore({v: 1 for v in range(tracker.size + 1)})
+
+
+class TestSummarySerde:
+    def test_to_dict_from_dict_round_trip(self):
+        summary = StructuralSummary()
+        for text in STREAM:
+            summary.add_tree(from_sexpr(text))
+        clone = StructuralSummary.from_dict(summary.to_dict())
+        assert clone.to_dict() == summary.to_dict()
+        assert clone.n_paths == summary.n_paths
+
+    def test_from_dict_rejects_malformed(self):
+        with pytest.raises(PatternError):
+            StructuralSummary.from_dict({"A": "not-a-dict"})
+        with pytest.raises(PatternError):
+            StructuralSummary.from_dict({"": {}})
+
+    def test_merge_is_trie_union(self):
+        a, b = StructuralSummary(), StructuralSummary()
+        a.add_tree(from_sexpr("(A (B))"))
+        b.add_tree(from_sexpr("(A (C (D)))"))
+        merged = a.merge(b)
+        assert merged.to_dict() == {"A": {"B": {}, "C": {"D": {}}}}
+        # Inputs untouched.
+        assert a.to_dict() == {"A": {"B": {}}}
+        assert b.to_dict() == {"A": {"C": {"D": {}}}}
+
+
+class TestMergeFix:
+    def merge_config(self, maintain_summary):
+        return SketchTreeConfig(
+            s1=12,
+            s2=3,
+            max_pattern_edges=2,
+            n_virtual_streams=13,
+            maintain_summary=maintain_summary,
+            seed=5,
+        )
+
+    def test_merged_summary_answers_extended_queries(self):
+        config = self.merge_config(True)
+        half = len(STREAM) // 2
+        a = build(config, STREAM[:half])
+        b = build(config, STREAM[half:])
+        single = build(config, STREAM)
+        merged = a.merge(b)
+        assert merged.summary is not None
+        assert merged.summary.to_dict() == single.summary.to_dict()
+        query = parse_xpath("//A/B")
+        assert merged.estimate_extended(query) == single.estimate_extended(query)
+
+    def test_merge_refuses_summary_mismatch(self):
+        a = build(self.merge_config(True), STREAM[:4])
+        b = build(self.merge_config(False), STREAM[4:8])
+        with pytest.raises(ConfigError):
+            a.merge(b)
+
+
+class TestLegacyPickle:
+    def legacy_blob(self, synopsis):
+        state = {
+            "config": synopsis.config,
+            "n_trees": synopsis.n_trees,
+            "n_values": synopsis.n_values,
+            "sketches": {
+                residue: matrix.counters.copy()
+                for residue, matrix in synopsis.streams.iter_sketches()
+            },
+            "trackers": {
+                residue: tracker.snapshot()
+                for residue, tracker in synopsis.streams.iter_trackers()
+                if tracker.snapshot()
+            },
+        }
+        return pickle.dumps(state)
+
+    def test_loads_with_deprecation_warning(self):
+        # The pickle format predates the structural summary, so the
+        # round trip is exercised without one (to_bytes covers it).
+        config = SketchTreeConfig(
+            s1=12,
+            s2=3,
+            max_pattern_edges=2,
+            n_virtual_streams=13,
+            topk_size=3,
+            seed=5,
+        )
+        synopsis = build(config)
+        blob = self.legacy_blob(synopsis)
+        with pytest.warns(DeprecationWarning, match="to_bytes"):
+            restored = SketchTree.from_legacy_pickle(blob)
+        assert_same_state(synopsis, restored)
+
+    def test_rejects_garbage(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(SnapshotFormatError):
+                SketchTree.from_legacy_pickle(b"\x80\x04 garbage")
+
+    def test_rejects_wrong_shape(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(SnapshotFormatError, match="missing"):
+                SketchTree.from_legacy_pickle(pickle.dumps({"config": BASE}))
+
+
+class TestNoPickleInSnapshotPath:
+    @staticmethod
+    def imported_names(path):
+        tree = ast.parse(Path(path).read_text())
+        names = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                names.update(alias.name for alias in node.names)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                names.add(node.module)
+        return names
+
+    def test_snapshot_module_is_pickle_free(self):
+        import repro.core.snapshot as module
+
+        assert "pickle" not in self.imported_names(module.__file__)
+
+    def test_sketchtree_has_no_module_level_pickle(self):
+        # ``pickle`` may appear only inside from_legacy_pickle's body,
+        # never at module scope.
+        import repro.core.sketchtree as module
+
+        tree = ast.parse(Path(module.__file__).read_text())
+        module_level = {
+            alias.name
+            for node in tree.body
+            if isinstance(node, ast.Import)
+            for alias in node.names
+        }
+        assert "pickle" not in module_level
+
+
+class TestCanonicalReduction:
+    """Satellite 4: one family-specific reduction point, big-value safe."""
+
+    def test_polynomial_family_values_beyond_field(self):
+        xi = XiGenerator(n_instances=6, seed=9)
+        for value in [MERSENNE_31 - 1, MERSENNE_31, MERSENNE_31 + 7, 2**63 - 1]:
+            reduced = int(xi.to_field([value], count=1)[0])
+            assert 0 <= reduced < MERSENNE_31
+            assert reduced == value % MERSENNE_31
+
+    def test_to_field_accepts_python_bigints(self):
+        # Pairing values exceed int64; np.fromiter must not overflow.
+        xi = XiGenerator(n_instances=4, seed=1)
+        huge = 2**80 + 12345
+        assert int(xi.to_field([huge], count=1)[0]) == huge % MERSENNE_31
+
+    def test_bch_family_reduces_by_mask(self):
+        xi = BchXiGenerator(n_instances=4, seed=2)
+        mask = (1 << xi.m) - 1
+        value = (7 << xi.m) | 123
+        assert int(xi.to_field([value], count=1)[0]) == value & mask
+
+    def test_estimates_unchanged_for_values_at_field_boundary(self):
+        # Streaming v and v % (2^31 - 1) must hit identical counters —
+        # the regression the redundant pre-reduction used to mask.
+        big = {MERSENNE_31 + 11: 4, 2 * MERSENNE_31 + 3: 2}
+        small = {value % MERSENNE_31: count for value, count in big.items()}
+        a = SketchMatrix(s1=10, s2=3, seed=21)
+        b = SketchMatrix(s1=10, s2=3, seed=21)
+        a.update_counts(big)
+        b.update_counts(small)
+        assert np.array_equal(a.counters, b.counters)
+        for value in big:
+            assert a.estimate(value) == b.estimate(value % MERSENNE_31)
+
+
+class TestExtendedQueryNode:
+    def test_query_node_reexported(self):
+        # estimate_extended accepts hand-built QueryNode trees too.
+        synopsis = build()
+        query = QueryNode("A", (QueryNode("*", ()),))
+        assert synopsis.estimate_extended(query) == pytest.approx(
+            synopsis.estimate_xpath("/A/*")
+        )

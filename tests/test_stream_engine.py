@@ -25,6 +25,30 @@ class TestStreamProcessor:
         assert stats.elapsed_seconds > 0
         assert stats.trees_per_second > 0
 
+    def test_empty_run_throughput_is_zero(self):
+        # An empty or unmeasured run used to report inf trees/second.
+        stats = StreamProcessor([ExactCounter(2)]).run([])
+        assert stats.n_trees == 0
+        assert stats.trees_per_second == 0.0
+
+    def test_zero_elapsed_throughput_is_zero(self):
+        from repro.stream.engine import ProcessingStats
+
+        assert ProcessingStats().trees_per_second == 0.0
+        assert ProcessingStats(n_trees=5, elapsed_seconds=0.0).trees_per_second == 0.0
+
+    def test_negative_snapshot_every_rejected(self):
+        with pytest.raises(ConfigError):
+            StreamProcessor([ExactCounter(2)], snapshot_every=-1)
+
+    def test_snapshot_now_without_manager_rejected(self):
+        with pytest.raises(ConfigError):
+            StreamProcessor([ExactCounter(2)]).snapshot_now()
+
+    def test_resume_without_manager_rejected(self):
+        with pytest.raises(ConfigError):
+            StreamProcessor([ExactCounter(2)]).resume(trees())
+
     def test_checkpoints_fire(self):
         seen = []
         processor = StreamProcessor(
