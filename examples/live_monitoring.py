@@ -19,6 +19,12 @@ change in real time.
 
 Run:  python examples/live_monitoring.py
 """
+# sketchlint: disable-file=SKL004
+# A monitoring dashboard stamps checkpoints with the *wall* clock on
+# purpose: operators correlate them with external logs, and nothing here
+# is a measured section feeding a cost ratio.
+
+import time
 
 from repro import ExactCounter, SketchTree, SketchTreeConfig
 from repro.stream.sax import SaxPatternEnumerator
@@ -53,7 +59,8 @@ def main() -> None:
     synopsis = SketchTree(config)
     exact = ExactCounter(config.max_pattern_edges)
 
-    print(f"{'docs':>5} {'estimate':>9} {'interval (80%)':>18} {'actual':>7}")
+    print(f"{'wall clock':>19} {'docs':>5} {'estimate':>9} "
+          f"{'interval (80%)':>18} {'actual':>7}")
     document: list = []
     enumerator = SaxPatternEnumerator(config.max_pattern_edges, document.append)
     for index, xml in enumerate(document_stream(), start=1):
@@ -68,8 +75,9 @@ def main() -> None:
             actual = exact.count_ordered(
                 ("event", (("kind", (("error", ()),)),))
             )
+            stamp = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(time.time()))
             print(
-                f"{index:>5} {interval.estimate:>9.1f} "
+                f"{stamp:>19} {index:>5} {interval.estimate:>9.1f} "
                 f"[{interval.low:>7.1f}, {interval.high:>7.1f}] {actual:>7}"
             )
 

@@ -46,7 +46,7 @@ class CountSketch:
 
     def update(self, value: int, count: int = 1) -> None:
         """Add ``count`` occurrences of ``value`` (negative = delete)."""
-        self.update_batch(np.asarray([value], dtype=np.int64),
+        self.update_batch(np.asarray([int(value) % MERSENNE_31], dtype=np.int64),
                           np.asarray([count], dtype=np.int64))
 
     def update_batch(self, values: np.ndarray, counts: np.ndarray | None = None) -> None:
@@ -79,8 +79,12 @@ class CountSketch:
         self.update_batch(values, counts)
 
     def estimate(self, value: int) -> float:
-        """Median-over-rows point estimate of the frequency of ``value``."""
-        v = np.asarray([value], dtype=np.int64)
+        """Median-over-rows point estimate of the frequency of ``value``.
+
+        ``value`` may be an arbitrary-precision pairing code; it is reduced
+        mod p *before* entering the int64 domain, matching ``update_counts``.
+        """
+        v = np.asarray([int(value) % MERSENNE_31], dtype=np.int64)
         buckets = self._buckets(v)[:, 0]
         signs = self._sign.xi_batch(v)[:, 0]
         rows = np.arange(self.depth)

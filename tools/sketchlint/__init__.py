@@ -4,9 +4,12 @@ The paper's accuracy guarantees rest on invariants the type system cannot
 see — four-wise-independent ξ families drawn from reproducible seeds,
 fixed irreducible fingerprint polynomials, monotonic benchmark clocks.
 This package enforces them with a pure-AST pass (no runtime deps beyond
-the stdlib):
+the stdlib), in two phases.
+
+Per-file rules:
 
 ========  ==============================================================
+SKL000    target file does not parse (or cannot be read)
 SKL001    unseeded / stdlib-``random`` RNG in sketch/hashing/core paths
 SKL002    float ``==`` / ``!=`` in estimator code
 SKL003    mutable default arguments
@@ -17,17 +20,34 @@ SKL007    missing ``__slots__`` on EnumTree inner-loop classes
 SKL008    module-import-time I/O or RNG construction
 ========  ==============================================================
 
+Whole-project semantic rules (symbol table + call graph + taint dataflow,
+see :mod:`tools.sketchlint.semantic`):
+
+========  ==============================================================
+SKL101    pairing-provenance value (>int64) narrowed to a fixed dtype
+SKL102    RNG/ξ seeded from a non-config (nondeterministic) source
+SKL103    pickle / nondeterminism reachable from the snapshot path
+SKL104    counter writes reachable from estimator entry points
+SKL105    ``np.load`` without ``allow_pickle=False`` / untyped frombuffer
+========  ==============================================================
+
 Run ``python -m tools.sketchlint src/``; suppress one line with
-``# sketchlint: disable=SKL00x``.  See ``docs/static-analysis.md``.
+``# sketchlint: disable=SKL00x`` or a whole file with
+``# sketchlint: disable-file=SKL00x``.  Pre-existing findings can be
+accepted via ``tools/sketchlint/baseline.json`` (``--update-baseline``).
+See ``docs/static-analysis.md``.
 """
 
 from tools.sketchlint.engine import (
+    PARSE_ERROR_RULE,
     LintUsageError,
     iter_python_files,
     lint_file,
     lint_paths,
+    lint_paths_with_sources,
     lint_source,
     select_rules,
+    split_select,
 )
 from tools.sketchlint.rules import RULES, RULES_BY_ID, Rule
 from tools.sketchlint.violations import FileContext, Violation
@@ -35,6 +55,7 @@ from tools.sketchlint.violations import FileContext, Violation
 __all__ = [
     "FileContext",
     "LintUsageError",
+    "PARSE_ERROR_RULE",
     "RULES",
     "RULES_BY_ID",
     "Rule",
@@ -42,6 +63,8 @@ __all__ = [
     "iter_python_files",
     "lint_file",
     "lint_paths",
+    "lint_paths_with_sources",
     "lint_source",
     "select_rules",
+    "split_select",
 ]

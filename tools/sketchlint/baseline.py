@@ -1,0 +1,120 @@
+"""Baseline files: accept pre-existing findings, fail only on new ones.
+
+Keys are content hashes, not line numbers: ``sha256(rule | path |
+stripped-source-line | occurrence-index)``.  Inserting code above a
+baselined finding moves its line but not its key; editing the offending
+line (or adding a second identical one later in the file for the
+occurrence already claimed) invalidates the key and resurfaces the
+finding.  The committed baseline lives at ``tools/sketchlint/baseline.json``
+and is kept *empty* for this repository — CI asserts it is not stale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from tools.sketchlint.violations import Violation
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_PATH = Path(__file__).parent / "baseline.json"
+
+
+class BaselineError(Exception):
+    """The baseline file is unreadable or malformed."""
+
+
+def finding_keys(
+    violations: list[Violation], sources: dict[str, str]
+) -> dict[Violation, str]:
+    """Content-hash key per violation.
+
+    Violations on identical (rule, path, line-text) triples are
+    disambiguated by their occurrence index in line order, so two hits on
+    textually identical lines get distinct, stable keys.
+    """
+    line_cache: dict[str, list[str]] = {}
+    occurrence: dict[tuple[str, str, str], int] = {}
+    keys: dict[Violation, str] = {}
+    for violation in sorted(set(violations), key=Violation.sort_key):
+        source = sources.get(violation.path, "")
+        if violation.path not in line_cache:
+            line_cache[violation.path] = source.splitlines()
+        lines = line_cache[violation.path]
+        text = ""
+        if 1 <= violation.line <= len(lines):
+            text = lines[violation.line - 1].strip()
+        triple = (violation.rule, violation.path, text)
+        index = occurrence.get(triple, 0)
+        occurrence[triple] = index + 1
+        digest = hashlib.sha256(
+            "|".join([violation.rule, violation.path, text, str(index)]).encode()
+        ).hexdigest()[:20]
+        keys[violation] = digest
+    return keys
+
+
+def load_baseline(path: str | Path) -> dict[str, dict]:
+    """Key → descriptive metadata.  A missing file is an empty baseline."""
+    file_path = Path(path)
+    if not file_path.exists():
+        return {}
+    try:
+        payload = json.loads(file_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise BaselineError(f"cannot read baseline {file_path}: {error}") from error
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {file_path} has unsupported format "
+            f"(expected version {BASELINE_VERSION})"
+        )
+    findings = payload.get("findings", {})
+    if not isinstance(findings, dict):
+        raise BaselineError(f"baseline {file_path}: 'findings' must be an object")
+    return findings
+
+
+def render_baseline(
+    violations: list[Violation], sources: dict[str, str]
+) -> str:
+    """Serialise current findings as a baseline document (deterministic)."""
+    keys = finding_keys(violations, sources)
+    findings = {
+        key: {
+            "rule": violation.rule,
+            "path": violation.path,
+            "message": violation.message,
+        }
+        for violation, key in keys.items()
+    }
+    document = {
+        "version": BASELINE_VERSION,
+        "findings": {key: findings[key] for key in sorted(findings)},
+    }
+    return json.dumps(document, indent=2, sort_keys=False) + "\n"
+
+
+def write_baseline(
+    path: str | Path, violations: list[Violation], sources: dict[str, str]
+) -> None:
+    Path(path).write_text(render_baseline(violations, sources), encoding="utf-8")
+
+
+def split_baselined(
+    violations: list[Violation],
+    baseline: dict[str, dict],
+    sources: dict[str, str],
+) -> tuple[list[Violation], list[Violation]]:
+    """Partition into (new, baselined) against an existing baseline."""
+    if not baseline:
+        return list(violations), []
+    keys = finding_keys(violations, sources)
+    new: list[Violation] = []
+    known: list[Violation] = []
+    for violation in violations:
+        if keys.get(violation) in baseline:
+            known.append(violation)
+        else:
+            new.append(violation)
+    return new, known

@@ -1,6 +1,8 @@
 """Command-line front end: ``python -m tools.sketchlint src/``.
 
-Exit codes: 0 = clean, 1 = violations found, 2 = usage/parse failure.
+Exit codes: 0 = clean, 1 = findings (including unparseable target files,
+reported as SKL000), 2 = usage errors only (unknown rule id, missing
+path, malformed baseline).
 """
 
 from __future__ import annotations
@@ -8,20 +10,36 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Sequence
 
-from tools.sketchlint.engine import LintUsageError, lint_paths
+from tools.sketchlint.baseline import (
+    DEFAULT_BASELINE_PATH,
+    BaselineError,
+    load_baseline,
+    render_baseline,
+    split_baselined,
+)
+from tools.sketchlint.engine import (
+    PARSE_ERROR_RULE,
+    LintUsageError,
+    lint_paths_with_sources,
+)
 from tools.sketchlint.rules import RULES
+from tools.sketchlint.sarif import render_sarif
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m tools.sketchlint",
         description=(
-            "Domain-aware static analysis for the SketchTree reproduction: "
-            "determinism, numeric-safety and sketch-correctness invariants "
-            "(rules SKL001-SKL008). Suppress a hit inline with "
-            "`# sketchlint: disable=SKL00x`."
+            "Domain-aware static analysis for the SketchTree reproduction. "
+            "A per-file pass (SKL001-SKL008) checks determinism, "
+            "numeric-safety and sketch-correctness invariants; a "
+            "whole-project semantic pass (SKL101-SKL105) tracks seed "
+            "provenance and value width across module boundaries. Suppress "
+            "a hit inline with `# sketchlint: disable=SKL00x` or for a "
+            "whole file with `# sketchlint: disable-file=SKL00x`."
         ),
     )
     parser.add_argument(
@@ -32,7 +50,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -42,6 +60,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--semantic",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run the whole-project semantic phase (default: on)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE_PATH),
+        help="baseline file of accepted findings (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to accept every current finding and exit",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
@@ -49,34 +83,60 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _list_rules() -> None:
+    from tools.sketchlint.semantic.rules import SEMANTIC_RULES
+
+    print(f"{PARSE_ERROR_RULE}  target file does not parse (or cannot be read)")
+    for rule in RULES:
+        print(f"{rule.id}  {rule.summary}")
+    for rule in SEMANTIC_RULES:
+        print(f"{rule.id}  {rule.summary}")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.list_rules:
-        for rule in RULES:
-            print(f"{rule.id}  {rule.summary}")
+        _list_rules()
         return 0
     select = args.select.split(",") if args.select else None
     try:
-        violations, n_files = lint_paths(args.paths, select=select)
-    except (LintUsageError, OSError) as error:
+        violations, n_files, sources = lint_paths_with_sources(
+            args.paths, select=select, semantic=args.semantic
+        )
+        if args.update_baseline:
+            Path(args.baseline).write_text(
+                render_baseline(violations, sources), encoding="utf-8"
+            )
+            noun = "finding" if len(violations) == 1 else "findings"
+            print(f"sketchlint: baseline updated with {len(violations)} {noun}")
+            return 0
+        baseline = load_baseline(args.baseline)
+    except (LintUsageError, BaselineError, OSError) as error:
         print(f"sketchlint: error: {error}", file=sys.stderr)
         return 2
+    new, known = split_baselined(violations, baseline, sources)
     if args.format == "json":
         print(
             json.dumps(
                 {
                     "files_checked": n_files,
-                    "violations": [v.to_dict() for v in violations],
+                    "baselined": len(known),
+                    "violations": [v.to_dict() for v in new],
                 },
                 indent=2,
             )
         )
+    elif args.format == "sarif":
+        print(render_sarif(new, sources), end="")
     else:
-        for violation in violations:
+        for violation in new:
             print(violation.render())
-        noun = "violation" if len(violations) == 1 else "violations"
-        print(f"sketchlint: {len(violations)} {noun} in {n_files} files checked")
-    return 1 if violations else 0
+        noun = "violation" if len(new) == 1 else "violations"
+        tail = f" ({len(known)} baselined)" if known else ""
+        print(
+            f"sketchlint: {len(new)} {noun} in {n_files} files checked{tail}"
+        )
+    return 1 if new else 0
 
 
 if __name__ == "__main__":

@@ -3,17 +3,15 @@
 from __future__ import annotations
 
 import ast
-import re
 from pathlib import Path
 from typing import Iterable, Iterator
 
 from tools.sketchlint.rules import RULES, Rule
+from tools.sketchlint.suppress import Suppressions
 from tools.sketchlint.violations import FileContext, Violation
 
-#: Rule id reserved for files the linter cannot parse.
+#: Rule id reserved for files the linter cannot parse (or read).
 PARSE_ERROR_RULE = "SKL000"
-
-_SUPPRESS_RE = re.compile(r"#\s*sketchlint:\s*disable=([A-Za-z0-9_,\s]+)")
 
 _SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "build", "dist"}
 
@@ -22,77 +20,85 @@ class LintUsageError(Exception):
     """Bad invocation: unknown rule id, missing path, …"""
 
 
-def _parse_suppressions(source: str) -> dict[int, set[str]]:
-    """Map line number -> rule ids disabled on that line (or {"ALL"})."""
-    suppressions: dict[int, set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(line)
-        if match is None:
-            continue
-        rules = {
-            token.strip().upper()
-            for token in match.group(1).split(",")
-            if token.strip()
-        }
-        if rules:
-            suppressions.setdefault(lineno, set()).update(rules)
-    return suppressions
-
-
-def _is_suppressed(violation: Violation, suppressions: dict[int, set[str]]) -> bool:
-    rules = suppressions.get(violation.line)
-    if rules is None:
-        return False
-    return "ALL" in rules or violation.rule in rules
-
-
 def select_rules(select: Iterable[str] | None) -> tuple[Rule, ...]:
-    """Resolve a ``--select`` list (None = all rules)."""
+    """Resolve a ``--select`` list to per-file rules (None = all rules)."""
+    rules, _, _ = split_select(select)
+    return rules
+
+
+def split_select(
+    select: Iterable[str] | None,
+) -> tuple[tuple[Rule, ...], set[str] | None, bool]:
+    """Partition a ``--select`` list across the two phases.
+
+    Returns ``(per_file_rules, semantic_ids, include_parse_errors)``;
+    ``semantic_ids`` is ``None`` when every semantic rule should run.
+    Unknown ids raise :class:`LintUsageError`.
+    """
     if select is None:
-        return RULES
+        return RULES, None, True
+    from tools.sketchlint.semantic.rules import SEMANTIC_RULES_BY_ID
+
     wanted = [token.strip().upper() for token in select if token.strip()]
-    by_id = {rule.id: rule for rule in RULES}
-    unknown = [token for token in wanted if token not in by_id]
+    per_file_by_id = {rule.id: rule for rule in RULES}
+    known = set(per_file_by_id) | set(SEMANTIC_RULES_BY_ID) | {PARSE_ERROR_RULE}
+    unknown = [token for token in wanted if token not in known]
     if unknown:
         raise LintUsageError(
             f"unknown rule id(s): {', '.join(unknown)}; "
-            f"known: {', '.join(by_id)}"
+            f"known: {', '.join(sorted(known))}"
         )
-    return tuple(by_id[token] for token in wanted)
+    per_file = tuple(per_file_by_id[t] for t in wanted if t in per_file_by_id)
+    semantic = {t for t in wanted if t in SEMANTIC_RULES_BY_ID}
+    return per_file, semantic, PARSE_ERROR_RULE in wanted
 
 
 def lint_source(source: str, path: str, rules: tuple[Rule, ...] = RULES) -> list[Violation]:
     """Lint one already-read source string ("path" is for scoping/reports)."""
     normalised = Path(path).as_posix()
+    suppressions = Suppressions(source)
     try:
         tree = ast.parse(source, filename=normalised)
     except SyntaxError as error:
-        return [
-            Violation(
-                rule=PARSE_ERROR_RULE,
-                path=normalised,
-                line=error.lineno or 1,
-                col=(error.offset or 0) + 1,
-                message=f"file does not parse: {error.msg}",
-            )
-        ]
+        violation = Violation(
+            rule=PARSE_ERROR_RULE,
+            path=normalised,
+            line=error.lineno or 1,
+            col=(error.offset or 0) + 1,
+            message=f"file does not parse: {error.msg}",
+        )
+        return [] if suppressions.hides(violation) else [violation]
     context = FileContext(path=normalised, tree=tree, source=source)
-    suppressions = _parse_suppressions(source)
     found: list[Violation] = []
     for rule in rules:
         if not rule.applies_to(normalised):
             continue
         for violation in rule.check(context):
-            if not _is_suppressed(violation, suppressions):
+            if not suppressions.hides(violation):
                 found.append(violation)
     found.sort(key=Violation.sort_key)
     return found
 
 
 def lint_file(path: str | Path, rules: tuple[Rule, ...] = RULES) -> list[Violation]:
-    """Lint one file on disk."""
+    """Lint one file on disk.
+
+    An unreadable file is a finding (SKL000), not a crash: the linter must
+    report on whatever it was pointed at and keep going.
+    """
     file_path = Path(path)
-    source = file_path.read_text(encoding="utf-8")
+    try:
+        source = file_path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as error:
+        return [
+            Violation(
+                rule=PARSE_ERROR_RULE,
+                path=file_path.as_posix(),
+                line=1,
+                col=1,
+                message=f"file cannot be read: {error}",
+            )
+        ]
     return lint_source(source, str(file_path), rules)
 
 
@@ -116,18 +122,54 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
 
 
 def lint_paths(
-    paths: Iterable[str | Path], select: Iterable[str] | None = None
+    paths: Iterable[str | Path],
+    select: Iterable[str] | None = None,
+    semantic: bool = True,
 ) -> tuple[list[Violation], int]:
-    """Lint files and/or directory trees.
+    """Lint files and/or directory trees (both phases).
 
     Returns ``(violations, n_files_checked)``; violations are sorted by
     location.
     """
-    rules = select_rules(select)
+    violations, n_files, _ = lint_paths_with_sources(paths, select, semantic)
+    return violations, n_files
+
+
+def lint_paths_with_sources(
+    paths: Iterable[str | Path],
+    select: Iterable[str] | None = None,
+    semantic: bool = True,
+) -> tuple[list[Violation], int, dict[str, str]]:
+    """Like :func:`lint_paths`, also returning path → source for every file
+    that could be read (the baseline/SARIF writers need line content)."""
+    per_file_rules, semantic_ids, include_parse = split_select(select)
     violations: list[Violation] = []
+    sources: dict[str, str] = {}
+    files: list[tuple[Path, str]] = []
     n_files = 0
     for file_path in iter_python_files(paths):
         n_files += 1
-        violations.extend(lint_file(file_path, rules))
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            violations.append(
+                Violation(
+                    rule=PARSE_ERROR_RULE,
+                    path=file_path.as_posix(),
+                    line=1,
+                    col=1,
+                    message=f"file cannot be read: {error}",
+                )
+            )
+            continue
+        sources[file_path.as_posix()] = source
+        files.append((file_path, source))
+        violations.extend(lint_source(source, str(file_path), per_file_rules))
+    if semantic and (semantic_ids is None or semantic_ids):
+        from tools.sketchlint.semantic import analyze_project
+
+        violations.extend(analyze_project(files, select=semantic_ids))
+    if not include_parse:
+        violations = [v for v in violations if v.rule != PARSE_ERROR_RULE]
     violations.sort(key=Violation.sort_key)
-    return violations, n_files
+    return violations, n_files, sources

@@ -1,0 +1,92 @@
+"""SARIF 2.1.0 serialisation for GitHub code scanning upload."""
+
+from __future__ import annotations
+
+import json
+
+from tools.sketchlint.baseline import finding_keys
+from tools.sketchlint.rules import RULES
+from tools.sketchlint.violations import Violation
+
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
+TOOL_NAME = "sketchlint"
+TOOL_VERSION = "0.2.0"
+
+
+def _rule_catalogue() -> list[dict]:
+    from tools.sketchlint.engine import PARSE_ERROR_RULE
+    from tools.sketchlint.semantic.rules import SEMANTIC_RULES
+
+    entries = [
+        {
+            "id": PARSE_ERROR_RULE,
+            "shortDescription": {"text": "target file does not parse"},
+        }
+    ]
+    entries += [
+        {"id": rule.id, "shortDescription": {"text": rule.summary}}
+        for rule in RULES
+    ]
+    entries += [
+        {"id": rule.id, "shortDescription": {"text": rule.summary}}
+        for rule in SEMANTIC_RULES
+    ]
+    return entries
+
+
+def render_sarif(
+    violations: list[Violation], sources: dict[str, str]
+) -> str:
+    """One SARIF run containing every finding of this invocation.
+
+    ``partialFingerprints`` reuses the baseline content-hash key so code
+    scanning tracks findings across line moves the same way the baseline
+    does.
+    """
+    rules = _rule_catalogue()
+    rule_index = {entry["id"]: i for i, entry in enumerate(rules)}
+    keys = finding_keys(violations, sources)
+    results = []
+    for violation in sorted(set(violations), key=Violation.sort_key):
+        result: dict = {
+            "ruleId": violation.rule,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": violation.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": violation.line,
+                            "startColumn": violation.col,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"sketchlint/v1": keys[violation]},
+        }
+        if violation.rule in rule_index:
+            result["ruleIndex"] = rule_index[violation.rule]
+        results.append(result)
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": TOOL_VERSION,
+                        "informationUri": "https://example.invalid/sketchlint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2) + "\n"

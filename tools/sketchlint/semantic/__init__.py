@@ -1,0 +1,36 @@
+"""Whole-project semantic analysis: the second sketchlint phase.
+
+The per-file rules (SKL001-008) see one AST at a time, so an invariant
+that holds *across module boundaries* — a seed laundered through a helper
+module, a big pairing value batched into an int64 counter array, pickle
+reachable from the snapshot path — passes them clean.  This package closes
+that gap with three layers:
+
+* :mod:`tools.sketchlint.semantic.model` — parses the whole project once,
+  resolves imports and ``__init__`` re-exports into a symbol table, and
+  infers enough types (annotations + constructor assignments) to resolve
+  method calls.
+* :mod:`tools.sketchlint.semantic.callgraph` — a call graph over the
+  resolved symbols with reachability queries.
+* :mod:`tools.sketchlint.semantic.dataflow` — an intra-procedural taint
+  engine (assignment / return / argument propagation, with a transfer
+  registry) tracking two lattices: *seed provenance* (does this value
+  derive from ``repro.core.config``?) and *value width* (can this value
+  exceed int64, i.e. did it flow from ``repro.hashing.pairing`` without a
+  reduction?).
+
+On top sit the SKL1xx rules (:mod:`tools.sketchlint.semantic.rules`) and
+the phase entry point :func:`tools.sketchlint.semantic.analyzer.analyze_paths`.
+"""
+
+from tools.sketchlint.semantic.analyzer import analyze_paths, analyze_project
+from tools.sketchlint.semantic.model import ProjectModel
+from tools.sketchlint.semantic.rules import SEMANTIC_RULES, SEMANTIC_RULES_BY_ID
+
+__all__ = [
+    "ProjectModel",
+    "SEMANTIC_RULES",
+    "SEMANTIC_RULES_BY_ID",
+    "analyze_paths",
+    "analyze_project",
+]

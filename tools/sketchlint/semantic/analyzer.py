@@ -1,0 +1,61 @@
+"""Entry point for the semantic phase: files in, violations out."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from tools.sketchlint.semantic.callgraph import CallGraph
+from tools.sketchlint.semantic.dataflow import DataflowAnalysis
+from tools.sketchlint.semantic.model import ProjectModel
+from tools.sketchlint.semantic.rules import (
+    SEMANTIC_RULES_BY_ID,
+    check_estimator_purity,
+    check_numpy_deserialisation,
+    check_snapshot_reachability,
+)
+from tools.sketchlint.suppress import filter_suppressed
+from tools.sketchlint.violations import Violation
+
+
+def analyze_project(
+    files: Iterable[tuple[Path, str]],
+    select: Iterable[str] | None = None,
+) -> list[Violation]:
+    """Run the whole-project phase over ``(path, source)`` pairs.
+
+    ``select`` restricts output to the given SKL1xx ids (None = all).
+    Suppression comments (line- and file-level) are honoured.
+    """
+    model = ProjectModel.build(files)
+    graph = CallGraph.build(model)
+    violations: list[Violation] = []
+    violations += DataflowAnalysis(model).run()  # SKL101 / SKL102
+    violations += check_snapshot_reachability(model, graph)  # SKL103
+    violations += check_estimator_purity(model, graph)  # SKL104
+    violations += check_numpy_deserialisation(model)  # SKL105
+    if select is not None:
+        wanted = {token.strip().upper() for token in select}
+        violations = [v for v in violations if v.rule in wanted]
+    else:
+        wanted = set(SEMANTIC_RULES_BY_ID)
+        violations = [v for v in violations if v.rule in wanted]
+    sources = {info.path: info.source for info in model.modules.values()}
+    violations = filter_suppressed(sorted(set(violations), key=Violation.sort_key), sources)
+    return violations
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    select: Iterable[str] | None = None,
+) -> list[Violation]:
+    """Discover files under ``paths`` and run :func:`analyze_project`."""
+    from tools.sketchlint.engine import iter_python_files  # avoid cycle
+
+    files: list[tuple[Path, str]] = []
+    for file_path in iter_python_files(paths):
+        try:
+            files.append((file_path, file_path.read_text(encoding="utf-8")))
+        except (OSError, UnicodeDecodeError):
+            continue  # the per-file phase reports unreadable files
+    return analyze_project(files, select)

@@ -1,0 +1,193 @@
+"""Call graph construction and reachability over the project model.
+
+Calls are resolved *conservatively under-approximately*: an edge is added
+only when the callee can actually be identified — a module-level function
+reached through imports, a class (edge to its ``__init__``), or a method
+on a receiver whose type is known from annotations, constructor
+assignments, or ``self``.  Receivers of unknown type contribute no edge
+rather than a guessed one, so reachability-based rules (SKL103/SKL104)
+do not drown in name-collision false positives (``dict.update`` vs
+``SketchMatrix.update``).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+
+from tools.sketchlint.semantic.model import (
+    FunctionInfo,
+    ModuleInfo,
+    ProjectModel,
+    dotted_name,
+)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call: caller → callee at a source location."""
+
+    caller: str
+    callee: str
+    line: int
+    col: int
+
+
+class Resolver:
+    """Resolves expressions inside one function body.
+
+    Tracks a local type environment seeded from parameter annotations and
+    grown by constructor / typed-call assignments, in source order.
+    """
+
+    def __init__(self, model: ProjectModel, module: ModuleInfo, fn: FunctionInfo):
+        self.model = model
+        self.module = module
+        self.fn = fn
+        self.types: dict[str, frozenset[str]] = model.parameter_types(module, fn)
+
+    # -- type inference ------------------------------------------------
+    def expr_types(self, expr: ast.expr) -> frozenset[str]:
+        """Candidate class qualnames for an expression's value."""
+        model = self.model
+        if isinstance(expr, ast.Name):
+            return self.types.get(expr.id, frozenset())
+        if isinstance(expr, ast.Attribute):
+            return model.attribute_types(self.expr_types(expr.value), expr.attr)
+        if isinstance(expr, ast.Call):
+            callees = self.resolve_call(expr)
+            out: frozenset[str] = frozenset()
+            for callee in callees:
+                if callee in model.classes:
+                    out |= frozenset({callee})
+                else:
+                    fn = model.functions.get(callee)
+                    if fn is not None:
+                        out |= fn.return_types
+            return out
+        if isinstance(expr, ast.IfExp):
+            return self.expr_types(expr.body) | self.expr_types(expr.orelse)
+        return frozenset()
+
+    def bind(self, target: ast.expr, value: ast.expr) -> None:
+        """Update the local type environment for ``target = value``."""
+        if isinstance(target, ast.Name):
+            types = self.expr_types(value)
+            if types:
+                self.types[target.id] = types
+            else:
+                self.types.pop(target.id, None)
+
+    # -- call resolution -----------------------------------------------
+    def resolve_call(self, call: ast.Call) -> list[str]:
+        """Qualified names this call may invoke (classes stay class-named)."""
+        func = call.func
+        name = dotted_name(func)
+        if name is not None:
+            head = name.partition(".")[0]
+            # A dotted chain rooted at a *typed local* is a method access,
+            # not a module path (``matrix.update`` vs ``np.zeros``).
+            if head not in self.types:
+                resolved = self.model.resolve(self.module, name)
+                if (
+                    resolved in self.model.functions
+                    or resolved in self.model.classes
+                ):
+                    return [resolved]
+                if "." in resolved and head in self.module.imports:
+                    return [resolved]  # external, e.g. numpy.random.default_rng
+                if "." not in name:
+                    return [resolved]  # builtin or unknown bare name
+        if isinstance(func, ast.Attribute):
+            base_types = self.expr_types(func.value)
+            methods = self.model.lookup_method(base_types, func.attr)
+            if methods:
+                return [m.qualname for m in methods]
+            if name is not None:
+                resolved = self.model.resolve(self.module, name)
+                if "." in resolved:
+                    return [resolved]
+        return []
+
+    def callee_functions(self, call: ast.Call) -> list[FunctionInfo]:
+        """Project-internal functions this call invokes (classes →
+        ``__init__`` when defined)."""
+        out = []
+        for qualname in self.resolve_call(call):
+            fn = self.model.functions.get(qualname)
+            if fn is not None:
+                out.append(fn)
+                continue
+            cls_info = self.model.classes.get(qualname)
+            if cls_info is not None and "__init__" in cls_info.methods:
+                out.append(cls_info.methods["__init__"])
+        return out
+
+
+@dataclass
+class CallGraph:
+    """Edges between project functions, with reachability queries."""
+
+    model: ProjectModel
+    edges: dict[str, list[CallSite]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, model: ProjectModel) -> "CallGraph":
+        graph = cls(model)
+        for fn in model.functions.values():
+            module = model.modules[fn.module]
+            resolver = Resolver(model, module, fn)
+            sites: list[CallSite] = []
+            graph._walk(fn, fn.node.body, resolver, sites)
+            graph.edges[fn.qualname] = sites
+        return graph
+
+    def _walk(
+        self,
+        fn: FunctionInfo,
+        body: list[ast.stmt],
+        resolver: Resolver,
+        sites: list[CallSite],
+    ) -> None:
+        """Visit statements in source order so assignments type later calls."""
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested scopes are indexed separately
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    for callee in resolver.callee_functions(node):
+                        sites.append(
+                            CallSite(
+                                caller=fn.qualname,
+                                callee=callee.qualname,
+                                line=node.lineno,
+                                col=node.col_offset + 1,
+                            )
+                        )
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                resolver.bind(stmt.targets[0], stmt.value)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                resolver.bind(stmt.target, stmt.value)
+
+    def callees(self, qualname: str) -> list[CallSite]:
+        return self.edges.get(qualname, [])
+
+    def reachable_from(
+        self, entry_points: list[str]
+    ) -> dict[str, list[str]]:
+        """BFS closure: reachable function → a sample call chain from an
+        entry point (entry first), for diagnostics."""
+        chains: dict[str, list[str]] = {}
+        queue: deque[str] = deque()
+        for entry in entry_points:
+            if entry in self.edges and entry not in chains:
+                chains[entry] = [entry]
+                queue.append(entry)
+        while queue:
+            current = queue.popleft()
+            for site in self.edges.get(current, []):
+                if site.callee not in chains:
+                    chains[site.callee] = chains[current] + [site.callee]
+                    queue.append(site.callee)
+        return chains

@@ -1,0 +1,783 @@
+"""Intra-procedural taint dataflow with cross-function summaries.
+
+Two lattices ride on every abstract value (:class:`Taint`):
+
+* **value width** — can this value exceed int64?  Sources are the
+  functions of ``repro.hashing.pairing`` (Cantor pairing values are
+  arbitrary precision in ``PF(.)`` mode); sanitizers are ``fold_to_width``,
+  ``to_field`` and modular/masking arithmetic (``%``, ``&``, ``>>``).
+  Containers carry separate key/element and mapping-value slots so a dict
+  with big keys but small counts does not poison a values-only narrowing.
+* **seed provenance** — ``neutral`` < ``config`` < ``foreign``.  Reads of
+  ``repro.core.config`` constants (or attributes of its classes) are
+  ``config``; values derived from ``random``/``time``/``uuid``/``secrets``
+  or ``os.urandom`` are ``foreign``.  Only provably-foreign seeds are
+  flagged at RNG/ξ construction sites (SKL102).
+
+Each function is summarised as: which parameter slots flow into an
+int64-narrowing operation, which parameters are used as RNG seeds, and
+the taint of its return value (with symbolic parameter tags substituted
+at call sites).  Summaries are iterated to a fixpoint over the call
+graph, then a recording pass emits SKL101/SKL102 violations.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+
+from tools.sketchlint.semantic.callgraph import Resolver
+from tools.sketchlint.semantic.model import (
+    FunctionInfo,
+    ProjectModel,
+    dotted_name,
+)
+from tools.sketchlint.violations import Violation
+
+NEUTRAL = "neutral"
+CONFIG = "config"
+FOREIGN = "foreign"
+_SEED_RANK = {NEUTRAL: 0, CONFIG: 1, FOREIGN: 2}
+
+#: Module whose functions return values that may exceed int64.
+BIG_SOURCE_MODULE = "repro.hashing.pairing"
+#: Width sanitizers: reduce a big value into a bounded residue.
+WIDTH_SANITIZERS = frozenset({f"{BIG_SOURCE_MODULE}.fold_to_width"})
+SANITIZER_METHOD_NAMES = frozenset({"to_field"})
+#: Module whose constants / dataclasses carry config seed provenance.
+CONFIG_MODULE = "repro.core.config"
+#: Module whose classes are ξ generators: constructing one is a seed sink.
+XI_MODULE = "repro.sketch.xi"
+
+#: External callables whose result is a nondeterministic (foreign) value.
+FOREIGN_MODULES = frozenset({"random", "time", "secrets", "uuid"})
+FOREIGN_CALLS = frozenset({"os.urandom", "os.getrandom", "os.getpid"})
+
+#: RNG constructors whose seed argument must not be foreign (SKL102).
+RNG_SINKS = frozenset(
+    {
+        "random.Random",
+        "random.SystemRandom",
+        "random.seed",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "numpy.random.Generator",
+        "numpy.random.seed",
+        "repro.hashing.rng.default_generator",
+    }
+)
+
+#: numpy entry points that materialise data at a fixed dtype (SKL101).
+NARROWING_CALLS = frozenset({"numpy.asarray", "numpy.array", "numpy.fromiter"})
+FIXED_INT_DTYPES = frozenset(
+    {
+        "int", "intp", "uintp", "int_", "longlong", "ulonglong",
+        "int8", "int16", "int32", "int64",
+        "uint8", "uint16", "uint32", "uint64",
+    }
+)
+
+_CLEAN_BUILTINS = frozenset(
+    {"len", "bool", "str", "repr", "format", "isinstance", "hash", "id",
+     "round", "divmod", "bytes", "bytearray", "memoryview", "print"}
+)
+_PRESERVING_BUILTINS = frozenset(
+    {"int", "abs", "list", "tuple", "set", "frozenset", "sorted", "iter",
+     "reversed", "next", "sum", "max", "min", "float"}
+)
+_CONTAINER_METHODS = frozenset(
+    {"keys", "values", "items", "get", "setdefault", "pop", "copy",
+     "append", "add", "extend", "update"}
+)
+
+MAX_FIXPOINT_PASSES = 10
+
+
+@dataclass(frozen=True)
+class Taint:
+    """Abstract value: width + seed lattices with symbolic parameter tags.
+
+    ``width`` is the scalar itself; ``keys`` covers iteration elements
+    and mapping keys; ``values`` covers mapping values.  Tags name the
+    ``(parameter, slot)`` pairs of the enclosing function whose taint
+    would flow here — they power the cross-function summaries.
+    """
+
+    width: bool = False
+    keys: bool = False
+    values: bool = False
+    seed: str = NEUTRAL
+    width_tags: frozenset = frozenset()
+    keys_tags: frozenset = frozenset()
+    values_tags: frozenset = frozenset()
+    seed_tags: frozenset = frozenset()
+
+    def join(self, other: "Taint") -> "Taint":
+        return Taint(
+            width=self.width or other.width,
+            keys=self.keys or other.keys,
+            values=self.values or other.values,
+            seed=join_seed(self.seed, other.seed),
+            width_tags=self.width_tags | other.width_tags,
+            keys_tags=self.keys_tags | other.keys_tags,
+            values_tags=self.values_tags | other.values_tags,
+            seed_tags=self.seed_tags | other.seed_tags,
+        )
+
+    def seed_only(self) -> "Taint":
+        return Taint(seed=self.seed, seed_tags=self.seed_tags)
+
+
+CLEAN = Taint()
+BIG = Taint(width=True)
+
+
+def join_seed(a: str, b: str) -> str:
+    return a if _SEED_RANK[a] >= _SEED_RANK[b] else b
+
+
+def slot_flag(t: Taint, slot: str) -> bool:
+    return {"direct": t.width, "keys": t.keys, "values": t.values}[slot]
+
+
+def slot_tags(t: Taint, slot: str) -> frozenset:
+    return {
+        "direct": t.width_tags,
+        "keys": t.keys_tags,
+        "values": t.values_tags,
+    }[slot]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """What a function does to its inputs and returns to its caller."""
+
+    #: ``(param, slot)`` pairs that flow into an int64-narrowing operation.
+    narrowed: frozenset = frozenset()
+    #: parameters used (possibly transitively) as an RNG/ξ seed.
+    seed_sinks: frozenset = frozenset()
+    returns: Taint = CLEAN
+
+
+class DataflowAnalysis:
+    """Fixpoint driver: summaries first, then a violation-recording pass."""
+
+    def __init__(self, model: ProjectModel):
+        self.model = model
+        self.summaries: dict[str, Summary] = {}
+        self.violations: set[Violation] = set()
+
+    def run(self) -> list[Violation]:
+        for _ in range(MAX_FIXPOINT_PASSES):
+            changed = False
+            for fn in self.model.functions.values():
+                summary = _FunctionAnalyzer(self, fn, record=False).analyze()
+                if summary != self.summaries.get(fn.qualname):
+                    self.summaries[fn.qualname] = summary
+                    changed = True
+            if not changed:
+                break
+        for fn in self.model.functions.values():
+            _FunctionAnalyzer(self, fn, record=True).analyze()
+        return sorted(self.violations, key=lambda v: v.sort_key())
+
+
+class _FunctionAnalyzer:
+    """One forward pass over a function body, in source order."""
+
+    def __init__(self, analysis: DataflowAnalysis, fn: FunctionInfo, record: bool):
+        self.analysis = analysis
+        self.model = analysis.model
+        self.fn = fn
+        self.module = self.model.modules[fn.module]
+        self.record = record
+        self.resolver = Resolver(self.model, self.module, fn)
+        self.env: dict[str, Taint] = {}
+        self.narrowed: set = set()
+        self.seed_sinks: set = set()
+        self.returns = CLEAN
+        for param in fn.param_names:
+            self.env[param] = Taint(
+                width_tags=frozenset({(param, "direct")}),
+                keys_tags=frozenset({(param, "keys")}),
+                values_tags=frozenset({(param, "values")}),
+                seed_tags=frozenset({param}),
+            )
+
+    def analyze(self) -> Summary:
+        self._exec(self.fn.node.body)
+        return Summary(
+            narrowed=frozenset(self.narrowed),
+            seed_sinks=frozenset(self.seed_sinks),
+            returns=self.returns,
+        )
+
+    def _violation(self, rule: str, node: ast.AST, message: str) -> None:
+        if self.record:
+            self.analysis.violations.add(
+                Violation(
+                    rule=rule,
+                    path=self.module.path,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0) + 1,
+                    message=message,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _exec(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            elif isinstance(stmt, ast.Assign):
+                taint = self._eval(stmt.value)
+                for target in stmt.targets:
+                    self._bind(target, taint, stmt)
+                if len(stmt.targets) == 1:
+                    self.resolver.bind(stmt.targets[0], stmt.value)
+            elif isinstance(stmt, ast.AnnAssign):
+                if stmt.value is not None:
+                    self._bind(stmt.target, self._eval(stmt.value), stmt)
+                    self.resolver.bind(stmt.target, stmt.value)
+            elif isinstance(stmt, ast.AugAssign):
+                taint = self._eval(stmt.target).join(self._eval(stmt.value))
+                self._bind(stmt.target, taint, stmt)
+            elif isinstance(stmt, ast.Return):
+                if stmt.value is not None:
+                    self.returns = self.returns.join(self._eval(stmt.value))
+            elif isinstance(stmt, ast.Expr):
+                self._eval(stmt.value)
+            elif isinstance(stmt, ast.For):
+                self._bind_loop_target(stmt.target, stmt.iter)
+                self._exec(stmt.body)
+                self._exec(stmt.orelse)
+            elif isinstance(stmt, (ast.If, ast.While)):
+                self._eval(stmt.test)
+                self._exec(stmt.body)
+                self._exec(stmt.orelse)
+            elif isinstance(stmt, ast.With):
+                for item in stmt.items:
+                    taint = self._eval(item.context_expr)
+                    if item.optional_vars is not None:
+                        self._bind(item.optional_vars, taint, stmt)
+                self._exec(stmt.body)
+            elif isinstance(stmt, ast.Try):
+                self._exec(stmt.body)
+                for handler in stmt.handlers:
+                    self._exec(handler.body)
+                self._exec(stmt.orelse)
+                self._exec(stmt.finalbody)
+            elif isinstance(stmt, (ast.Raise, ast.Assert)):
+                for child in ast.iter_child_nodes(stmt):
+                    if isinstance(child, ast.expr):
+                        self._eval(child)
+
+    def _bind(self, target: ast.expr, taint: Taint, stmt: ast.stmt) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = taint
+        elif isinstance(target, ast.Tuple):
+            element = self._element(taint).join(taint.seed_only())
+            for elt in target.elts:
+                self._bind(elt, element, stmt)
+        elif isinstance(target, ast.Subscript):
+            self._check_counter_store(target, taint, stmt)
+            base = target.value
+            if isinstance(base, ast.Name) and base.id in self.env:
+                key_t = self._eval(target.slice)
+                old = self.env[base.id]
+                self.env[base.id] = old.join(
+                    Taint(
+                        keys=key_t.width,
+                        values=taint.width,
+                        keys_tags=key_t.width_tags,
+                        values_tags=taint.width_tags,
+                    )
+                )
+            # Nested subscripts / setdefault chains are opaque: no binding.
+        elif isinstance(target, ast.Attribute):
+            self._check_counter_store(target, taint, stmt)
+
+    def _check_counter_store(
+        self, target: ast.expr, taint: Taint, stmt: ast.stmt
+    ) -> None:
+        """A width-tainted value stored into a ``counters`` array (SKL101)."""
+        attr = target
+        if isinstance(attr, ast.Subscript):
+            attr = attr.value
+        if not (isinstance(attr, ast.Attribute) and attr.attr == "counters"):
+            return
+        if taint.width or taint.keys:
+            self._violation(
+                "SKL101",
+                stmt,
+                "value with pairing provenance (may exceed int64) is stored "
+                "into a fixed-width 'counters' array",
+            )
+        self.narrowed |= taint.width_tags | taint.keys_tags
+
+    def _bind_loop_target(self, target: ast.expr, iterable: ast.expr) -> None:
+        # ``for k, v in d.items()``: keys slot → k, values slot → v.
+        if (
+            isinstance(target, ast.Tuple)
+            and len(target.elts) == 2
+            and isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Attribute)
+            and iterable.func.attr == "items"
+            and not iterable.args
+        ):
+            recv = self._eval(iterable.func.value)
+            pair = (
+                Taint(width=recv.keys, width_tags=recv.keys_tags).join(recv.seed_only()),
+                Taint(width=recv.values, width_tags=recv.values_tags).join(recv.seed_only()),
+            )
+            for elt, taint in zip(target.elts, pair):
+                self._bind(elt, taint, iterable)
+            return
+        taint = self._eval(iterable)
+        self._bind(target, self._element(taint).join(taint.seed_only()), iterable)
+
+    @staticmethod
+    def _element(t: Taint) -> Taint:
+        """Taint of one element when iterating a container."""
+        return Taint(width=t.keys, width_tags=t.keys_tags,
+                     seed=t.seed, seed_tags=t.seed_tags)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _eval(self, expr: ast.expr) -> Taint:
+        if isinstance(expr, ast.Name):
+            return self._eval_name(expr)
+        if isinstance(expr, ast.Attribute):
+            return self._eval_attribute(expr)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr)
+        if isinstance(expr, ast.BinOp):
+            left, right = self._eval(expr.left), self._eval(expr.right)
+            if isinstance(expr.op, (ast.Mod, ast.BitAnd, ast.RShift)):
+                # Modular reduction / masking bounds the result: width clean.
+                return Taint(
+                    seed=join_seed(left.seed, right.seed),
+                    seed_tags=left.seed_tags | right.seed_tags,
+                )
+            return left.join(right)
+        if isinstance(expr, ast.UnaryOp):
+            return self._eval(expr.operand)
+        if isinstance(expr, ast.BoolOp):
+            out = CLEAN
+            for value in expr.values:
+                out = out.join(self._eval(value))
+            return out
+        if isinstance(expr, ast.Compare):
+            self._eval(expr.left)
+            for comparator in expr.comparators:
+                self._eval(comparator)
+            return CLEAN
+        if isinstance(expr, ast.IfExp):
+            self._eval(expr.test)
+            return self._eval(expr.body).join(self._eval(expr.orelse))
+        if isinstance(expr, ast.Subscript):
+            base = self._eval(expr.value)
+            self._eval(expr.slice)
+            return Taint(
+                width=base.keys or base.values,
+                width_tags=base.keys_tags | base.values_tags,
+                seed=base.seed,
+                seed_tags=base.seed_tags,
+            )
+        if isinstance(expr, (ast.List, ast.Tuple, ast.Set)):
+            out = CLEAN
+            for elt in expr.elts:
+                value = elt.value if isinstance(elt, ast.Starred) else elt
+                t = self._eval(value)
+                out = out.join(
+                    Taint(keys=t.width or t.keys,
+                          keys_tags=t.width_tags | t.keys_tags).join(t.seed_only())
+                )
+            return out
+        if isinstance(expr, ast.Dict):
+            out = CLEAN
+            for key, value in zip(expr.keys, expr.values):
+                key_t = self._eval(key) if key is not None else CLEAN
+                value_t = self._eval(value)
+                out = out.join(
+                    Taint(
+                        keys=key_t.width,
+                        values=value_t.width,
+                        keys_tags=key_t.width_tags,
+                        values_tags=value_t.width_tags,
+                        seed=join_seed(key_t.seed, value_t.seed),
+                        seed_tags=key_t.seed_tags | value_t.seed_tags,
+                    )
+                )
+            return out
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            for comp in expr.generators:
+                self._bind_loop_target(comp.target, comp.iter)
+                for condition in comp.ifs:
+                    self._eval(condition)
+            elt = self._eval(expr.elt)
+            return Taint(keys=elt.width, keys_tags=elt.width_tags).join(elt.seed_only())
+        if isinstance(expr, ast.DictComp):
+            for comp in expr.generators:
+                self._bind_loop_target(comp.target, comp.iter)
+                for condition in comp.ifs:
+                    self._eval(condition)
+            key_t, value_t = self._eval(expr.key), self._eval(expr.value)
+            return Taint(
+                keys=key_t.width,
+                values=value_t.width,
+                keys_tags=key_t.width_tags,
+                values_tags=value_t.width_tags,
+                seed=join_seed(key_t.seed, value_t.seed),
+                seed_tags=key_t.seed_tags | value_t.seed_tags,
+            )
+        if isinstance(expr, ast.NamedExpr):
+            taint = self._eval(expr.value)
+            self._bind(expr.target, taint, expr)
+            return taint
+        if isinstance(expr, ast.Starred):
+            return self._eval(expr.value)
+        if isinstance(expr, ast.Await):
+            return self._eval(expr.value)
+        return CLEAN
+
+    def _eval_name(self, expr: ast.Name) -> Taint:
+        if expr.id in self.env:
+            return self.env[expr.id]
+        return self._constant_taint(expr.id)
+
+    def _eval_attribute(self, expr: ast.Attribute) -> Taint:
+        dotted = dotted_name(expr)
+        if dotted is not None:
+            head = dotted.partition(".")[0]
+            if head not in self.env:
+                taint = self._constant_taint(dotted)
+                if taint is not CLEAN:
+                    return taint
+        base = self._eval(expr.value)
+        base_types = self.resolver.expr_types(expr.value)
+        for cls_name in base_types:
+            cls_info = self.model.classes.get(cls_name)
+            if cls_info is not None and cls_info.module == CONFIG_MODULE:
+                # Attribute of a config object (e.g. ``config.seed``).
+                return Taint(seed=CONFIG, seed_tags=base.seed_tags)
+        return base.seed_only()
+
+    def _constant_taint(self, dotted: str) -> Taint:
+        """Config-module constants carry config seed provenance."""
+        resolved = self.model.resolve(self.module, dotted)
+        if resolved in self.model.constants:
+            if resolved.rpartition(".")[0] == CONFIG_MODULE:
+                return Taint(seed=CONFIG)
+        return CLEAN
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+    def _eval_call(self, call: ast.Call) -> Taint:
+        arg_taints: list[Taint] = []
+        for arg in call.args:
+            value = arg.value if isinstance(arg, ast.Starred) else arg
+            arg_taints.append(self._eval(value))
+        kw_taints: dict[str, Taint] = {}
+        star_kwargs = CLEAN
+        for keyword in call.keywords:
+            taint = self._eval(keyword.value)
+            if keyword.arg is None:
+                star_kwargs = star_kwargs.join(taint)
+            else:
+                kw_taints[keyword.arg] = taint
+        receiver_taint: Taint | None = None
+        if isinstance(call.func, ast.Attribute):
+            receiver_taint = self._eval(call.func.value)
+
+        qualnames = self.resolver.resolve_call(call)
+        self._check_narrowing_sink(call, qualnames, arg_taints, kw_taints)
+        self._check_seed_sink(call, qualnames, arg_taints, kw_taints)
+
+        callees = self._project_callees(call)
+        if callees:
+            out = CLEAN
+            for fn_info, skip_first in callees:
+                out = out.join(
+                    self._apply_project_call(
+                        call, fn_info, skip_first, receiver_taint,
+                        arg_taints, kw_taints,
+                    )
+                )
+            return out
+        return self._apply_external_call(
+            call, qualnames, receiver_taint, arg_taints, kw_taints, star_kwargs
+        )
+
+    def _project_callees(self, call: ast.Call) -> list[tuple[FunctionInfo, bool]]:
+        func = call.func
+        name = dotted_name(func)
+        if name is not None:
+            head = name.partition(".")[0]
+            if head not in self.resolver.types:
+                resolved = self.model.resolve(self.module, name)
+                fn = self.model.functions.get(resolved)
+                if fn is not None:
+                    skip = fn.cls is not None and fn.param_names[:1] in (
+                        ["self"], ["cls"]
+                    )
+                    return [(fn, skip)]
+                cls_info = self.model.classes.get(resolved)
+                if cls_info is not None:
+                    init = cls_info.methods.get("__init__")
+                    return [(init, True)] if init is not None else []
+        if isinstance(func, ast.Attribute):
+            base_types = self.resolver.expr_types(func.value)
+            return [
+                (m, True) for m in self.model.lookup_method(base_types, func.attr)
+            ]
+        return []
+
+    def _map_param_taints(
+        self,
+        fn_info: FunctionInfo,
+        skip_first: bool,
+        receiver_taint: Taint | None,
+        arg_taints: list[Taint],
+        kw_taints: dict[str, Taint],
+    ) -> dict[str, Taint]:
+        args = fn_info.node.args
+        positional = [a.arg for a in (*args.posonlyargs, *args.args)]
+        mapping: dict[str, Taint] = {}
+        if skip_first and positional:
+            if receiver_taint is not None:
+                mapping[positional[0]] = receiver_taint
+            positional = positional[1:]
+        for param, taint in zip(positional, arg_taints):
+            mapping[param] = taint
+        all_params = set(fn_info.param_names)
+        for name, taint in kw_taints.items():
+            if name in all_params:
+                mapping[name] = taint
+        return mapping
+
+    def _apply_project_call(
+        self,
+        call: ast.Call,
+        fn_info: FunctionInfo,
+        skip_first: bool,
+        receiver_taint: Taint | None,
+        arg_taints: list[Taint],
+        kw_taints: dict[str, Taint],
+    ) -> Taint:
+        # Intrinsic source: anything defined in the pairing module returns
+        # a potentially >int64 value, except the designated reducer.
+        if fn_info.module == BIG_SOURCE_MODULE:
+            if fn_info.qualname in WIDTH_SANITIZERS:
+                return CLEAN
+            return BIG
+        if fn_info.name in SANITIZER_METHOD_NAMES:
+            return CLEAN
+        summary = self.analysis.summaries.get(fn_info.qualname, Summary())
+        mapping = self._map_param_taints(
+            fn_info, skip_first, receiver_taint, arg_taints, kw_taints
+        )
+        for param, slot in summary.narrowed:
+            taint = mapping.get(param)
+            if taint is None:
+                continue
+            if slot_flag(taint, slot):
+                self._violation(
+                    "SKL101",
+                    call,
+                    f"argument '{param}' of {fn_info.qualname} flows into an "
+                    "int64-narrowing operation but may exceed int64 "
+                    "(pairing provenance); reduce with to_field/fold_to_width "
+                    "first",
+                )
+            self.narrowed |= slot_tags(taint, slot)
+        for param in summary.seed_sinks:
+            taint = mapping.get(param)
+            if taint is None:
+                continue
+            if taint.seed == FOREIGN:
+                self._violation(
+                    "SKL102",
+                    call,
+                    f"argument '{param}' of {fn_info.qualname} is used as an "
+                    "RNG/ξ seed but derives from a nondeterministic source; "
+                    "seeds must flow from repro.core.config",
+                )
+            self.seed_sinks |= taint.seed_tags
+        return self._substitute_return(summary.returns, mapping)
+
+    def _substitute_return(self, rt: Taint, mapping: dict[str, Taint]) -> Taint:
+        out = replace(
+            rt, width_tags=frozenset(), keys_tags=frozenset(),
+            values_tags=frozenset(), seed_tags=frozenset(),
+        )
+        for slot, tags in (
+            ("direct", rt.width_tags), ("keys", rt.keys_tags),
+            ("values", rt.values_tags),
+        ):
+            for param, param_slot in tags:
+                taint = mapping.get(param)
+                if taint is None:
+                    continue
+                if slot_flag(taint, param_slot):
+                    if slot == "direct":
+                        out = replace(out, width=True)
+                    elif slot == "keys":
+                        out = replace(out, keys=True)
+                    else:
+                        out = replace(out, values=True)
+                carried = slot_tags(taint, param_slot)
+                if slot == "direct":
+                    out = replace(out, width_tags=out.width_tags | carried)
+                elif slot == "keys":
+                    out = replace(out, keys_tags=out.keys_tags | carried)
+                else:
+                    out = replace(out, values_tags=out.values_tags | carried)
+        seed = rt.seed
+        seed_tags: frozenset = frozenset()
+        for param in rt.seed_tags:
+            taint = mapping.get(param)
+            if taint is not None:
+                seed = join_seed(seed, taint.seed)
+                seed_tags |= taint.seed_tags
+        return replace(out, seed=seed, seed_tags=seed_tags)
+
+    def _apply_external_call(
+        self,
+        call: ast.Call,
+        qualnames: list[str],
+        receiver_taint: Taint | None,
+        arg_taints: list[Taint],
+        kw_taints: dict[str, Taint],
+        star_kwargs: Taint,
+    ) -> Taint:
+        for qualname in qualnames:
+            head = qualname.partition(".")[0]
+            if qualname in WIDTH_SANITIZERS:
+                return CLEAN
+            if head in FOREIGN_MODULES or qualname in FOREIGN_CALLS:
+                return Taint(seed=FOREIGN)
+            if qualname in _CLEAN_BUILTINS:
+                return CLEAN
+            if qualname in _PRESERVING_BUILTINS:
+                return arg_taints[0] if arg_taints else CLEAN
+        func = call.func
+        if isinstance(func, ast.Attribute) and receiver_taint is not None:
+            if func.attr in SANITIZER_METHOD_NAMES:
+                return CLEAN
+            if func.attr in _CONTAINER_METHODS:
+                return self._container_method(
+                    func.attr, receiver_taint, arg_taints
+                )
+        # Unknown call: conservatively join everything that flows in.
+        out = receiver_taint if receiver_taint is not None else CLEAN
+        for taint in arg_taints:
+            out = out.join(taint)
+        for taint in kw_taints.values():
+            out = out.join(taint)
+        return out.join(star_kwargs)
+
+    def _container_method(
+        self, attr: str, recv: Taint, arg_taints: list[Taint]
+    ) -> Taint:
+        if attr == "keys":
+            return Taint(keys=recv.keys, keys_tags=recv.keys_tags).join(
+                recv.seed_only()
+            )
+        if attr == "values":
+            return Taint(keys=recv.values, keys_tags=recv.values_tags).join(
+                recv.seed_only()
+            )
+        if attr == "items":
+            return recv
+        if attr in ("get", "setdefault", "pop"):
+            out = Taint(width=recv.values, width_tags=recv.values_tags).join(
+                recv.seed_only()
+            )
+            if attr == "setdefault" and len(arg_taints) > 1:
+                out = out.join(arg_taints[1])
+            elif attr == "get" and len(arg_taints) > 1:
+                out = out.join(arg_taints[1])
+            return out
+        if attr == "copy":
+            return recv
+        # append/add/extend/update mutate the receiver; element taint only.
+        return CLEAN
+
+    # ------------------------------------------------------------------
+    # Sinks
+    # ------------------------------------------------------------------
+    def _check_narrowing_sink(
+        self,
+        call: ast.Call,
+        qualnames: list[str],
+        arg_taints: list[Taint],
+        kw_taints: dict[str, Taint],
+    ) -> None:
+        if not any(q in NARROWING_CALLS for q in qualnames):
+            return
+        dtype_expr = None
+        for keyword in call.keywords:
+            if keyword.arg == "dtype":
+                dtype_expr = keyword.value
+        if dtype_expr is None and len(call.args) > 1:
+            dtype_expr = call.args[1]
+        if dtype_expr is None or not _is_fixed_int_dtype(dtype_expr):
+            return
+        if not arg_taints:
+            return
+        data = arg_taints[0]
+        if data.width or data.keys:
+            sink = next(q for q in qualnames if q in NARROWING_CALLS)
+            self._violation(
+                "SKL101",
+                call,
+                f"{sink} narrows a value with pairing provenance (may exceed "
+                "int64) to a fixed integer dtype; reduce with "
+                "to_field/fold_to_width first",
+            )
+        self.narrowed |= data.width_tags | data.keys_tags
+
+    def _check_seed_sink(
+        self,
+        call: ast.Call,
+        qualnames: list[str],
+        arg_taints: list[Taint],
+        kw_taints: dict[str, Taint],
+    ) -> None:
+        sink = None
+        for qualname in qualnames:
+            if qualname in RNG_SINKS:
+                sink = qualname
+            cls_info = self.analysis.model.classes.get(qualname)
+            if cls_info is not None and cls_info.module == XI_MODULE:
+                sink = qualname
+        if sink is None:
+            return
+        seed_taint = kw_taints.get("seed")
+        if seed_taint is None and arg_taints:
+            seed_taint = arg_taints[0]
+        if seed_taint is None:
+            return
+        if seed_taint.seed == FOREIGN:
+            self._violation(
+                "SKL102",
+                call,
+                f"seed for {sink} derives from a nondeterministic source "
+                "(random/time/uuid/secrets); seeds must flow from "
+                "repro.core.config",
+            )
+        self.seed_sinks |= seed_taint.seed_tags
+
+
+def _is_fixed_int_dtype(expr: ast.expr) -> bool:
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value in FIXED_INT_DTYPES
+    dotted = dotted_name(expr)
+    if dotted is None:
+        return False
+    return dotted.rsplit(".", 1)[-1] in FIXED_INT_DTYPES

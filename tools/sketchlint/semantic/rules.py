@@ -1,0 +1,371 @@
+"""The SKL1xx semantic rule pack.
+
+SKL101/SKL102 are emitted by the dataflow engine
+(:mod:`tools.sketchlint.semantic.dataflow`); this module implements the
+reachability rules (SKL103, SKL104) and the resolved-call scan (SKL105),
+and owns the registry that the CLI lists and selects from.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from tools.sketchlint.semantic.callgraph import CallGraph, Resolver
+from tools.sketchlint.semantic.model import (
+    FunctionInfo,
+    ModuleInfo,
+    ProjectModel,
+    dotted_name,
+)
+from tools.sketchlint.violations import Violation
+
+
+@dataclass(frozen=True)
+class SemanticRule:
+    """Catalogue entry for one whole-project rule."""
+
+    id: str
+    summary: str
+
+
+SEMANTIC_RULES: tuple[SemanticRule, ...] = (
+    SemanticRule(
+        "SKL101",
+        "pairing-provenance value (may exceed int64) narrowed into a fixed "
+        "integer dtype / counter array",
+    ),
+    SemanticRule(
+        "SKL102",
+        "RNG or ξ generator seeded from a nondeterministic source instead "
+        "of repro.core.config",
+    ),
+    SemanticRule(
+        "SKL103",
+        "pickle or nondeterministic API reachable from the snapshot "
+        "save/load entry points",
+    ),
+    SemanticRule(
+        "SKL104",
+        "function reachable from an estimator entry point writes a "
+        "'counters' array (estimators must be pure)",
+    ),
+    SemanticRule(
+        "SKL105",
+        "np.load without allow_pickle=False, or np.frombuffer without an "
+        "explicit dtype",
+    ),
+)
+SEMANTIC_RULES_BY_ID = {rule.id: rule for rule in SEMANTIC_RULES}
+
+#: Module whose public functions are the SKTSNAP persistence surface.
+SNAPSHOT_MODULE = "repro.core.snapshot"
+
+#: Serialisation modules banned anywhere on the snapshot path.
+PICKLE_MODULES = frozenset({"pickle", "cPickle", "dill", "cloudpickle", "marshal"})
+
+#: Nondeterministic calls banned on the snapshot path.  ``os.getpid`` /
+#: ``os.replace`` / ``os.fsync`` are deliberately absent: atomic-rename
+#: checkpointing needs them and they never influence payload bytes.
+NONDETERMINISTIC_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.perf_counter",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.randbits",
+        "random.random",
+        "random.randint",
+        "random.getrandbits",
+        "random.randbytes",
+        "random.choice",
+        "random.shuffle",
+        "random.seed",
+    }
+)
+
+
+def _chain_text(chain: list[str]) -> str:
+    return " -> ".join(chain)
+
+
+# ----------------------------------------------------------------------
+# SKL103: pickle / nondeterminism reachability from the snapshot path
+# ----------------------------------------------------------------------
+def check_snapshot_reachability(
+    model: ProjectModel, graph: CallGraph
+) -> list[Violation]:
+    entries = [
+        fn.qualname
+        for fn in model.functions.values()
+        if fn.module == SNAPSHOT_MODULE and fn.cls is None
+    ]
+    if not entries:
+        return []
+    chains = graph.reachable_from(entries)
+    violations: list[Violation] = []
+    reachable_modules: dict[str, list[str]] = {}
+    for qualname, chain in chains.items():
+        fn = model.functions.get(qualname)
+        if fn is None:
+            continue
+        module = model.modules[fn.module]
+        reachable_modules.setdefault(fn.module, chain)
+        # Function-level pickle imports inside a reachable function.
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Import):
+                names = [alias.name.split(".")[0] for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                names = [(node.module or "").split(".")[0]]
+            else:
+                continue
+            for name in names:
+                if name in PICKLE_MODULES:
+                    violations.append(
+                        Violation(
+                            rule="SKL103",
+                            path=module.path,
+                            line=node.lineno,
+                            col=node.col_offset + 1,
+                            message=(
+                                f"'{name}' imported inside {qualname}, which "
+                                "is reachable from the snapshot path "
+                                f"({_chain_text(chain)})"
+                            ),
+                        )
+                    )
+        # Calls into pickle or nondeterministic APIs.
+        resolver = Resolver(model, module, fn)
+        for site in graph_call_qualnames(model, module, fn, resolver):
+            node, qualname_called = site
+            head = qualname_called.partition(".")[0]
+            if head in PICKLE_MODULES:
+                violations.append(
+                    Violation(
+                        rule="SKL103",
+                        path=module.path,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        message=(
+                            f"{qualname_called} called from {qualname}, which "
+                            "is reachable from the snapshot path "
+                            f"({_chain_text(chain)})"
+                        ),
+                    )
+                )
+            elif qualname_called in NONDETERMINISTIC_CALLS:
+                violations.append(
+                    Violation(
+                        rule="SKL103",
+                        path=module.path,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        message=(
+                            f"nondeterministic call {qualname_called} in "
+                            f"{qualname}, reachable from the snapshot path "
+                            f"({_chain_text(chain)})"
+                        ),
+                    )
+                )
+    # Module-level pickle imports in any module that defines a reachable
+    # function (the old TestNoPickleInSnapshotPath contract).
+    for module_name, chain in reachable_modules.items():
+        module = model.modules[module_name]
+        for node in module.tree.body:
+            names: list[str] = []
+            if isinstance(node, ast.Import):
+                names = [alias.name.split(".")[0] for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                names = [(node.module or "").split(".")[0]]
+            for name in names:
+                if name in PICKLE_MODULES:
+                    violations.append(
+                        Violation(
+                            rule="SKL103",
+                            path=module.path,
+                            line=node.lineno,
+                            col=node.col_offset + 1,
+                            message=(
+                                f"module-level import of '{name}' in "
+                                f"{module_name}, which defines functions on "
+                                "the snapshot path; quarantine it inside a "
+                                "non-snapshot function"
+                            ),
+                        )
+                    )
+    return violations
+
+
+def graph_call_qualnames(
+    model: ProjectModel,
+    module: ModuleInfo,
+    fn: FunctionInfo,
+    resolver: Resolver,
+) -> list[tuple[ast.Call, str]]:
+    """All calls in a function body resolved to qualified names, rebuilding
+    the local type environment in source order (mirrors CallGraph._walk)."""
+    out: list[tuple[ast.Call, str]] = []
+    for stmt in fn.node.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                for qualname in resolver.resolve_call(node):
+                    out.append((node, qualname))
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            resolver.bind(stmt.targets[0], stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            resolver.bind(stmt.target, stmt.value)
+    return out
+
+
+# ----------------------------------------------------------------------
+# SKL104: estimator purity
+# ----------------------------------------------------------------------
+def check_estimator_purity(
+    model: ProjectModel, graph: CallGraph
+) -> list[Violation]:
+    entries = [
+        fn.qualname
+        for fn in model.functions.values()
+        if fn.name.startswith("estimate")
+    ]
+    if not entries:
+        return []
+    chains = graph.reachable_from(entries)
+    violations: list[Violation] = []
+    for qualname, chain in chains.items():
+        fn = model.functions.get(qualname)
+        if fn is None:
+            continue
+        module = model.modules[fn.module]
+        fresh_locals = _fresh_locals(model, module, fn)
+        for node in ast.walk(fn.node):
+            target: ast.expr | None = None
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for candidate in targets:
+                    attr = candidate
+                    if isinstance(attr, ast.Subscript):
+                        attr = attr.value
+                    if isinstance(attr, ast.Attribute) and attr.attr == "counters":
+                        target = attr
+                        break
+            if target is None:
+                continue
+            base = target.value
+            if isinstance(base, ast.Name) and base.id in fresh_locals:
+                continue  # writing a freshly constructed local object is pure
+            if (
+                isinstance(base, ast.Name)
+                and base.id == "self"
+                and fn.name in ("__init__", "__post_init__")
+            ):
+                continue  # constructors initialise, they don't mutate
+
+            violations.append(
+                Violation(
+                    rule="SKL104",
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    message=(
+                        f"{qualname} writes a 'counters' array but is "
+                        "reachable from an estimator entry point "
+                        f"({_chain_text(chain)}); estimators must not mutate "
+                        "sketch state"
+                    ),
+                )
+            )
+    return violations
+
+
+def _fresh_locals(
+    model: ProjectModel, module: ModuleInfo, fn: FunctionInfo
+) -> set[str]:
+    """Local names bound to objects constructed inside this function."""
+    fresh: set[str] = set()
+    for node in ast.walk(fn.node):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target, value = node.targets[0], node.value
+        if not (isinstance(target, ast.Name) and isinstance(value, ast.Call)):
+            continue
+        name = dotted_name(value.func)
+        if name is None:
+            continue
+        resolved = model.resolve(module, name)
+        if resolved in model.classes:
+            fresh.add(target.id)
+    return fresh
+
+
+# ----------------------------------------------------------------------
+# SKL105: unsafe numpy deserialisation
+# ----------------------------------------------------------------------
+def check_numpy_deserialisation(model: ProjectModel) -> list[Violation]:
+    violations: list[Violation] = []
+    for module in model.modules.values():
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            resolved = model.resolve(module, name)
+            if resolved == "numpy.load":
+                allow = _keyword(node, "allow_pickle")
+                if allow is None:
+                    violations.append(
+                        _np_violation(
+                            module, node,
+                            "np.load without explicit allow_pickle=False; "
+                            "pass allow_pickle=False to keep snapshot "
+                            "loading pickle-free",
+                        )
+                    )
+                elif not (
+                    isinstance(allow, ast.Constant) and allow.value is False
+                ):
+                    violations.append(
+                        _np_violation(
+                            module, node,
+                            "np.load with allow_pickle enabled executes "
+                            "arbitrary code on load; use allow_pickle=False",
+                        )
+                    )
+            elif resolved == "numpy.frombuffer":
+                if _keyword(node, "dtype") is None and len(node.args) < 2:
+                    violations.append(
+                        _np_violation(
+                            module, node,
+                            "np.frombuffer without an explicit dtype defaults "
+                            "to float64 and silently misreads snapshot "
+                            "payloads; pass dtype= explicitly",
+                        )
+                    )
+    return violations
+
+
+def _keyword(call: ast.Call, name: str) -> ast.expr | None:
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def _np_violation(module: ModuleInfo, node: ast.Call, message: str) -> Violation:
+    return Violation(
+        rule="SKL105",
+        path=module.path,
+        line=node.lineno,
+        col=node.col_offset + 1,
+        message=message,
+    )

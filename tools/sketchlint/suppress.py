@@ -1,0 +1,67 @@
+"""Suppression comments, shared by the per-file and semantic phases.
+
+Two forms are recognised:
+
+* line-level — ``# sketchlint: disable=SKL003`` on the offending line
+  silences the named rules (or ``ALL``) for that line only;
+* file-level — ``# sketchlint: disable-file=SKL005`` anywhere in the file
+  (conventionally the first lines) silences the named rules for the whole
+  file.  This is the escape hatch for ``examples/`` and ``benchmarks/``,
+  which legitimately use wall clocks.
+"""
+
+from __future__ import annotations
+
+import re
+
+from tools.sketchlint.violations import Violation
+
+_LINE_RE = re.compile(r"#\s*sketchlint:\s*disable=([A-Za-z0-9_,\s]+)")
+_FILE_RE = re.compile(r"#\s*sketchlint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+
+def _split_rules(raw: str) -> set[str]:
+    return {token.strip().upper() for token in raw.split(",") if token.strip()}
+
+
+class Suppressions:
+    """Parsed suppression state for one source file."""
+
+    def __init__(self, source: str):
+        self.by_line: dict[int, set[str]] = {}
+        self.file_wide: set[str] = set()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _FILE_RE.search(line)
+            if match is not None:
+                self.file_wide |= _split_rules(match.group(1))
+                continue
+            match = _LINE_RE.search(line)
+            if match is not None:
+                rules = _split_rules(match.group(1))
+                if rules:
+                    self.by_line.setdefault(lineno, set()).update(rules)
+
+    def hides(self, violation: Violation) -> bool:
+        if "ALL" in self.file_wide or violation.rule in self.file_wide:
+            return True
+        rules = self.by_line.get(violation.line)
+        if rules is None:
+            return False
+        return "ALL" in rules or violation.rule in rules
+
+
+def filter_suppressed(
+    violations: list[Violation], sources: dict[str, str]
+) -> list[Violation]:
+    """Drop violations hidden by suppression comments in their file."""
+    cache: dict[str, Suppressions] = {}
+    kept: list[Violation] = []
+    for violation in violations:
+        source = sources.get(violation.path)
+        if source is not None:
+            if violation.path not in cache:
+                cache[violation.path] = Suppressions(source)
+            if cache[violation.path].hides(violation):
+                continue
+        kept.append(violation)
+    return kept
