@@ -68,6 +68,17 @@ def test_micro_rabin_encoding(benchmark, sample_patterns):
     assert len(values) == len(sample_patterns)
 
 
+def test_micro_rabin_encoding_batched(benchmark, sample_patterns):
+    """The columnar counterpart of per-pattern encoding (same values)."""
+
+    def encode_all():
+        encoder = PatternEncoder(seed=1)  # fresh: defeat the memo
+        return encoder.encode_batch(sample_patterns)
+
+    values = benchmark(encode_all)
+    assert len(values) == len(sample_patterns)
+
+
 @pytest.mark.parametrize(
     "family", ["polynomial", "bch"], ids=["xi-polynomial", "xi-bch"]
 )
@@ -102,4 +113,15 @@ def test_micro_sketchtree_update(benchmark, treebank_tree):
     )
     synopsis = SketchTree(config)
     benchmark(synopsis.update, treebank_tree)
+    assert synopsis.n_trees > 0
+
+
+def test_micro_sketchtree_update_batch(benchmark):
+    """Cross-tree micro-batching: 16 trees per ``update_batch`` call."""
+    config = SketchTreeConfig(
+        s1=50, s2=7, max_pattern_edges=4, n_virtual_streams=229, seed=1
+    )
+    synopsis = SketchTree(config)
+    trees = list(TreebankGenerator(seed=2).generate(16))
+    benchmark(synopsis.update_batch, trees)
     assert synopsis.n_trees > 0

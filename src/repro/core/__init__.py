@@ -12,6 +12,7 @@
   (``+``, ``−``, ``×`` over ``COUNT_ord`` atoms) with unbiased estimators.
 """
 
+from repro.core.batch import EncodedBatch
 from repro.core.config import SketchTreeConfig
 from repro.core.encoding import PatternEncoder
 from repro.core.exact import ExactCounter
@@ -57,6 +58,7 @@ __all__ = [
     "save_snapshot",
     "snapshot_from_bytes",
     "snapshot_to_bytes",
+    "EncodedBatch",
     "Expression",
     "MemoryReport",
     "PatternEncoder",

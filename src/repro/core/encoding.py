@@ -11,20 +11,35 @@ integer, via either
 * exact Cantor pairing (Section 2.2) — lossless but growing into big
   integers; used for validation and small demos.
 
-Encodings are memoised per distinct pattern, because real streams repeat
-the same patterns millions of times (Table 1: DBLP has 11.3M *distinct*
-patterns against vastly more occurrences).
+Encodings are memoised per distinct pattern in a *bounded* LRU, because
+real streams repeat the same patterns millions of times (Table 1: DBLP
+has 11.3M *distinct* patterns against vastly more occurrences) but the
+distinct-pattern universe itself can outgrow memory on an unbounded
+stream.  Eviction only ever costs recomputation — the encoding is a pure
+function of the pattern, so the cache policy cannot change any value.
+
+:meth:`PatternEncoder.encode_batch` is the batch pipeline's entry point:
+cache hits resolve in one dict probe each, and the distinct misses are
+encoded together through the vectorised Rabin fingerprint
+(:meth:`~repro.hashing.rabin.RabinFingerprint.of_sequences`) or the
+batched pairing fold.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from typing import Iterable, Sequence
+
 from repro.core.config import LABEL_SEED_OFFSET
 from repro.errors import ConfigError
 from repro.hashing.labels import LabelHasher
-from repro.hashing.pairing import pair_sequence
+from repro.hashing.pairing import pair_sequences
 from repro.hashing.rabin import RabinFingerprint
 from repro.prufer.sequences import prufer_of_nested
 from repro.trees.tree import Nested
+
+#: Default bound on distinct patterns memoised by a PatternEncoder.
+DEFAULT_CACHE_LIMIT = 1 << 20
 
 
 class PatternEncoder:
@@ -32,13 +47,24 @@ class PatternEncoder:
 
     Deterministic given ``(mapping, degree, seed)``; two encoders built
     with the same parameters agree on every pattern, which is what lets a
-    query-time encoder reproduce stream-time values.
+    query-time encoder reproduce stream-time values.  ``cache_limit``
+    bounds the LRU memo (``None`` = unbounded); it is purely a
+    performance knob and never affects encoded values.
     """
 
-    def __init__(self, mapping: str = "rabin", degree: int = 31, seed: int = 0):
+    def __init__(
+        self,
+        mapping: str = "rabin",
+        degree: int = 31,
+        seed: int = 0,
+        cache_limit: int | None = DEFAULT_CACHE_LIMIT,
+    ):
         if mapping not in ("rabin", "pairing"):
             raise ConfigError(f"unknown mapping {mapping!r}")
+        if cache_limit is not None and cache_limit < 1:
+            raise ConfigError(f"cache_limit must be >= 1 or None, got {cache_limit}")
         self.mapping = mapping
+        self.cache_limit = cache_limit
         if mapping == "rabin":
             # Independent polynomials for the sequence and the labels, both
             # derived from the master seed.
@@ -47,33 +73,81 @@ class PatternEncoder:
         else:
             self._sequence_fp = None
             self._labels = LabelHasher("enumerate")
-        self._cache: dict[Nested, int] = {}
+        self._cache: OrderedDict[Nested, int] = OrderedDict()
 
     def encode(self, pattern: Nested) -> int:
-        """The one-dimensional value of a pattern (memoised)."""
-        value = self._cache.get(pattern)
+        """The one-dimensional value of a pattern (LRU-memoised)."""
+        cache = self._cache
+        value = cache.get(pattern)
         if value is None:
-            value = self._encode(pattern)
-            self._cache[pattern] = value
+            value = self._encode_distinct([pattern])[0]
+            self._remember(pattern, value)
+        else:
+            cache.move_to_end(pattern)
         return value
 
-    def _encode(self, pattern: Nested) -> int:
+    def _remember(self, pattern: Nested, value: int) -> None:
+        cache = self._cache
+        cache[pattern] = value
+        if self.cache_limit is not None and len(cache) > self.cache_limit:
+            cache.popitem(last=False)
+
+    def _sequence_of(self, pattern: Nested) -> list[int]:
+        """The concatenated ``hash(LPS).NPS`` integer sequence."""
         sequences = prufer_of_nested(pattern)
         label_hash = self._labels
         values = [label_hash(label) for label in sequences.lps]
         values.extend(sequences.nps)
+        return values
+
+    def _encode_distinct(self, patterns: Sequence[Nested]) -> list[int]:
+        """Encode patterns assumed distinct and uncached, in order."""
+        sequences = [self._sequence_of(pattern) for pattern in patterns]
         if self.mapping == "rabin":
-            return self._sequence_fp.of_sequence(values)
-        return pair_sequence(values)
+            return [int(v) for v in self._sequence_fp.of_sequences(sequences)]
+        return pair_sequences(sequences)
+
+    def encode_batch(self, patterns: Iterable[Nested]) -> list[int]:
+        """Encode a whole batch of patterns, preserving order.
+
+        Cache hits cost one dict probe; the distinct misses are encoded
+        together through the vectorised fingerprint.  Returns exactly
+        the values :meth:`encode` would (tested bit-identical); only the
+        LRU's internal recency order may differ, which affects eviction
+        choices but never a value.
+        """
+        patterns = patterns if isinstance(patterns, list) else list(patterns)
+        # Placeholder zeros are always overwritten: every index is either
+        # a cache hit (filled now) or recorded in `misses` (filled below).
+        values: list[int] = [0] * len(patterns)
+        misses: dict[Nested, list[int]] = {}
+        cache = self._cache
+        for index, pattern in enumerate(patterns):
+            value = cache.get(pattern)
+            if value is None:
+                misses.setdefault(pattern, []).append(index)
+            else:
+                cache.move_to_end(pattern)
+                values[index] = value
+        if misses:
+            fresh = self._encode_distinct(list(misses))
+            for pattern, value in zip(misses, fresh):
+                self._remember(pattern, value)
+                for index in misses[pattern]:
+                    values[index] = value
+        return values
 
     def encode_many(self, patterns) -> list[int]:
-        """Encode an iterable of patterns, preserving order."""
-        encode = self.encode
-        return [encode(p) for p in patterns]
+        """Encode an iterable of patterns, preserving order.
+
+        Alias of :meth:`encode_batch`, kept for callers of the
+        pre-columnar API.
+        """
+        return self.encode_batch(patterns)
 
     @property
     def cache_size(self) -> int:
-        """Distinct patterns encoded so far."""
+        """Distinct patterns currently memoised (≤ ``cache_limit``)."""
         return len(self._cache)
 
     def __repr__(self) -> str:

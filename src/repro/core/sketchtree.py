@@ -15,14 +15,19 @@ sums of distinct patterns (Theorem 2), arithmetic expressions (Section 4),
 and ``*``/``//`` queries resolved against a structural summary
 (Section 6.2).
 
-Two ingestion paths are provided:
-
-* :meth:`update` — the faithful streaming path, tree at a time.
-* :meth:`ingest_counts` — a bulk path loading a pattern frequency table.
-  Because AMS sketches are linear projections, the resulting *sketch*
-  state is bit-identical to streaming the same multiset in any order;
-  top-k state is emulated with randomised passes over the distinct
-  values.  Experiments use this path to sweep configurations quickly.
+Every ingestion path — :meth:`update` (tree at a time), the cross-tree
+micro-batched :meth:`update_batch`, :meth:`update_from_patterns` (the
+SAX hook), :meth:`delete_tree` (negative counts) and the bulk loaders
+:meth:`ingest_counts` / :meth:`ingest_value_counts` — now funnels
+through one columnar carrier (:class:`~repro.core.batch.EncodedBatch`):
+patterns are encoded in a batch, routed to virtual streams with a
+single grouped pass, and applied with one vectorised sketch update per
+touched stream.  Because the AMS projection is linear and counters are
+exact int64 sums, every path produces bit-identical sketch state for
+the same occurrence multiset; top-k processing (Algorithm 4) is the one
+order-sensitive part, so batched paths replay it per tree segment in
+arrival order (streaming paths) or emulate it per stream
+(:meth:`ingest_counts`, which experiments use to sweep configurations).
 """
 
 from __future__ import annotations
@@ -32,12 +37,13 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.core.batch import EncodedBatch
 from repro.core.config import TOPK_RNG_SALT, XI_SEED_OFFSET, SketchTreeConfig
 from repro.core.encoding import PatternEncoder
 from repro.core.expressions import Expression, required_independence
 from repro.core.memory import MemoryReport
 from repro.core.virtual import VirtualStreams
-from repro.enumtree.enumerate import iter_pattern_multiset
+from repro.enumtree.enumerate import collect_forest_patterns
 from repro.errors import ConfigError, QueryError
 from repro.query.pattern import arrangements, pattern_edges, validate_pattern
 from repro.query.summary import QueryNode, StructuralSummary
@@ -119,11 +125,35 @@ class SketchTree:
     # ------------------------------------------------------------------
     def update(self, tree: LabeledTree) -> None:
         """Process one arriving tree (paper Algorithm 1)."""
-        self.update_from_patterns(
-            iter_pattern_multiset(tree, self.config.max_pattern_edges)
+        self.update_batch((tree,))
+
+    def update_batch(self, trees: Iterable[LabeledTree]) -> None:
+        """Process several arriving trees as one cross-tree micro-batch.
+
+        Bit-identical to calling :meth:`update` per tree with the same
+        seed: counters are exact int64 sums (linearity — grouping is
+        free), and the order-sensitive parts are replayed faithfully —
+        top-k processing runs per tree segment in arrival order against
+        counters that include exactly the trees seen so far, and the
+        sampling RNG draws one vector per segment, consuming the stream
+        identically to the per-value draws.  The win is everywhere else:
+        one batched encode, one grouped routing pass, and one vectorised
+        sketch update per touched stream per batch (with top-k off) or
+        per tree (with top-k on).
+        """
+        trees = list(trees)
+        if not trees:
+            return
+        patterns, offsets = collect_forest_patterns(
+            trees, self.config.max_pattern_edges
         )
+        batch = self._encode_batch(patterns, tree_offsets=offsets)
+        self._ingest_batch(batch, track=True)
+        self.n_trees += len(trees)
+        self.n_values += len(batch)
         if self.summary is not None:
-            self.summary.add_tree(tree)
+            for tree in trees:
+                self.summary.add_tree(tree)
 
     def update_from_patterns(self, patterns: Iterable[Nested]) -> None:
         """Process one tree given its already-enumerated pattern multiset.
@@ -136,34 +166,48 @@ class SketchTree:
         processing, same bookkeeping.  The structural summary (which
         needs whole trees) is not updated on this path.
         """
-        values = self._encoder.encode_many(patterns)
-        self._apply_values(values, count=1)
+        patterns = list(patterns)
+        batch = self._encode_batch(patterns, tree_offsets=[0, len(patterns)])
+        self._ingest_batch(batch, track=True)
         self.n_trees += 1
-        self.n_values += len(values)
-        if self.config.topk_size:
-            probability = self.config.topk_probability
-            for value in values:
-                if probability >= 1.0 or self._rng.random() < probability:
-                    self._streams.tracker(self._streams.residue(value)).process(value)
+        self.n_values += len(batch)
 
     def delete_tree(self, tree: LabeledTree) -> None:
         """Remove a previously streamed tree from the synopsis.
 
-        Exploits AMS deletability (Section 3).  Top-k tracked frequencies
-        are *not* revised (they remain estimates of what was deleted when
-        tracking ran); the structural summary, being monotone, is also
-        left unchanged.
+        Exploits AMS deletability (Section 3): the same batch path runs
+        with negative counts.  Top-k tracked frequencies are *not*
+        revised (they remain estimates of what was deleted when tracking
+        ran); the structural summary, being monotone, is also left
+        unchanged.
         """
-        k = self.config.max_pattern_edges
-        values = self._encoder.encode_many(iter_pattern_multiset(tree, k))
-        self._apply_values(values, count=-1)
+        patterns, offsets = collect_forest_patterns(
+            (tree,), self.config.max_pattern_edges
+        )
+        batch = self._encode_batch(patterns, count=-1, tree_offsets=offsets)
+        self._ingest_batch(batch, track=False)
         self.n_trees -= 1
-        self.n_values -= len(values)
+        self.n_values -= len(batch)
 
-    def ingest(self, trees: Iterable[LabeledTree]) -> "SketchTree":
-        """Stream a whole iterable of trees through :meth:`update`."""
+    def ingest(
+        self, trees: Iterable[LabeledTree], batch_trees: int = 64
+    ) -> "SketchTree":
+        """Stream a whole iterable of trees in micro-batches.
+
+        Bit-identical to looping :meth:`update` (see
+        :meth:`update_batch`); ``batch_trees`` only sets how much
+        encoding and routing work is amortised per pass.
+        """
+        if batch_trees < 1:
+            raise ConfigError(f"batch_trees must be >= 1, got {batch_trees}")
+        chunk: list[LabeledTree] = []
         for tree in trees:
-            self.update(tree)
+            chunk.append(tree)
+            if len(chunk) >= batch_trees:
+                self.update_batch(chunk)
+                chunk.clear()
+        if chunk:
+            self.update_batch(chunk)
         return self
 
     def ingest_counts(
@@ -182,9 +226,10 @@ class SketchTree:
         effect (the self-join-size reduction) without replaying every
         occurrence.
         """
+        patterns = list(counts.keys())
+        values = self._encoder.encode_batch(patterns)
         by_value: dict[int, int] = {}
-        for pattern, count in counts.items():
-            value = self._encoder.encode(pattern)
+        for value, count in zip(values, counts.values()):
             by_value[value] = by_value.get(value, 0) + count
         return self.ingest_value_counts(by_value, n_trees=n_trees)
 
@@ -199,29 +244,85 @@ class SketchTree:
         encoder identical to this synopsis' (same mapping, degree and
         encoder seed) — otherwise queries will not line up.
         """
-        by_residue: dict[int, dict[int, int]] = {}
-        total = 0
-        for value, count in counts_by_value.items():
-            by_residue.setdefault(self._streams.residue(value), {})[value] = count
-            total += count
-        for residue, stream_counts in by_residue.items():
-            self._streams.sketch(residue).update_counts(stream_counts)
+        raw = list(counts_by_value.keys())
+        counts = np.fromiter(
+            counts_by_value.values(), dtype=np.int64, count=len(raw)
+        )
+        batch = EncodedBatch.build(
+            raw, self.config.n_virtual_streams, self._streams.xi, counts=counts
+        )
+        self._streams.update_batch(batch)
         self.n_trees += n_trees
-        self.n_values += total
+        self.n_values += batch.total_count()
         if self.config.topk_size:
-            for residue, stream_counts in by_residue.items():
-                self._streams.tracker(residue).bulk_build(list(stream_counts))
+            # Algorithm 4 emulation, per touched stream, over that
+            # stream's distinct values in first-seen order — the same
+            # residue grouping the sketch update used.
+            for residue, indices in batch.iter_residue_groups():
+                self._streams.tracker(residue).bulk_build(
+                    [raw[i] for i in indices]
+                )
         return self
 
-    def _apply_values(self, values: list[int], count: int) -> None:
-        by_residue: dict[int, list[int]] = {}
-        for value in values:
-            by_residue.setdefault(self._streams.residue(value), []).append(value)
-        for residue, stream_values in by_residue.items():
-            # The ξ family owns the one canonical value → field reduction.
-            arr = self._streams.xi.to_field(stream_values, count=len(stream_values))
-            counts = np.full(len(stream_values), count, dtype=np.int64)
-            self._streams.sketch(residue).update_batch(arr, counts)
+    # ------------------------------------------------------------------
+    # The shared columnar ingest path
+    # ------------------------------------------------------------------
+    def _encode_batch(
+        self,
+        patterns: list[Nested],
+        count: int = 1,
+        tree_offsets: list[int] | None = None,
+    ) -> EncodedBatch:
+        """Encode a pattern multiset into a routed columnar batch."""
+        raw = self._encoder.encode_batch(patterns)
+        return EncodedBatch.build(
+            raw,
+            self.config.n_virtual_streams,
+            self._streams.xi,  # the ξ family owns the value → field reduction
+            count=count,
+            tree_offsets=tree_offsets,
+        )
+
+    def _ingest_batch(self, batch: EncodedBatch, track: bool) -> None:
+        """Apply a batch to the virtual streams (+ optional top-k).
+
+        With top-k off (or ``track=False``) the whole batch is applied
+        in one grouped pass — linearity makes any grouping bit-identical.
+        With top-k on, Algorithm 4 reads the counters mid-stream, so the
+        batch is walked per tree segment: apply a tree's values, then
+        run its (sampled) top-k processing, exactly as the per-tree
+        streaming loop would.
+        """
+        if track and self.config.topk_size and len(batch):
+            for start, stop in batch.tree_segments():
+                segment = batch.segment(start, stop)
+                self._streams.update_batch(segment)
+                self._track_segment(segment)
+        else:
+            self._streams.update_batch(batch)
+
+    def _track_segment(self, segment: EncodedBatch) -> None:
+        """Top-k processing for one tree's values (Algorithm 4 + sampling).
+
+        One vectorised RNG draw decides every acceptance for the
+        segment; the draw consumes the generator stream exactly as the
+        legacy per-value ``random()`` calls did, so decisions are
+        bit-identical under the same seed.  (``topk_probability >= 1``
+        draws nothing, also matching the legacy path.)
+        """
+        n = len(segment)
+        if n == 0:
+            return
+        probability = self.config.topk_probability
+        if probability >= 1.0:
+            accepted: Iterable[int] = range(n)
+        else:
+            accepted = np.flatnonzero(self._rng.random(n) < probability)
+        residues = segment.residues
+        raw = segment.raw
+        streams = self._streams
+        for i in accepted:
+            streams.tracker(int(residues[i])).process(raw[i])
 
     # ------------------------------------------------------------------
     # Query side

@@ -14,11 +14,14 @@ as the paper prescribes for the combined strategy.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
 from repro.core.topk import TopKTracker
+
+if TYPE_CHECKING:
+    from repro.core.batch import EncodedBatch
 from repro.errors import ConfigError
 from repro.sketch.ams import SketchMatrix
 from repro.sketch.xi import XiGenerator
@@ -111,6 +114,31 @@ class VirtualStreams:
 
     def sketch_if_allocated(self, residue: int) -> SketchMatrix | None:
         return self._sketches.get(residue)
+
+    def update_batch(self, batch: "EncodedBatch") -> None:
+        """Route a whole :class:`~repro.core.batch.EncodedBatch` at once.
+
+        The batch's residue column is grouped with one stable argsort
+        and each touched stream receives a single vectorised
+        :meth:`SketchMatrix.update_batch` — replacing the per-value dict
+        dispatch of the legacy path.  Within each group, duplicate field
+        values are first collapsed into one row with summed counts:
+        ξ depends only on the field value, so ``c1·ξ(v) + c2·ξ(v) =
+        (c1+c2)·ξ(v)`` exactly in int64, and real streams repeat values
+        heavily (skewed pattern distributions).  Counters are exact int64
+        sums, so the result is bit-identical to per-value updates in any
+        order and grouping.
+        """
+        values, counts = batch.values, batch.counts
+        for residue, indices in batch.iter_residue_groups():
+            group_values = values[indices]
+            group_counts = counts[indices]
+            unique, inverse = np.unique(group_values, return_inverse=True)
+            if len(unique) < len(group_values):
+                summed = np.zeros(len(unique), dtype=np.int64)
+                np.add.at(summed, inverse, group_counts)
+                group_values, group_counts = unique, summed
+            self.sketch(residue).update_batch(group_values, group_counts)
 
     def set_counters(self, residue: int, counters: np.ndarray) -> None:
         """Install counters for stream ``residue`` (snapshot restore path).

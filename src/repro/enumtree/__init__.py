@@ -15,10 +15,15 @@ preserving edge subset — using memoised bottom-up composition.
 """
 
 from repro.enumtree.count import count_patterns, count_patterns_by_size
-from repro.enumtree.enumerate import enumerate_patterns, iter_pattern_multiset
+from repro.enumtree.enumerate import (
+    collect_forest_patterns,
+    enumerate_patterns,
+    iter_pattern_multiset,
+)
 from repro.enumtree.naive import enumerate_patterns_naive
 
 __all__ = [
+    "collect_forest_patterns",
     "count_patterns",
     "count_patterns_by_size",
     "enumerate_patterns",

@@ -77,6 +77,27 @@ def iter_pattern_multiset(tree: LabeledTree, k: int) -> Iterator[Nested]:
             yield from table[j]
 
 
+def collect_forest_patterns(
+    trees, k: int
+) -> tuple[list[Nested], list[int]]:
+    """Materialise the pattern multisets of several trees into one list.
+
+    The generator → array collection step of the batch pipeline: the
+    per-tree generators are drained into a single flat list plus
+    cumulative ``offsets`` (``offsets[t] .. offsets[t+1]`` are tree
+    ``t``'s rows, ``len(offsets) == n_trees + 1``), which is exactly the
+    shape :meth:`repro.core.batch.EncodedBatch.build` expects for its
+    ``tree_offsets``.  Element order within each tree matches
+    :func:`iter_pattern_multiset`.
+    """
+    patterns: list[Nested] = []
+    offsets = [0]
+    for tree in trees:
+        patterns.extend(iter_pattern_multiset(tree, k))
+        offsets.append(len(patterns))
+    return patterns, offsets
+
+
 def node_table(label: str, child_tables: list[NodeTable], k: int) -> NodeTable:
     """Build ``P(node, 0..k)`` from the node's children's tables.
 

@@ -91,6 +91,20 @@ def pair_sequence(values: Sequence[int]) -> int:
     return pair2(acc, len(values))
 
 
+def pair_sequences(sequences: Iterable[Sequence[int]]) -> list[int]:
+    """Batched :func:`pair_sequence`: one Python-int result per sequence.
+
+    Pairing values are arbitrary-precision by design (they grow doubly
+    exponentially), so there is no dtype-narrowed fast path here — the
+    batch form exists so the encoder's batch pipeline has a single call
+    per mapping.  Callers that need a numpy column must reduce each
+    value into their target field *first* (``xi.to_field`` /
+    :func:`fold_to_width`) and only then narrow to a fixed dtype;
+    narrowing unreduced pairing values silently truncates (SKL101).
+    """
+    return [pair_sequence(values) for values in sequences]
+
+
 def unpair_sequence(code: int) -> tuple[int, ...]:
     """Inverse of :func:`pair_sequence`."""
     acc, length = unpair2(code)

@@ -68,6 +68,9 @@ class RabinFingerprint:
         # state' = ((state << 8) | byte) mod poly
         #        = ((state & mask_low) << 8 | byte) XOR table[state >> (degree-8)]
         self._table = tuple(gf2_mod(t << self.degree, poly) for t in range(256))
+        # Lazily grown (n_shifts, 256) table for the vectorised batch
+        # path: _pos_tables[s][b] = (b << 8s) mod poly.
+        self._pos_tables: np.ndarray | None = None
 
     # -- core feeds ------------------------------------------------------
     def feed_byte(self, state: int, byte: int) -> int:
@@ -110,6 +113,73 @@ class RabinFingerprint:
         """
         state = self.of_ints((len(values),))
         return self.of_ints(values, state)
+
+    # -- vectorised batch feed -------------------------------------------
+    def _position_tables(self, n_shifts: int) -> np.ndarray:
+        """``(n_shifts, 256)`` int64 table with ``T[s][b] = (b << 8s) mod p``.
+
+        Grown on demand and cached; row ``s`` is derived from row
+        ``s − 1`` by feeding one zero byte (``(v << 8) mod p``), so each
+        new level costs 256 table-driven reductions.
+        """
+        tables = self._pos_tables
+        have = 0 if tables is None else tables.shape[0]
+        if have >= n_shifts:
+            return tables
+        grown = np.empty((n_shifts, 256), dtype=np.int64)
+        if have:
+            grown[:have] = tables
+        feed = self.feed_byte
+        for s in range(have, n_shifts):
+            if s == 0:
+                # degree >= 8, so every byte is already reduced.
+                grown[0] = np.arange(256, dtype=np.int64)
+            else:
+                previous = grown[s - 1]
+                grown[s] = [feed(int(v), 0) for v in previous]
+        self._pos_tables = grown
+        return grown
+
+    def of_sequences(self, sequences: Sequence[Sequence[int]]) -> np.ndarray:
+        """Length-prefixed fingerprints of many integer sequences at once.
+
+        The vectorised counterpart of :meth:`of_sequence`: bit-identical
+        results (tested), one int64 array out.  Rabin fingerprints are
+        GF(2)-linear in the message, so the fingerprint of an ``L``-byte
+        message is the XOR of per-byte contributions
+        ``(byte_j << 8(L−1−j)) mod p``; sequences are grouped by length
+        and each group resolved with ``L`` table gathers instead of
+        ``4L`` Python-level byte feeds per sequence.
+        """
+        out = np.zeros(len(sequences), dtype=np.int64)
+        if not len(sequences):
+            return out
+        by_length: dict[int, list[int]] = {}
+        for index, seq in enumerate(sequences):
+            by_length.setdefault(len(seq), []).append(index)
+        for length, indices in by_length.items():
+            rows = np.empty((len(indices), length + 1), dtype=np.int64)
+            rows[:, 0] = length  # the of_sequence length prefix
+            try:
+                for r, index in enumerate(indices):
+                    rows[r, 1:] = sequences[index]
+            except OverflowError as exc:
+                raise HashingError(
+                    f"sequence element outside [0, 2^32): {exc}"
+                ) from exc
+            if rows.size and (rows.min() < 0 or rows.max() >= (1 << 32)):
+                bad = rows[(rows < 0) | (rows >= (1 << 32))][0]
+                raise HashingError(
+                    f"sequence element {int(bad)} outside [0, 2^32)"
+                )
+            data = rows.astype(">u4").view(np.uint8)  # (m, 4·(length+1))
+            n_bytes = data.shape[1]
+            tables = self._position_tables(n_bytes)
+            acc = np.zeros(len(indices), dtype=np.int64)
+            for j in range(n_bytes):
+                acc ^= tables[n_bytes - 1 - j][data[:, j]]
+            out[np.asarray(indices)] = acc
+        return out
 
     def of_str(self, text: str) -> int:
         """Fingerprint of a UTF-8 encoded string (used for node labels)."""

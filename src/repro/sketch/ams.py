@@ -23,11 +23,15 @@ Two classes:
 from __future__ import annotations
 
 from math import factorial
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import ConfigError
 from repro.sketch.xi import XiGenerator
+
+if TYPE_CHECKING:
+    from repro.core.batch import EncodedBatch
 
 #: Batch size for chunked ξ evaluation; bounds peak memory of an update to
 #: roughly ``n_instances × _CHUNK`` int64 cells.
@@ -106,13 +110,37 @@ class SketchMatrix:
         """Remove ``count`` occurrences — the AMS deletability property."""
         self.update(value, -count)
 
-    def update_batch(self, values: np.ndarray, counts: np.ndarray | None = None) -> None:
+    def update_batch(
+        self,
+        values: "np.ndarray | EncodedBatch",
+        counts: np.ndarray | None = None,
+    ) -> None:
         """Add a batch of (value, count) pairs in vectorised chunks.
 
         Equivalent to calling :meth:`update` per pair; the chunking keeps
         peak memory bounded while amortising numpy call overhead, which is
         what makes streaming whole trees cheap.
+
+        ``values`` may be a plain int64 array (with optional ``counts``)
+        or an :class:`~repro.core.batch.EncodedBatch`, whose ``values``
+        and ``counts`` columns are used directly; the batch's residue
+        column is ignored — every row updates *this* matrix, so callers
+        routing across virtual streams must group first
+        (:meth:`~repro.core.virtual.VirtualStreams.update_batch`).
+
+        Memory bound: each chunk materialises one ``(n_instances,
+        _CHUNK)`` int64 ξ sign block, so peak extra memory is
+        ``s1 · s2 · _CHUNK · 8`` bytes — ≈ 11 MiB at the defaults
+        (``s1=50, s2=7, _CHUNK=4096``) — independent of batch length.
         """
+        if not isinstance(values, np.ndarray) and hasattr(values, "residues"):
+            # An EncodedBatch carrier (duck-typed to avoid a circular
+            # import of repro.core.batch on the hot path).
+            if counts is not None:
+                raise ConfigError(
+                    "pass counts inside the EncodedBatch, not separately"
+                )
+            values, counts = values.values, values.counts
         values = np.asarray(values, dtype=np.int64)
         if counts is None:
             counts = np.ones(len(values), dtype=np.int64)

@@ -107,6 +107,11 @@ class BchXiGenerator:
             (int(v) & mask for v in values), dtype=np.int64, count=count
         )
 
+    def to_field_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`to_field` for int64 value arrays (``& mask``)."""
+        mask = (1 << self.m) - 1
+        return np.asarray(values, dtype=np.int64) & mask
+
     def xi_values(self, values) -> np.ndarray:
         """ξ for an iterable of Python ints (convenience wrapper)."""
         return self.xi_batch(self.to_field(values))

@@ -110,6 +110,17 @@ class XiGenerator:
             (int(v) % MERSENNE_31 for v in values), dtype=np.int64, count=count
         )
 
+    def to_field_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`to_field` for values already held as int64.
+
+        The batch pipeline's fast path: when every raw value fits int64
+        (Rabin-mode encodings), the reduction is one numpy modulo instead
+        of a per-value Python loop.  Agrees with :meth:`to_field`
+        exactly — numpy's ``%`` matches Python's for non-negative
+        operands.
+        """
+        return np.asarray(values, dtype=np.int64) % MERSENNE_31
+
     def xi_values(self, values: Iterable[int]) -> np.ndarray:
         """ξ for an iterable of Python ints (convenience wrapper)."""
         return self.xi_batch(self.to_field(values))

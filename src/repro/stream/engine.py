@@ -66,6 +66,17 @@ class StreamProcessor:
     checkpoints:
         The :class:`~repro.core.snapshot.CheckpointManager` that owns the
         snapshot directory, retention, and recovery.
+    batch_trees:
+        Cross-tree micro-batch size (1 = the classic per-tree loop).
+        Consumers exposing ``update_batch(trees)`` (a
+        :class:`~repro.core.sketchtree.SketchTree`) receive whole
+        micro-batches — bit-identical state, much less per-tree
+        dispatch; consumers with only ``update`` are fed tree by tree
+        inside the batch.  Checkpoint and snapshot boundaries are
+        preserved exactly: a micro-batch is flushed early rather than
+        ever straddling a ``checkpoint_every``/``snapshot_every``
+        multiple, so callbacks observe the same tree counts and synopsis
+        states as an unbatched run.
     """
 
     def __init__(
@@ -75,6 +86,7 @@ class StreamProcessor:
         on_checkpoint: Callable[[int], object] | None = None,
         snapshot_every: int = 0,
         checkpoints: "CheckpointManager | None" = None,
+        batch_trees: int = 1,
     ):
         if not consumers:
             raise ConfigError("at least one consumer is required")
@@ -87,6 +99,8 @@ class StreamProcessor:
             raise ConfigError("checkpoint_every must be >= 0")
         if snapshot_every < 0:
             raise ConfigError("snapshot_every must be >= 0")
+        if batch_trees < 1:
+            raise ConfigError("batch_trees must be >= 1")
         if snapshot_every and checkpoints is None:
             raise ConfigError(
                 "snapshot_every needs a CheckpointManager (checkpoints=...)"
@@ -101,36 +115,65 @@ class StreamProcessor:
         self.on_checkpoint = on_checkpoint
         self.snapshot_every = snapshot_every
         self.checkpoints = checkpoints
+        self.batch_trees = batch_trees
 
     def run(self, trees: Iterable[LabeledTree]) -> ProcessingStats:
         """Process the whole stream; returns timing statistics.
 
-        Only the consumers' ``update`` calls are inside the timed region,
-        so neither generator cost nor snapshot I/O pollutes the
-        processing-cost ratios.
+        Only the consumers' ``update``/``update_batch`` calls are inside
+        the timed region, so neither generator cost nor snapshot I/O
+        pollutes the processing-cost ratios.
         """
         stats = ProcessingStats()
-        clock = time.perf_counter
+        chunk: list[LabeledTree] = []
         for tree in trees:
-            start = clock()
-            for consumer in self.consumers:
-                consumer.update(tree)
-            stats.elapsed_seconds += clock() - start
-            stats.n_trees += 1
-            stats.total_nodes += tree.n_nodes
-            if (
-                self.checkpoint_every
-                and self.on_checkpoint is not None
-                and stats.n_trees % self.checkpoint_every == 0
-            ):
-                stats.checkpoint_results.append(self.on_checkpoint(stats.n_trees))
-            if (
-                self.snapshot_every
-                and self.checkpoints is not None
-                and stats.n_trees % self.snapshot_every == 0
-            ):
-                stats.snapshot_paths.append(self.snapshot_now())
+            chunk.append(tree)
+            if len(chunk) >= self._flush_limit(stats.n_trees):
+                self._flush(chunk, stats)
+        if chunk:
+            self._flush(chunk, stats)
         return stats
+
+    def _flush_limit(self, n_done: int) -> int:
+        """Trees the current micro-batch may hold before flushing.
+
+        Capped so that no batch ever straddles a checkpoint or snapshot
+        boundary: those events must observe the exact tree counts the
+        per-tree loop would have produced.
+        """
+        limit = self.batch_trees
+        for every in (self.checkpoint_every, self.snapshot_every):
+            if every:
+                limit = min(limit, every - n_done % every)
+        return limit
+
+    def _flush(self, chunk: list[LabeledTree], stats: ProcessingStats) -> None:
+        """Feed one micro-batch to every consumer; fire boundary events."""
+        clock = time.perf_counter
+        start = clock()
+        for consumer in self.consumers:
+            update_batch = getattr(consumer, "update_batch", None)
+            if update_batch is not None and len(chunk) > 1:
+                update_batch(chunk)
+            else:
+                for tree in chunk:
+                    consumer.update(tree)
+        stats.elapsed_seconds += clock() - start
+        stats.n_trees += len(chunk)
+        stats.total_nodes += sum(tree.n_nodes for tree in chunk)
+        chunk.clear()
+        if (
+            self.checkpoint_every
+            and self.on_checkpoint is not None
+            and stats.n_trees % self.checkpoint_every == 0
+        ):
+            stats.checkpoint_results.append(self.on_checkpoint(stats.n_trees))
+        if (
+            self.snapshot_every
+            and self.checkpoints is not None
+            and stats.n_trees % self.snapshot_every == 0
+        ):
+            stats.snapshot_paths.append(self.snapshot_now())
 
     def snapshot_now(self) -> Path:
         """Checkpoint the first consumer immediately (crash-safe write)."""

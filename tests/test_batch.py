@@ -1,0 +1,374 @@
+"""Tests for the columnar batch pipeline.
+
+The refactor's contract is *bit-identity*: every batched ingest path
+must leave the synopsis in exactly the state the per-tree, per-value
+loop would have — same counters, same top-k tracker contents, same
+bookkeeping.  These tests pin that contract with hypothesis-generated
+forests plus targeted unit tests for each new layer
+(:class:`EncodedBatch`, vectorised Rabin, batched encoding, grouped
+routing, the stream engine's micro-batching).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SketchTree, SketchTreeConfig
+from repro.core import EncodedBatch, PatternEncoder
+from repro.core.batch import FieldReducer
+from repro.datasets import TreebankGenerator
+from repro.enumtree import collect_forest_patterns, enumerate_patterns
+from repro.errors import ConfigError
+from repro.hashing.pairing import pair_sequence, pair_sequences
+from repro.hashing.rabin import RabinFingerprint
+from repro.sketch import SketchMatrix
+from repro.stream import StreamProcessor
+from repro.trees.builders import from_nested
+
+from .strategies import nested_trees
+
+
+def small_config(**overrides) -> SketchTreeConfig:
+    defaults = dict(
+        s1=8, s2=3, max_pattern_edges=3, n_virtual_streams=13, seed=5
+    )
+    defaults.update(overrides)
+    return SketchTreeConfig(**defaults)
+
+
+def synopsis_state(st_: SketchTree):
+    """Everything the bit-identity contract covers, comparably."""
+    counters = {
+        residue: matrix.counters.copy()
+        for residue, matrix in st_.streams.iter_sketches()
+    }
+    trackers = {
+        residue: tracker.snapshot()
+        for residue, tracker in st_.streams.iter_trackers()
+    }
+    return counters, trackers, st_.n_trees, st_.n_values
+
+
+def assert_same_state(a: SketchTree, b: SketchTree) -> None:
+    counters_a, trackers_a, trees_a, values_a = synopsis_state(a)
+    counters_b, trackers_b, trees_b, values_b = synopsis_state(b)
+    assert trees_a == trees_b
+    assert values_a == values_b
+    assert counters_a.keys() == counters_b.keys()
+    for residue in counters_a:
+        np.testing.assert_array_equal(counters_a[residue], counters_b[residue])
+    assert trackers_a == trackers_b
+
+
+forests = st.lists(nested_trees(max_nodes=6), min_size=1, max_size=6).map(
+    lambda nested: [from_nested(n) for n in nested]
+)
+
+
+class TestIngestPathEquivalence:
+    """All streaming ingest paths are bit-identical to the per-tree loop."""
+
+    @given(forests)
+    @settings(max_examples=25, deadline=None)
+    def test_update_batch_matches_update_loop(self, trees):
+        config = small_config(topk_size=2, topk_probability=0.5)
+        loop, batched = SketchTree(config), SketchTree(config)
+        for tree in trees:
+            loop.update(tree)
+        batched.update_batch(trees)
+        assert_same_state(loop, batched)
+
+    @given(forests)
+    @settings(max_examples=15, deadline=None)
+    def test_stream_processor_micro_batching(self, trees):
+        config = small_config(topk_size=2, topk_probability=0.5)
+        loop, batched = SketchTree(config), SketchTree(config)
+        StreamProcessor([loop]).run(trees)
+        StreamProcessor([batched], batch_trees=3).run(trees)
+        assert_same_state(loop, batched)
+
+    @given(forests)
+    @settings(max_examples=15, deadline=None)
+    def test_ingest_matches_update_loop(self, trees):
+        config = small_config(topk_size=2, topk_probability=0.5)
+        loop, ingested = SketchTree(config), SketchTree(config)
+        for tree in trees:
+            loop.update(tree)
+        ingested.ingest(trees, batch_trees=2)
+        assert_same_state(loop, ingested)
+
+    @given(forests)
+    @settings(max_examples=15, deadline=None)
+    def test_update_from_patterns_matches_update(self, trees):
+        config = small_config(topk_size=2, topk_probability=0.5)
+        direct, via_patterns = SketchTree(config), SketchTree(config)
+        k = config.max_pattern_edges
+        for tree in trees:
+            direct.update(tree)
+            via_patterns.update_from_patterns(enumerate_patterns(tree, k))
+        counters_a, _, trees_a, values_a = synopsis_state(direct)
+        counters_b, _, trees_b, values_b = synopsis_state(via_patterns)
+        assert (trees_a, values_a) == (trees_b, values_b)
+        assert counters_a.keys() == counters_b.keys()
+        for residue in counters_a:
+            np.testing.assert_array_equal(
+                counters_a[residue], counters_b[residue]
+            )
+
+    @given(forests)
+    @settings(max_examples=15, deadline=None)
+    def test_ingest_counts_matches_stream(self, trees):
+        # Counters only: ingest_counts' top-k emulation is deliberately
+        # not a replay (bulk_build), so compare with tracking disabled.
+        config = small_config(topk_size=0)
+        streamed, bulk = SketchTree(config), SketchTree(config)
+        counts: dict = {}
+        k = config.max_pattern_edges
+        for tree in trees:
+            streamed.update(tree)
+            for pattern in enumerate_patterns(tree, k):
+                counts[pattern] = counts.get(pattern, 0) + 1
+        bulk.ingest_counts(counts, n_trees=len(trees))
+        assert_same_state(streamed, bulk)
+
+    @given(forests)
+    @settings(max_examples=15, deadline=None)
+    def test_delete_then_reinsert_round_trip(self, trees):
+        config = small_config()
+        synopsis = SketchTree(config)
+        for tree in trees:
+            synopsis.update(tree)
+        before, _, n_trees, n_values = synopsis_state(synopsis)
+        victim = trees[0]
+        synopsis.delete_tree(victim)
+        synopsis.update(victim)
+        after, _, n_trees_after, n_values_after = synopsis_state(synopsis)
+        assert (n_trees, n_values) == (n_trees_after, n_values_after)
+        for residue in before:
+            np.testing.assert_array_equal(before[residue], after[residue])
+
+    def test_delete_empties_counters(self):
+        config = small_config()
+        synopsis = SketchTree(config)
+        tree = from_nested(("A", (("B", ()), ("C", (("A", ()),)))))
+        synopsis.update(tree)
+        synopsis.delete_tree(tree)
+        assert synopsis.n_trees == 0
+        assert synopsis.n_values == 0
+        for _, matrix in synopsis.streams.iter_sketches():
+            assert not matrix.counters.any()
+
+
+class TestEncodedBatch:
+    class _IdentityReducer:
+        def to_field(self, values, count=-1):
+            return np.fromiter((int(v) % (2**31 - 1) for v in values),
+                               dtype=np.int64, count=count)
+
+        def to_field_array(self, values):
+            return np.asarray(values, dtype=np.int64) % (2**31 - 1)
+
+    def test_build_small_values(self):
+        xi = self._IdentityReducer()
+        batch = EncodedBatch.build([10, 23, 10], 13, xi)
+        np.testing.assert_array_equal(batch.residues, [10, 10, 10])
+        np.testing.assert_array_equal(batch.counts, [1, 1, 1])
+        assert len(batch) == 3
+        assert batch.total_count() == 3
+
+    def test_build_big_int_fallback_matches_fast_path(self):
+        xi = self._IdentityReducer()
+        small = [3, 7, 2**31]
+        big = small + [2**200 + 5]  # forces the exact-Python fallback
+        fast = EncodedBatch.build(small, 13, xi)
+        slow = EncodedBatch.build(big, 13, xi)
+        np.testing.assert_array_equal(slow.residues[:3], fast.residues)
+        np.testing.assert_array_equal(slow.values[:3], fast.values)
+        assert slow.residues[3] == (2**200 + 5) % 13
+        assert slow.values[3] == (2**200 + 5) % (2**31 - 1)
+
+    def test_counts_length_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            EncodedBatch.build([1, 2], 13, self._IdentityReducer(), counts=[1])
+
+    def test_bad_tree_offsets_rejected(self):
+        xi = self._IdentityReducer()
+        with pytest.raises(ConfigError):
+            EncodedBatch.build([1, 2, 3], 13, xi, tree_offsets=[0, 2])
+        with pytest.raises(ConfigError):
+            EncodedBatch.build([1, 2, 3], 13, xi, tree_offsets=[1, 3])
+
+    def test_tree_segments(self):
+        xi = self._IdentityReducer()
+        batch = EncodedBatch.build(
+            [1, 2, 3, 4, 5], 13, xi, tree_offsets=[0, 2, 2, 5]
+        )
+        assert batch.n_trees == 3
+        assert list(batch.tree_segments()) == [(0, 2), (2, 2), (2, 5)]
+        segment = batch.segment(2, 5)
+        np.testing.assert_array_equal(segment.values, batch.values[2:5])
+
+    def test_segments_require_offsets(self):
+        batch = EncodedBatch.build([1, 2], 13, self._IdentityReducer())
+        assert batch.n_trees == 0
+        with pytest.raises(ConfigError):
+            list(batch.tree_segments())
+
+    def test_iter_residue_groups_preserves_arrival_order(self):
+        xi = self._IdentityReducer()
+        raw = [5, 18, 6, 31, 5]  # residues mod 13: 5, 5, 6, 5, 5
+        batch = EncodedBatch.build(raw, 13, xi)
+        groups = {r: list(idx) for r, idx in batch.iter_residue_groups()}
+        assert groups == {5: [0, 1, 3, 4], 6: [2]}
+
+    def test_iter_residue_groups_empty(self):
+        batch = EncodedBatch.build([], 13, self._IdentityReducer())
+        assert list(batch.iter_residue_groups()) == []
+
+
+class TestVectorisedEncoding:
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=2**32 - 1),
+                     max_size=12),
+            min_size=1, max_size=20,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_of_sequences_matches_of_sequence(self, sequences):
+        fp = RabinFingerprint(degree=31, seed=3)
+        batched = fp.of_sequences(sequences)
+        scalar = [fp.of_sequence(seq) for seq in sequences]
+        assert [int(v) for v in batched] == scalar
+
+    def test_of_sequences_degree_61(self):
+        fp = RabinFingerprint(degree=61, seed=1)
+        sequences = [[2**32 - 1, 0, 17], [], [5]]
+        assert [int(v) for v in fp.of_sequences(sequences)] == [
+            fp.of_sequence(seq) for seq in sequences
+        ]
+
+    def test_pair_sequences_matches_scalar(self):
+        sequences = [[1, 2, 3], [7, 7, 7, 7], [2**40, 5]]
+        assert pair_sequences(sequences) == [
+            pair_sequence(seq) for seq in sequences
+        ]
+
+    @given(st.lists(nested_trees(max_nodes=6), min_size=1, max_size=15))
+    @settings(max_examples=25, deadline=None)
+    def test_encode_batch_matches_encode(self, patterns):
+        scalar_enc = PatternEncoder(seed=4)
+        batch_enc = PatternEncoder(seed=4)
+        assert batch_enc.encode_batch(patterns) == [
+            scalar_enc.encode(p) for p in patterns
+        ]
+
+    def test_encode_batch_pairing_mode(self):
+        patterns = [("A", (("B", ()),)), ("C", ()), ("A", (("B", ()),))]
+        scalar_enc = PatternEncoder(mapping="pairing")
+        batch_enc = PatternEncoder(mapping="pairing")
+        assert batch_enc.encode_batch(patterns) == [
+            scalar_enc.encode(p) for p in patterns
+        ]
+
+    def test_lru_stays_bounded_and_correct(self):
+        patterns = [("A", ()), ("B", ()), ("C", ()), ("D", ()), ("A", ())]
+        bounded = PatternEncoder(seed=4, cache_limit=2)
+        unbounded = PatternEncoder(seed=4)
+        values = [bounded.encode(p) for p in patterns]
+        assert bounded.cache_size <= 2
+        # Eviction cost recomputation, never a different value.
+        assert values == [unbounded.encode(p) for p in patterns]
+        assert bounded.encode_batch(patterns) == values
+        assert bounded.cache_size <= 2
+
+    def test_bad_cache_limit_rejected(self):
+        with pytest.raises(ConfigError):
+            PatternEncoder(cache_limit=0)
+
+
+class TestSketchMatrixBatch:
+    def test_update_batch_accepts_encoded_batch(self):
+        config = small_config()
+        synopsis = SketchTree(config)
+        raw = [3, 17, 3, 99, 17]
+        counts = [2, 1, -1, 4, 1]
+        batch = EncodedBatch.build(
+            raw, 1, synopsis.streams.xi, counts=counts
+        )
+        direct = SketchMatrix(config.s1, config.s2, xi=synopsis.streams.xi)
+        direct.update_batch(batch)
+        reference = SketchMatrix(config.s1, config.s2, xi=synopsis.streams.xi)
+        for value, count in zip(raw, counts):
+            reference.update(value, count)
+        np.testing.assert_array_equal(direct.counters, reference.counters)
+
+    def test_update_batch_rejects_separate_counts_with_batch(self):
+        config = small_config()
+        synopsis = SketchTree(config)
+        batch = EncodedBatch.build([1, 2], 1, synopsis.streams.xi)
+        matrix = SketchMatrix(config.s1, config.s2, xi=synopsis.streams.xi)
+        with pytest.raises(ConfigError):
+            matrix.update_batch(batch, counts=np.array([1, 1]))
+
+
+class TestStreamProcessorBatching:
+    def test_batch_trees_validated(self):
+        synopsis = SketchTree(small_config())
+        with pytest.raises(ConfigError):
+            StreamProcessor([synopsis], batch_trees=0)
+        with pytest.raises(ConfigError):
+            synopsis.ingest([], batch_trees=0)
+
+    def test_checkpoint_boundaries_preserved_under_batching(self):
+        trees = list(TreebankGenerator(seed=3).generate(7))
+        seen: list[tuple[int, int]] = []
+        synopsis = SketchTree(small_config())
+        processor = StreamProcessor(
+            [synopsis],
+            checkpoint_every=3,
+            on_checkpoint=lambda n: seen.append((n, synopsis.n_trees)),
+            batch_trees=2,
+        )
+        stats = processor.run(trees)
+        # Fires at exactly 3 and 6 — micro-batches never straddle the
+        # boundary, and the synopsis has absorbed exactly n trees when
+        # the callback observes it.
+        assert seen == [(3, 3), (6, 6)]
+        assert stats.n_trees == 7
+
+    def test_batched_run_matches_unbatched(self):
+        trees = list(TreebankGenerator(seed=4).generate(6))
+        config = small_config(topk_size=2, topk_probability=0.5)
+        unbatched, batched = SketchTree(config), SketchTree(config)
+        StreamProcessor([unbatched]).run(trees)
+        StreamProcessor([batched], batch_trees=4).run(trees)
+        assert_same_state(unbatched, batched)
+
+
+class TestFieldReducerProtocol:
+    def test_xi_families_satisfy_protocol(self):
+        from repro.sketch.bch import BchXiGenerator
+        from repro.sketch.xi import XiGenerator
+
+        for xi in (XiGenerator(6, seed=1), BchXiGenerator(6, seed=1)):
+            assert isinstance(xi, FieldReducer)
+            values = np.array([0, 5, 2**31 - 1, 2**62], dtype=np.int64)
+            np.testing.assert_array_equal(
+                xi.to_field_array(values),
+                xi.to_field((int(v) for v in values), count=len(values)),
+            )
+
+
+def test_collect_forest_patterns_offsets():
+    trees = [from_nested(n) for n in (
+        ("A", (("B", ()),)),
+        ("C", ()),
+    )]
+    patterns, offsets = collect_forest_patterns(trees, 3)
+    assert offsets[0] == 0
+    assert offsets[-1] == len(patterns)
+    assert len(offsets) == len(trees) + 1
+    first = enumerate_patterns(trees[0], 3)
+    assert patterns[: len(first)] == first
