@@ -8,6 +8,8 @@ Usage::
     sketchtree-experiments snapshot save out.sktsnap --dataset dblp --n-trees 300
     sketchtree-experiments snapshot load out.sktsnap --query "(article (author))"
     sketchtree-experiments snapshot resume ckpts/ --dataset dblp --n-trees 600
+    sketchtree-experiments stats --dataset dblp --n-trees 200 --format prom
+    sketchtree-experiments table1 --scale smoke --metrics-out metrics.json
 """
 
 from __future__ import annotations
@@ -72,6 +74,17 @@ def _add_experiment_options(parser: argparse.ArgumentParser) -> None:
         help="also append all rendered tables to FILE; for the 'export' "
         "experiment, the XML output path (default <dataset>.xml)",
     )
+    _add_metrics_option(parser)
+
+
+def _add_metrics_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="enable runtime metrics for this run and dump the registry "
+        "to FILE as JSON when it finishes (see docs/observability.md)",
+    )
 
 
 def _add_synopsis_options(parser: argparse.ArgumentParser) -> None:
@@ -133,6 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
     save.add_argument("path", help="snapshot file to write")
     _add_stream_options(save)
     _add_synopsis_options(save)
+    _add_metrics_option(save)
 
     load = actions.add_parser(
         "load", help="validate a snapshot and describe (or query) it"
@@ -161,6 +175,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_stream_options(resume)
     _add_synopsis_options(resume)
+    _add_metrics_option(resume)
+
+    stats = commands.add_parser(
+        "stats",
+        help="stream a corpus with runtime metrics enabled and report the "
+        "registry (Prometheus text or JSON)",
+    )
+    _add_stream_options(stats)
+    _add_synopsis_options(stats)
+    stats.add_argument(
+        "--batch-trees",
+        type=int,
+        default=32,
+        help="cross-tree micro-batch size (default 32)",
+    )
+    stats.add_argument(
+        "--format",
+        default="prom",
+        choices=("prom", "json"),
+        help="report format: Prometheus text exposition or JSON (default prom)",
+    )
+    stats.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
     return parser
 
 
@@ -213,6 +254,8 @@ def _describe(synopsis) -> None:
 
 
 def _run_snapshot(args: argparse.Namespace) -> int:
+    import time
+
     from repro.core.sketchtree import SketchTree
     from repro.core.snapshot import (
         CheckpointManager,
@@ -220,14 +263,26 @@ def _run_snapshot(args: argparse.Namespace) -> int:
         save_snapshot,
     )
     from repro.errors import ReproError
+    from repro.obs import MetricsRegistry, write_json
+    from repro.obs.registry import BYTE_BUCKETS
     from repro.stream.engine import StreamProcessor
 
+    metrics_out = getattr(args, "metrics_out", None)
+    registry = MetricsRegistry() if metrics_out else None
     try:
         if args.snapshot_command == "save":
-            synopsis = SketchTree(_synopsis_config(args))
-            for tree in _dataset_stream(args):
-                synopsis.update(tree)
+            synopsis = SketchTree(_synopsis_config(args), metrics=registry)
+            processor = StreamProcessor([synopsis], metrics=registry)
+            processor.run(_dataset_stream(args))
+            start = time.perf_counter()
             path = save_snapshot(synopsis, args.path)
+            if registry is not None:
+                registry.histogram("snapshot_save_seconds").observe(
+                    time.perf_counter() - start
+                )
+                registry.histogram(
+                    "snapshot_save_bytes", buckets=BYTE_BUCKETS
+                ).observe(path.stat().st_size)
             print(f"wrote {path}")
             _describe(synopsis)
         elif args.snapshot_command == "load":
@@ -238,14 +293,19 @@ def _run_snapshot(args: argparse.Namespace) -> int:
                 estimate = synopsis.estimate_ordered(args.query)
                 print(f"estimate:        {args.query} -> {estimate:.1f}")
         else:  # resume
-            manager = CheckpointManager(args.directory, keep_last=args.keep)
+            manager = CheckpointManager(
+                args.directory, keep_last=args.keep, metrics=registry
+            )
             processor = StreamProcessor(
-                [SketchTree(_synopsis_config(args))],
+                [SketchTree(_synopsis_config(args), metrics=registry)],
                 snapshot_every=args.every,
                 checkpoints=manager,
+                metrics=registry,
             )
             stats = processor.resume(_dataset_stream(args))
             synopsis = processor.consumers[0]
+            if registry is not None:
+                synopsis.set_metrics(registry)  # re-attach after restore
             processor.snapshot_now()
             print(
                 f"resumed from {stats.resumed_from} checkpointed trees; "
@@ -256,9 +316,47 @@ def _run_snapshot(args: argparse.Namespace) -> int:
             if args.query:
                 estimate = synopsis.estimate_ordered(args.query)
                 print(f"estimate:        {args.query} -> {estimate:.1f}")
+        if registry is not None:
+            print(f"wrote metrics to {write_json(registry, metrics_out)}")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    return 0
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.core.sketchtree import SketchTree
+    from repro.errors import ReproError
+    from repro.obs import MetricsRegistry, to_json_dict, to_prometheus_text
+    from repro.stream.engine import StreamProcessor
+
+    registry = MetricsRegistry()
+    try:
+        synopsis = SketchTree(_synopsis_config(args), metrics=registry)
+        processor = StreamProcessor(
+            [synopsis], batch_trees=args.batch_trees, metrics=registry
+        )
+        stats = processor.run(_dataset_stream(args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "prom":
+        report = to_prometheus_text(registry)
+    else:
+        report = json.dumps(to_json_dict(registry), indent=2, sort_keys=True) + "\n"
+    print(
+        f"processed {stats.n_trees} trees "
+        f"({stats.trees_per_second:.1f} trees/s)",
+        file=sys.stderr,
+    )
+    if args.out:
+        Path(args.out).write_text(report)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(report, end="")
     return 0
 
 
@@ -268,11 +366,23 @@ def _run_snapshot(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.experiment == "stats":
+        return _run_stats(args)
     if args.experiment == "snapshot":
         return _run_snapshot(args)
     scale = by_name(args.scale)
     datasets = (args.dataset,) if args.dataset else ("treebank", "dblp")
     sink = open(args.out, "a") if args.out else None
+
+    registry = previous = None
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry, set_default_registry
+
+        # Experiments build their synopses internally; installing a process
+        # default is how metrics reach them without threading a parameter
+        # through every experiment module.
+        registry = MetricsRegistry()
+        previous = set_default_registry(registry)
 
     def emit(text: str = "") -> None:
         print(text)
@@ -359,6 +469,11 @@ def main(argv: list[str] | None = None) -> int:
         else:
             run_one(args.experiment)
     finally:
+        if registry is not None:
+            from repro.obs import set_default_registry, write_json
+
+            set_default_registry(previous)
+            print(f"wrote metrics to {write_json(registry, args.metrics_out)}")
         if sink is not None:
             sink.close()
     return 0

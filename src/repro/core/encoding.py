@@ -74,15 +74,21 @@ class PatternEncoder:
             self._sequence_fp = None
             self._labels = LabelHasher("enumerate")
         self._cache: OrderedDict[Nested, int] = OrderedDict()
+        #: Lifetime LRU accounting (plain ints, always on — one addition
+        #: per encode call; surfaced as pull counters by repro.obs).
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def encode(self, pattern: Nested) -> int:
         """The one-dimensional value of a pattern (LRU-memoised)."""
         cache = self._cache
         value = cache.get(pattern)
         if value is None:
+            self.cache_misses += 1
             value = self._encode_distinct([pattern])[0]
             self._remember(pattern, value)
         else:
+            self.cache_hits += 1
             cache.move_to_end(pattern)
         return value
 
@@ -129,12 +135,16 @@ class PatternEncoder:
             else:
                 cache.move_to_end(pattern)
                 values[index] = value
+        n_missed = 0
         if misses:
+            n_missed = sum(len(indices) for indices in misses.values())
             fresh = self._encode_distinct(list(misses))
             for pattern, value in zip(misses, fresh):
                 self._remember(pattern, value)
                 for index in misses[pattern]:
                     values[index] = value
+        self.cache_hits += len(patterns) - n_missed
+        self.cache_misses += n_missed
         return values
 
     def encode_many(self, patterns) -> list[int]:

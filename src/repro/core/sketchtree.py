@@ -45,6 +45,7 @@ from repro.core.memory import MemoryReport
 from repro.core.virtual import VirtualStreams
 from repro.enumtree.enumerate import collect_forest_patterns
 from repro.errors import ConfigError, QueryError
+from repro.obs.registry import COUNT_BUCKETS, Registry, get_default_registry
 from repro.query.pattern import arrangements, pattern_edges, validate_pattern
 from repro.query.summary import QueryNode, StructuralSummary
 from repro.sketch.ams import SketchMatrix
@@ -90,7 +91,12 @@ class SketchTree:
     1
     """
 
-    def __init__(self, config: SketchTreeConfig | None = None, **overrides):
+    def __init__(
+        self,
+        config: SketchTreeConfig | None = None,
+        metrics: Registry | None = None,
+        **overrides,
+    ):
         if config is None:
             config = SketchTreeConfig(**overrides)
         elif overrides:
@@ -119,6 +125,90 @@ class SketchTree:
         )
         self.n_trees = 0
         self.n_values = 0  # pattern occurrences processed ("sequences")
+        self.set_metrics(metrics)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def set_metrics(self, metrics: Registry | None) -> None:
+        """Attach a metrics registry (``None`` → the process default).
+
+        Metrics are pure observation: nothing here touches sketch state,
+        and the registry is not serialised into snapshots — a restored
+        synopsis starts on the process default and can be re-attached
+        with this method.  Pull gauges (allocated streams, counter L2
+        mass, top-k churn) are registered against the synopsis' live
+        state; re-registering the same names rebinds them, so the last
+        synopsis to attach owns them (the registry keeps the synopsis
+        alive through those callbacks).
+        """
+        obs = metrics if metrics is not None else get_default_registry()
+        self._obs = obs
+        if not obs.enabled:
+            return
+        streams = self._streams
+        encoder = self._encoder
+        obs.gauge(
+            "virtual_streams_allocated",
+            help="virtual streams that received at least one value",
+            fn=lambda: streams.n_allocated,
+        )
+        obs.gauge(
+            "sketch_counter_l2_mass",
+            help="sum of squared AMS counters across allocated streams",
+            fn=lambda: sum(
+                float(np.dot(c, c))
+                for c in (
+                    matrix.counters.astype(np.float64)
+                    for _, matrix in streams.iter_sketches()
+                )
+            ),
+        )
+        obs.counter(
+            "encoder_cache_hits_total",
+            help="pattern encodings served from the LRU memo",
+            fn=lambda: encoder.cache_hits,
+        )
+        obs.counter(
+            "encoder_cache_misses_total",
+            help="pattern encodings computed (LRU misses)",
+            fn=lambda: encoder.cache_misses,
+        )
+        obs.gauge(
+            "encoder_cache_size",
+            help="distinct patterns currently memoised",
+            fn=lambda: encoder.cache_size,
+        )
+        if self.config.topk_size:
+            obs.counter(
+                "topk_evictions_total",
+                help="tracked values evicted by larger newcomers (Algorithm 4)",
+                fn=lambda: sum(
+                    tracker.n_evictions for _, tracker in streams.iter_trackers()
+                ),
+            )
+            obs.counter(
+                "topk_rearrivals_total",
+                help="re-arrivals of already-tracked values (Algorithm 4)",
+                fn=lambda: sum(
+                    tracker.n_rearrivals for _, tracker in streams.iter_trackers()
+                ),
+            )
+            obs.gauge(
+                "topk_deleted_self_join_mass",
+                help="self-join mass currently deleted from the sketches",
+                fn=lambda: float(
+                    sum(
+                        tracker.deleted_self_join_mass()
+                        for _, tracker in streams.iter_trackers()
+                    )
+                ),
+            )
+
+    @property
+    def metrics(self) -> Registry:
+        """The attached metrics registry (the no-op default unless set)."""
+        return self._obs
 
     # ------------------------------------------------------------------
     # Stream side
@@ -144,9 +234,21 @@ class SketchTree:
         trees = list(trees)
         if not trees:
             return
-        patterns, offsets = collect_forest_patterns(
-            trees, self.config.max_pattern_edges
-        )
+        obs = self._obs
+        if not obs.enabled:
+            patterns, offsets = collect_forest_patterns(
+                trees, self.config.max_pattern_edges
+            )
+        else:
+            with obs.span("ingest_enumerate_seconds"):
+                patterns, offsets = collect_forest_patterns(
+                    trees, self.config.max_pattern_edges
+                )
+            per_tree = obs.histogram(
+                "ingest_patterns_per_tree", buckets=COUNT_BUCKETS
+            )
+            for t in range(len(offsets) - 1):
+                per_tree.observe(offsets[t + 1] - offsets[t])
         batch = self._encode_batch(patterns, tree_offsets=offsets)
         self._ingest_batch(batch, track=True)
         self.n_trees += len(trees)
@@ -274,14 +376,25 @@ class SketchTree:
         tree_offsets: list[int] | None = None,
     ) -> EncodedBatch:
         """Encode a pattern multiset into a routed columnar batch."""
-        raw = self._encoder.encode_batch(patterns)
-        return EncodedBatch.build(
-            raw,
-            self.config.n_virtual_streams,
-            self._streams.xi,  # the ξ family owns the value → field reduction
-            count=count,
-            tree_offsets=tree_offsets,
-        )
+        obs = self._obs
+        if not obs.enabled:
+            raw = self._encoder.encode_batch(patterns)
+            return EncodedBatch.build(
+                raw,
+                self.config.n_virtual_streams,
+                self._streams.xi,  # the ξ family owns value → field reduction
+                count=count,
+                tree_offsets=tree_offsets,
+            )
+        with obs.span("ingest_encode_seconds"):
+            raw = self._encoder.encode_batch(patterns)
+            return EncodedBatch.build(
+                raw,
+                self.config.n_virtual_streams,
+                self._streams.xi,
+                count=count,
+                tree_offsets=tree_offsets,
+            )
 
     def _ingest_batch(self, batch: EncodedBatch, track: bool) -> None:
         """Apply a batch to the virtual streams (+ optional top-k).
@@ -293,6 +406,18 @@ class SketchTree:
         run its (sampled) top-k processing, exactly as the per-tree
         streaming loop would.
         """
+        obs = self._obs
+        if not obs.enabled:
+            self._apply_batch(batch, track)
+            return
+        with obs.span("ingest_apply_seconds"):
+            self._apply_batch(batch, track)
+        obs.counter(
+            "ingest_values_total",
+            help="encoded pattern occurrences applied to the sketches",
+        ).inc(len(batch))
+
+    def _apply_batch(self, batch: EncodedBatch, track: bool) -> None:
         if track and self.config.topk_size and len(batch):
             for start, stop in batch.tree_segments():
                 segment = batch.segment(start, stop)

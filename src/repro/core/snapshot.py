@@ -52,6 +52,7 @@ import hashlib
 import io
 import json
 import os
+import time
 import zipfile
 from dataclasses import asdict
 from pathlib import Path
@@ -61,6 +62,7 @@ import numpy as np
 
 from repro.core.config import XI_SEED_OFFSET, SketchTreeConfig
 from repro.core.sketchtree import SketchTree
+from repro.obs.registry import BYTE_BUCKETS, Registry, get_default_registry
 from repro.errors import (
     ConfigError,
     PatternError,
@@ -401,6 +403,10 @@ class CheckpointManager:
     files; recovery loads the newest checkpoint that validates, falling
     back to older ones if the newest is damaged.
 
+    ``metrics`` (``None`` → the process default, a no-op) records
+    save/load durations and byte totals — timing lives here at the call
+    sites, keeping the module-level snapshot functions deterministic.
+
     >>> manager = CheckpointManager("/tmp/ckpts", keep_last=3)  # doctest: +SKIP
     """
 
@@ -412,6 +418,7 @@ class CheckpointManager:
         directory: str | Path,
         keep_last: int = 3,
         prefix: str = "checkpoint",
+        metrics: Registry | None = None,
     ):
         if keep_last < 1:
             raise ConfigError(f"keep_last must be >= 1, got {keep_last}")
@@ -420,6 +427,7 @@ class CheckpointManager:
         self.directory = Path(directory)
         self.keep_last = keep_last
         self.prefix = prefix
+        self.metrics = metrics if metrics is not None else get_default_registry()
         self.directory.mkdir(parents=True, exist_ok=True)
 
     def paths(self) -> list[Path]:
@@ -434,7 +442,23 @@ class CheckpointManager:
     def save(self, synopsis: SketchTree) -> Path:
         """Checkpoint ``synopsis`` now and prune to ``keep_last`` files."""
         name = f"{self.prefix}-{synopsis.n_trees:012d}{self.SUFFIX}"
-        path = save_snapshot(synopsis, self.directory / name)
+        obs = self.metrics
+        if not obs.enabled:
+            path = save_snapshot(synopsis, self.directory / name)
+        else:
+            start = time.perf_counter()
+            path = save_snapshot(synopsis, self.directory / name)
+            obs.histogram("snapshot_save_seconds").observe(
+                time.perf_counter() - start
+            )
+            size = path.stat().st_size
+            obs.histogram(
+                "snapshot_save_bytes", buckets=BYTE_BUCKETS
+            ).observe(size)
+            obs.counter(
+                "snapshot_save_bytes_total",
+                help="bytes written by checkpoint saves",
+            ).inc(size)
         self.prune()
         return path
 
@@ -449,7 +473,21 @@ class CheckpointManager:
         expected_config: SketchTreeConfig | None = None,
     ) -> SketchTree:
         """Load one checkpoint file (see :func:`load_snapshot`)."""
-        return load_snapshot(path, expected_config)
+        obs = self.metrics
+        if not obs.enabled:
+            return load_snapshot(path, expected_config)
+        start = time.perf_counter()
+        synopsis = load_snapshot(path, expected_config)
+        obs.histogram("snapshot_load_seconds").observe(
+            time.perf_counter() - start
+        )
+        size = Path(path).stat().st_size
+        obs.histogram("snapshot_load_bytes", buckets=BYTE_BUCKETS).observe(size)
+        obs.counter(
+            "snapshot_load_bytes_total",
+            help="bytes read by checkpoint loads",
+        ).inc(size)
+        return synopsis
 
     def load_latest(
         self, expected_config: SketchTreeConfig | None = None

@@ -55,6 +55,10 @@ class TopKTracker:
         self.sketch = sketch
         self._freq: dict[int, int] = {}  # the paper's L and H values
         self._heap: list[tuple[int, int]] = []  # (freq, value); lazy deletion
+        #: Lifetime churn accounting (plain ints, always on — surfaced as
+        #: pull counters by repro.obs; not part of snapshot state).
+        self.n_evictions = 0
+        self.n_rearrivals = 0
 
     # ------------------------------------------------------------------
     # Streaming (Algorithm 4)
@@ -69,6 +73,7 @@ class TopKTracker:
         signs = sketch.xi.xi(value)
         tracked = self._freq.pop(value, None)
         if tracked is not None:
+            self.n_rearrivals += 1
             sketch.counters += tracked * signs  # add back (lines 1-7)
         estimate = int(round(sketch.boost(signs * sketch.counters)))
         if estimate <= 0:
@@ -79,6 +84,7 @@ class TopKTracker:
             if estimate <= root_freq:
                 return
             # Evict the least frequent tracked value (lines 10-13).
+            self.n_evictions += 1
             heapq.heappop(self._heap)
             del self._freq[root_value]
             sketch.update(root_value, root_freq)

@@ -27,6 +27,7 @@ drops); virtual streams work unchanged.
 from __future__ import annotations
 
 from collections import deque
+from typing import Iterable
 
 from repro.core.config import SketchTreeConfig
 from repro.core.sketchtree import SketchTree
@@ -81,17 +82,53 @@ class WindowedSketchTree:
     # ------------------------------------------------------------------
     def update(self, tree: LabeledTree) -> None:
         """Process one arriving tree; rotates buckets as they fill."""
-        self._current.update(tree)
-        self.n_trees_seen += 1
-        if self._current.n_trees >= self.bucket_trees:
-            self._complete.append(self._current)
-            self._current = SketchTree(self.config)
-            while len(self._complete) > self.n_buckets:
-                self._complete.popleft()  # expire the oldest bucket whole
+        self.update_batch((tree,))
 
-    def ingest(self, trees) -> "WindowedSketchTree":
+    def update_batch(self, trees: Iterable[LabeledTree]) -> None:
+        """Process several arriving trees as one micro-batch.
+
+        Bit-identical to calling :meth:`update` per tree: the batch is
+        cut into segments at bucket boundaries, so every bucket's
+        :class:`~repro.core.sketchtree.SketchTree` receives exactly the
+        trees the per-tree loop would have given it — via its own
+        ``update_batch``, which is itself bit-identical to per-tree
+        updates.  This is what lets
+        :class:`~repro.stream.engine.StreamProcessor` with
+        ``batch_trees > 1`` feed windowed consumers through the columnar
+        pipeline instead of degrading to per-tree dispatch.
+        """
+        pending = list(trees)
+        start = 0
+        while start < len(pending):
+            room = self.bucket_trees - self._current.n_trees
+            segment = pending[start : start + room]
+            self._current.update_batch(segment)
+            self.n_trees_seen += len(segment)
+            start += len(segment)
+            if self._current.n_trees >= self.bucket_trees:
+                self._rotate()
+
+    def _rotate(self) -> None:
+        """Retire the full in-progress bucket and expire the oldest."""
+        self._complete.append(self._current)
+        self._current = SketchTree(self.config)
+        while len(self._complete) > self.n_buckets:
+            self._complete.popleft()  # expire the oldest bucket whole
+
+    def ingest(
+        self, trees: Iterable[LabeledTree], batch_trees: int = 64
+    ) -> "WindowedSketchTree":
+        """Stream an iterable through :meth:`update_batch` in micro-batches."""
+        if batch_trees < 1:
+            raise ConfigError(f"batch_trees must be >= 1, got {batch_trees}")
+        chunk: list[LabeledTree] = []
         for tree in trees:
-            self.update(tree)
+            chunk.append(tree)
+            if len(chunk) >= batch_trees:
+                self.update_batch(chunk)
+                chunk.clear()
+        if chunk:
+            self.update_batch(chunk)
         return self
 
     # ------------------------------------------------------------------

@@ -1,0 +1,109 @@
+"""Render a :class:`~repro.obs.registry.MetricsRegistry` for consumption.
+
+Two formats, both computed on demand (no background collector):
+
+* **Prometheus text exposition** (:func:`to_prometheus_text`) — the
+  ``# HELP`` / ``# TYPE`` / sample-line format every Prometheus-family
+  scraper understands; histograms render as cumulative ``_bucket``
+  series plus ``_sum`` / ``_count``.
+* **JSON** (:func:`to_json_dict` / :func:`write_json`) — a plain nested
+  dict for dashboards, tests, and the ``--metrics-out`` CLI flag.
+
+Metric names are sanitised to the Prometheus charset and prefixed (the
+default prefix is ``repro``), so ``ingest_encode_seconds`` exports as
+``repro_ingest_encode_seconds``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.obs.registry import Registry
+
+__all__ = ["to_json_dict", "to_prometheus_text", "write_json"]
+
+_NAME_SANITISER = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    sanitised = _NAME_SANITISER.sub("_", name)
+    if prefix and not sanitised.startswith(f"{prefix}_"):
+        sanitised = f"{prefix}_{sanitised}"
+    if not re.match(r"[a-zA-Z_:]", sanitised):
+        sanitised = f"_{sanitised}"
+    return sanitised
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    if bound == float("inf"):
+        return "+Inf"
+    return format(bound, "g")
+
+
+def to_prometheus_text(registry: Registry, prefix: str = "repro") -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4)."""
+    lines: list[str] = []
+    for counter in registry.all_counters():
+        name = _metric_name(counter.name, prefix)
+        if counter.help:
+            lines.append(f"# HELP {name} {counter.help}")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_format_value(counter.value)}")
+    for gauge in registry.all_gauges():
+        name = _metric_name(gauge.name, prefix)
+        if gauge.help:
+            lines.append(f"# HELP {name} {gauge.help}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(gauge.value)}")
+    for histogram in registry.all_histograms():
+        name = _metric_name(histogram.name, prefix)
+        if histogram.help:
+            lines.append(f"# HELP {name} {histogram.help}")
+        lines.append(f"# TYPE {name} histogram")
+        for bound, cumulative in histogram.cumulative():
+            lines.append(
+                f'{name}_bucket{{le="{_format_bound(bound)}"}} {cumulative}'
+            )
+        lines.append(f"{name}_sum {repr(float(histogram.total))}")
+        lines.append(f"{name}_count {histogram.count}")
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
+def to_json_dict(registry: Registry) -> dict:
+    """The registry as a plain JSON-serialisable dict."""
+    return {
+        "counters": {
+            counter.name: counter.value for counter in registry.all_counters()
+        },
+        "gauges": {gauge.name: gauge.value for gauge in registry.all_gauges()},
+        "histograms": {
+            histogram.name: {
+                "buckets": [
+                    [("+Inf" if bound == float("inf") else bound), cumulative]
+                    for bound, cumulative in histogram.cumulative()
+                ],
+                "sum": histogram.total,
+                "count": histogram.count,
+            }
+            for histogram in registry.all_histograms()
+        },
+    }
+
+
+def write_json(registry: Registry, path: str | Path) -> Path:
+    """Dump :func:`to_json_dict` to ``path`` (pretty-printed, sorted)."""
+    target = Path(path)
+    target.write_text(
+        json.dumps(to_json_dict(registry), indent=2, sort_keys=True) + "\n"
+    )
+    return target

@@ -1,0 +1,352 @@
+"""Zero-dependency runtime metrics: counters, gauges, histograms, spans.
+
+The paper's evaluation (Sections 7.5–7.7) is built on measured
+quantities — per-stage processing cost, synopsis memory, top-k churn —
+that a deployment needs to surface from a *running* synopsis, not just
+from offline benchmark scripts.  This module is the instrumentation
+substrate: a :class:`MetricsRegistry` holding three numpy-backed
+instrument kinds plus a :meth:`~MetricsRegistry.span` timing context,
+and a :class:`NullRegistry` no-op twin that is the process-wide default.
+
+Design constraints, in order:
+
+1. **The disabled path costs one attribute check.**  Every instrumented
+   hot path reads ``registry.enabled`` once and skips all metric work
+   when it is ``False``.  The default registry is :data:`NULL_REGISTRY`,
+   so code that never opts in pays (almost) nothing — `bench_obs.py`
+   measures this.
+2. **Zero dependencies.**  Counters and gauges are plain Python numbers;
+   histograms are fixed-bucket int64 arrays (`numpy`, already a core
+   dependency).  There is no background thread, no socket, no client
+   library — exporters (:mod:`repro.obs.export`) render on demand.
+3. **Metrics never change estimates.**  No instrument touches sketch
+   state, and nothing here is serialised into snapshots; attaching,
+   detaching, or swapping a registry cannot alter any counter the
+   synopsis owns (pinned by ``tests/test_obs.py``).
+
+Pull instruments: a counter or gauge constructed with ``fn=...`` reads
+its value from the callback at collection time instead of storing one —
+zero hot-path cost for state-derived metrics (allocated virtual streams,
+counter L2 mass, top-k deleted mass).  Registering a name again with a
+new callback rebinds it (last owner wins), which is what lets a restored
+or rebuilt synopsis take over its gauges.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "BYTE_BUCKETS",
+    "COUNT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Registry",
+    "Span",
+    "get_default_registry",
+    "set_default_registry",
+    "use_registry",
+]
+
+#: Default span buckets: half-decade log spacing, 10 µs … 10 s.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-05, 3.162e-05, 1e-04, 3.162e-04, 1e-03, 3.162e-03,
+    1e-02, 3.162e-02, 1e-01, 3.162e-01, 1.0, 3.162, 10.0,
+)
+
+#: Buckets for small cardinalities (batch sizes, patterns per tree).
+COUNT_BUCKETS: tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+)
+
+#: Buckets for payload sizes in bytes, 1 KiB … 256 MiB.
+BYTE_BUCKETS: tuple[float, ...] = tuple(
+    float(1 << exp) for exp in range(10, 29, 2)
+)
+
+
+class Counter:
+    """A monotonically increasing total (or a pull callback thereof)."""
+
+    __slots__ = ("name", "help", "_value", "_fn")
+
+    def __init__(
+        self, name: str, help: str = "", fn: Callable[[], float] | None = None
+    ):
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._fn = fn
+
+    def inc(self, amount: float = 1) -> None:
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current total; pull counters read their callback instead."""
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value, set directly or pulled from a callback."""
+
+    __slots__ = ("name", "help", "_value", "_fn")
+
+    def __init__(
+        self, name: str, help: str = "", fn: Callable[[], float] | None = None
+    ):
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+
+class Histogram:
+    """A fixed-bucket histogram over non-negative observations.
+
+    ``buckets`` are the inclusive upper bounds (Prometheus ``le``
+    semantics); one implicit ``+Inf`` bucket catches the overflow.  The
+    per-bucket counts live in one int64 array, so ``observe`` is a
+    single ``searchsorted`` plus an increment.
+    """
+
+    __slots__ = ("name", "help", "bounds", "bucket_counts", "total", "count")
+
+    def __init__(self, name: str, buckets: tuple[float, ...], help: str = ""):
+        bounds = np.asarray(buckets, dtype=np.float64)
+        if len(bounds) == 0:
+            raise ConfigError(f"histogram {name!r} needs at least one bucket")
+        if np.any(np.diff(bounds) <= 0):
+            raise ConfigError(
+                f"histogram {name!r} buckets must be strictly increasing"
+            )
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        self.bucket_counts = np.zeros(len(bounds) + 1, dtype=np.int64)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        index = int(np.searchsorted(self.bounds, value, side="left"))
+        self.bucket_counts[index] += 1
+        self.total += float(value)
+        self.count += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last."""
+        running = np.cumsum(self.bucket_counts)
+        pairs = [
+            (float(bound), int(running[i])) for i, bound in enumerate(self.bounds)
+        ]
+        pairs.append((float("inf"), int(running[-1])))
+        return pairs
+
+
+class Span:
+    """A ``with``-block timer recording its duration into a histogram."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: Histogram):
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._histogram.observe(time.perf_counter() - self._start)
+
+
+class _NullInstrument:
+    """Accepts every instrument and span operation; records nothing."""
+
+    __slots__ = ()
+
+    value = 0.0
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def __enter__(self) -> "_NullInstrument":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """A live registry: instruments are created on first use by name.
+
+    Re-requesting a name returns the existing instrument (its buckets
+    and help text are fixed by the first registration); passing a new
+    ``fn`` rebinds a pull instrument's callback (last owner wins).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instruments ---------------------------------------------------
+    def counter(
+        self, name: str, help: str = "", fn: Callable[[], float] | None = None
+    ) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name, help, fn)
+        elif fn is not None:
+            counter._fn = fn
+        return counter
+
+    def gauge(
+        self, name: str, help: str = "", fn: Callable[[], float] | None = None
+    ) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name, help, fn)
+        elif fn is not None:
+            gauge._fn = fn
+        return gauge
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = LATENCY_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name, buckets, help)
+        return histogram
+
+    def span(
+        self, name: str, buckets: tuple[float, ...] = LATENCY_BUCKETS
+    ) -> Span:
+        """A timing context recording into histogram ``name``."""
+        return Span(self.histogram(name, buckets=buckets))
+
+    # -- collection ----------------------------------------------------
+    def all_counters(self) -> list[Counter]:
+        return [self._counters[name] for name in sorted(self._counters)]
+
+    def all_gauges(self) -> list[Gauge]:
+        return [self._gauges[name] for name in sorted(self._gauges)]
+
+    def all_histograms(self) -> list[Histogram]:
+        return [self._histograms[name] for name in sorted(self._histograms)]
+
+
+class NullRegistry:
+    """The no-op twin: hot paths check ``enabled`` and skip everything.
+
+    Every factory returns one shared inert instrument, so even code that
+    does not guard on ``enabled`` (cold paths, tests) works unchanged.
+    """
+
+    enabled = False
+
+    def counter(
+        self, name: str, help: str = "", fn: Callable[[], float] | None = None
+    ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(
+        self, name: str, help: str = "", fn: Callable[[], float] | None = None
+    ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = LATENCY_BUCKETS,
+        help: str = "",
+    ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def span(
+        self, name: str, buckets: tuple[float, ...] = LATENCY_BUCKETS
+    ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def all_counters(self) -> list[Counter]:
+        return []
+
+    def all_gauges(self) -> list[Gauge]:
+        return []
+
+    def all_histograms(self) -> list[Histogram]:
+        return []
+
+
+#: Either registry flavour; what instrumented code accepts.
+Registry = MetricsRegistry | NullRegistry
+
+#: The process-wide default when no registry is attached explicitly.
+NULL_REGISTRY = NullRegistry()
+
+_default_registry: Registry = NULL_REGISTRY
+
+
+def get_default_registry() -> Registry:
+    """The registry newly-constructed components attach to by default."""
+    return _default_registry
+
+
+def set_default_registry(registry: Registry | None) -> Registry:
+    """Install a process-wide default registry; returns the previous one.
+
+    ``None`` restores :data:`NULL_REGISTRY`.  Only components constructed
+    *after* the call pick the new default up — existing synopses keep the
+    registry they were built with (re-attach via
+    ``SketchTree.set_metrics``).
+    """
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+@contextmanager
+def use_registry(registry: Registry | None) -> Iterator[Registry]:
+    """Scope a default registry to a ``with`` block (always restores)."""
+    previous = set_default_registry(registry)
+    try:
+        yield get_default_registry()
+    finally:
+        set_default_registry(previous)

@@ -17,6 +17,11 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.errors import ConfigError
+from repro.obs.registry import (
+    COUNT_BUCKETS,
+    Registry,
+    get_default_registry,
+)
 from repro.trees.tree import LabeledTree
 
 if TYPE_CHECKING:
@@ -36,6 +41,16 @@ class ProcessingStats:
     #: Trees recovered from a checkpoint (skipped, not reprocessed) when
     #: the run was started by :meth:`StreamProcessor.resume`.
     resumed_from: int = 0
+
+    @property
+    def stream_position(self) -> int:
+        """Absolute position in the stream: restored + processed trees.
+
+        Checkpoint/snapshot boundaries and ``on_checkpoint`` arguments
+        are expressed in this coordinate, so a resumed run fires events
+        exactly where an uninterrupted run would.
+        """
+        return self.resumed_from + self.n_trees
 
     @property
     def trees_per_second(self) -> float:
@@ -87,6 +102,7 @@ class StreamProcessor:
         snapshot_every: int = 0,
         checkpoints: "CheckpointManager | None" = None,
         batch_trees: int = 1,
+        metrics: Registry | None = None,
     ):
         if not consumers:
             raise ConfigError("at least one consumer is required")
@@ -116,6 +132,7 @@ class StreamProcessor:
         self.snapshot_every = snapshot_every
         self.checkpoints = checkpoints
         self.batch_trees = batch_trees
+        self.metrics = metrics if metrics is not None else get_default_registry()
 
     def run(self, trees: Iterable[LabeledTree]) -> ProcessingStats:
         """Process the whole stream; returns timing statistics.
@@ -124,56 +141,93 @@ class StreamProcessor:
         the timed region, so neither generator cost nor snapshot I/O
         pollutes the processing-cost ratios.
         """
-        stats = ProcessingStats()
+        return self._run(trees, resumed_from=0)
+
+    def _run(
+        self, trees: Iterable[LabeledTree], resumed_from: int
+    ) -> ProcessingStats:
+        """The shared run loop; ``resumed_from`` offsets every boundary.
+
+        Flush limits, checkpoint/snapshot modulos, and the
+        ``on_checkpoint`` argument all use the *absolute* stream position
+        (``resumed_from + n_trees``), so a resumed run fires events at
+        the same tree counts, with the same callback arguments, as the
+        uninterrupted run it replaces.
+        """
+        stats = ProcessingStats(resumed_from=resumed_from)
         chunk: list[LabeledTree] = []
         for tree in trees:
             chunk.append(tree)
-            if len(chunk) >= self._flush_limit(stats.n_trees):
+            if len(chunk) >= self._flush_limit(stats.stream_position):
                 self._flush(chunk, stats)
         if chunk:
             self._flush(chunk, stats)
         return stats
 
-    def _flush_limit(self, n_done: int) -> int:
+    def _flush_limit(self, position: int) -> int:
         """Trees the current micro-batch may hold before flushing.
 
         Capped so that no batch ever straddles a checkpoint or snapshot
         boundary: those events must observe the exact tree counts the
-        per-tree loop would have produced.
+        per-tree loop would have produced.  ``position`` is the absolute
+        stream position (restored + processed trees), so the cap aligns
+        with the original stream even after a resume.
         """
         limit = self.batch_trees
         for every in (self.checkpoint_every, self.snapshot_every):
             if every:
-                limit = min(limit, every - n_done % every)
+                limit = min(limit, every - position % every)
         return limit
 
     def _flush(self, chunk: list[LabeledTree], stats: ProcessingStats) -> None:
         """Feed one micro-batch to every consumer; fire boundary events."""
         clock = time.perf_counter
+        n_chunk = len(chunk)
         start = clock()
         for consumer in self.consumers:
             update_batch = getattr(consumer, "update_batch", None)
-            if update_batch is not None and len(chunk) > 1:
+            if update_batch is not None and n_chunk > 1:
                 update_batch(chunk)
             else:
                 for tree in chunk:
                     consumer.update(tree)
-        stats.elapsed_seconds += clock() - start
-        stats.n_trees += len(chunk)
+        elapsed = clock() - start
+        stats.elapsed_seconds += elapsed
+        stats.n_trees += n_chunk
         stats.total_nodes += sum(tree.n_nodes for tree in chunk)
         chunk.clear()
+        obs = self.metrics
+        if obs.enabled:
+            obs.histogram("stream_flush_seconds").observe(elapsed)
+            obs.histogram(
+                "stream_batch_trees", buckets=COUNT_BUCKETS
+            ).observe(n_chunk)
+            obs.counter(
+                "stream_trees_total", help="trees fed to the consumers"
+            ).inc(n_chunk)
+        position = stats.stream_position
         if (
             self.checkpoint_every
             and self.on_checkpoint is not None
-            and stats.n_trees % self.checkpoint_every == 0
+            and position % self.checkpoint_every == 0
         ):
-            stats.checkpoint_results.append(self.on_checkpoint(stats.n_trees))
+            if obs.enabled:
+                with obs.span("stream_checkpoint_seconds"):
+                    result = self.on_checkpoint(position)
+            else:
+                result = self.on_checkpoint(position)
+            stats.checkpoint_results.append(result)
         if (
             self.snapshot_every
             and self.checkpoints is not None
-            and stats.n_trees % self.snapshot_every == 0
+            and position % self.snapshot_every == 0
         ):
-            stats.snapshot_paths.append(self.snapshot_now())
+            if obs.enabled:
+                with obs.span("stream_snapshot_seconds"):
+                    path = self.snapshot_now()
+            else:
+                path = self.snapshot_now()
+            stats.snapshot_paths.append(path)
 
     def snapshot_now(self) -> Path:
         """Checkpoint the first consumer immediately (crash-safe write)."""
@@ -190,8 +244,13 @@ class StreamProcessor:
         checkpoint replaces the first consumer — read it back from
         ``processor.consumers[0]`` afterwards — and exactly the
         ``n_trees`` trees it already absorbed are skipped, so the
-        finished synopsis is identical to an uninterrupted run.  With no
-        checkpoint on disk this is simply :meth:`run`.
+        finished synopsis is identical to an uninterrupted run.  Flush,
+        checkpoint and snapshot boundaries — and the ``on_checkpoint``
+        argument — are offset by the restored tree count, so the resumed
+        run fires events at the same *absolute* stream positions as an
+        uninterrupted run (read them off
+        :attr:`ProcessingStats.stream_position`).  With no checkpoint on
+        disk this is simply :meth:`run`.
 
         Any additional consumers are *not* restored; they see only the
         suffix of the stream.  Keep auxiliary consumers out of resumed
@@ -209,6 +268,4 @@ class StreamProcessor:
         skipped = 0
         while skipped < skip and next(iterator, None) is not None:
             skipped += 1
-        stats = self.run(iterator)
-        stats.resumed_from = skipped
-        return stats
+        return self._run(iterator, resumed_from=skipped)

@@ -67,6 +67,59 @@ class TestExpansion:
         assert (Count(A_B) * Count(A_C) + Count(B_C)).max_degree() == 2
 
 
+class TestCanonicalTermKey:
+    """``expand()`` sorts each term's atoms by a Prüfer-derived key so
+    commuted products combine regardless of the nesting shapes of the
+    factors (structural tuple comparison is shape-sensitive and, in
+    general, not a total order over heterogeneous nestings)."""
+
+    # Patterns of deliberately divergent shapes: a bare edge, a chain,
+    # and a branching pattern.
+    EDGE = ("A", (("B", ()),))
+    CHAIN = ("A", (("B", (("C", ()),)),))
+    BRANCH = ("A", (("B", ()), ("C", ())))
+    DEEP = ("X", (("A", (("B", ()),)),))
+
+    def all_patterns(self):
+        return [self.EDGE, self.CHAIN, self.BRANCH, self.DEEP]
+
+    def test_key_is_injective_over_distinct_patterns(self):
+        from repro.core.expressions import canonical_pattern_key
+
+        keys = [canonical_pattern_key(p) for p in self.all_patterns()]
+        assert len(set(keys)) == len(keys)
+
+    def test_key_components_are_homogeneous(self):
+        from repro.core.expressions import canonical_pattern_key
+
+        for pattern in self.all_patterns():
+            lps, nps = canonical_pattern_key(pattern)
+            assert all(isinstance(label, str) for label in lps)
+            assert all(isinstance(number, int) for number in nps)
+
+    def test_commuted_heterogeneous_products_cancel(self):
+        # q1*q2 - q2*q1 must expand to nothing, for every shape pairing.
+        patterns = self.all_patterns()
+        for i, p in enumerate(patterns):
+            for q in patterns[i + 1 :]:
+                expression = Count(p) * Count(q) - Count(q) * Count(p)
+                assert expression.expand() == []
+
+    def test_commuted_triple_products_combine(self):
+        forward = Count(self.EDGE) * Count(self.CHAIN) * Count(self.BRANCH)
+        backward = Count(self.BRANCH) * Count(self.CHAIN) * Count(self.EDGE)
+        assert (forward + backward).expand() == [
+            (2, forward.expand()[0][1])
+        ]
+
+    def test_expand_deterministic_across_factor_orders(self):
+        # The canonical key fixes one atom order per term, whatever
+        # order the factors were written in.
+        left = (Count(self.DEEP) * Count(self.EDGE)).expand()
+        right = (Count(self.EDGE) * Count(self.DEEP)).expand()
+        assert left == right
+
+
 class TestStringParsing:
     def test_simple_sum(self):
         from repro.core import parse_expression

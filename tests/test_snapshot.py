@@ -434,6 +434,72 @@ class TestStreamProcessorRecovery:
         assert len(stats.snapshot_paths) == len(STREAM) // 6
         assert all(Path(p).exists() for p in stats.snapshot_paths)
 
+    @settings(max_examples=12, deadline=None)
+    @given(
+        crash_at=st.integers(min_value=1, max_value=len(STREAM) - 1),
+        every=st.integers(min_value=2, max_value=9),
+    )
+    def test_resume_matches_uninterrupted_events(self, crash_at, every):
+        """Resume == uninterrupted, end to end: final synopsis state,
+        checkpoint-callback arguments, and snapshot file names all match
+        the run that never crashed — for any crash point and cadence.
+
+        Before the boundary-alignment fix this failed whenever the
+        newest checkpoint held a tree count that was not a multiple of
+        ``every`` (and, even on multiples, the resumed callbacks
+        reported relative positions).
+        """
+        import tempfile
+
+        trees = [from_sexpr(text) for text in STREAM]
+
+        with tempfile.TemporaryDirectory() as full_dir:
+            manager = CheckpointManager(Path(full_dir), keep_last=50)
+            full = StreamProcessor(
+                [SketchTree(BASE)],
+                checkpoint_every=every,
+                on_checkpoint=lambda n: n,
+                snapshot_every=every,
+                checkpoints=manager,
+            )
+            full_stats = full.run(trees)
+            full_names = [p.name for p in full_stats.snapshot_paths]
+            uninterrupted = full.consumers[0]
+
+        with tempfile.TemporaryDirectory() as crash_dir:
+            manager = CheckpointManager(Path(crash_dir), keep_last=50)
+            crashed = StreamProcessor(
+                [SketchTree(BASE)],
+                checkpoint_every=every,
+                on_checkpoint=lambda n: n,
+                snapshot_every=every,
+                checkpoints=manager,
+            )
+            crash_stats = crashed.run(trees[:crash_at])
+
+            recovered = StreamProcessor(
+                [SketchTree(BASE)],
+                checkpoint_every=every,
+                on_checkpoint=lambda n: n,
+                snapshot_every=every,
+                checkpoints=manager,
+            )
+            stats = recovered.resume(trees)
+
+            assert stats.resumed_from == (crash_at // every) * every
+            assert stats.stream_position == len(trees)
+            # Callback arguments are absolute: pre-crash events plus the
+            # resumed ones reconstruct the uninterrupted sequence.
+            assert (
+                crash_stats.checkpoint_results + stats.checkpoint_results
+                == full_stats.checkpoint_results
+            )
+            # Snapshot files are written at the same tree counts.
+            crash_names = [p.name for p in crash_stats.snapshot_paths]
+            resumed_names = [p.name for p in stats.snapshot_paths]
+            assert crash_names + resumed_names == full_names
+            assert_same_state(uninterrupted, recovered.consumers[0])
+
 
 class TestTopKSnapshotRestore:
     def make_tracker(self):

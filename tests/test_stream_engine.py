@@ -93,3 +93,99 @@ class TestStreamProcessor:
         )
         StreamProcessor([synopsis]).run(trees(5))
         assert synopsis.n_trees == 5
+
+
+class TestResumeEventAlignment:
+    """Resumed runs fire events at *absolute* stream positions.
+
+    Before the fix, `resume()` reset the tree counter to zero, so a run
+    restored from a checkpoint holding ``r`` trees fired its first
+    checkpoint after ``checkpoint_every`` *additional* trees — at
+    absolute position ``r + every`` instead of the next multiple of
+    ``every``.  Any checkpoint written off-schedule (``snapshot_now()``,
+    e.g. the CLI's end-of-run save) made every subsequent resumed event
+    misaligned.
+    """
+
+    def config(self):
+        from repro import SketchTreeConfig
+
+        return SketchTreeConfig(
+            s1=12, s2=3, max_pattern_edges=2, n_virtual_streams=13, seed=5
+        )
+
+    def test_stream_position_offsets_by_resumed_from(self):
+        from repro.stream.engine import ProcessingStats
+
+        assert ProcessingStats().stream_position == 0
+        assert ProcessingStats(n_trees=5, resumed_from=7).stream_position == 12
+
+    def test_checkpoints_fire_at_absolute_positions(self, tmp_path):
+        from repro import SketchTree
+        from repro.core.snapshot import CheckpointManager
+
+        manager = CheckpointManager(tmp_path)
+        first = StreamProcessor([SketchTree(self.config())], checkpoints=manager)
+        first.run(trees(7))
+        first.snapshot_now()  # off-schedule checkpoint at 7 trees
+
+        seen = []
+        resumed = StreamProcessor(
+            [SketchTree(self.config())],
+            checkpoint_every=5,
+            on_checkpoint=lambda n: seen.append(n) or n,
+            checkpoints=manager,
+        )
+        stats = resumed.resume(trees(20))
+        assert stats.resumed_from == 7
+        assert stats.n_trees == 13
+        assert stats.stream_position == 20
+        # Absolute multiples of 5 — not 12/17, the pre-fix offsets.
+        assert seen == [10, 15, 20]
+        assert stats.checkpoint_results == [10, 15, 20]
+
+    def test_resumed_snapshots_fire_at_absolute_positions(self, tmp_path):
+        from repro import SketchTree
+        from repro.core.snapshot import CheckpointManager
+
+        manager = CheckpointManager(tmp_path, keep_last=10)
+        first = StreamProcessor([SketchTree(self.config())], checkpoints=manager)
+        first.run(trees(7))
+        first.snapshot_now()
+
+        resumed = StreamProcessor(
+            [SketchTree(self.config())],
+            snapshot_every=6,
+            checkpoints=manager,
+        )
+        stats = resumed.resume(trees(24))
+        # Snapshot filenames encode the synopsis tree count: 12, 18, 24.
+        names = [p.name for p in stats.snapshot_paths]
+        assert names == [
+            "checkpoint-000000000012.sktsnap",
+            "checkpoint-000000000018.sktsnap",
+            "checkpoint-000000000024.sktsnap",
+        ]
+
+    def test_resumed_batches_respect_absolute_boundaries(self, tmp_path):
+        from repro import SketchTree
+        from repro.core.snapshot import CheckpointManager
+
+        manager = CheckpointManager(tmp_path)
+        first = StreamProcessor([SketchTree(self.config())], checkpoints=manager)
+        first.run(trees(7))
+        first.snapshot_now()
+
+        seen = []
+        resumed = StreamProcessor(
+            [SketchTree(self.config())],
+            checkpoint_every=5,
+            on_checkpoint=lambda n: seen.append(n),
+            batch_trees=4,
+            checkpoints=manager,
+        )
+        stats = resumed.resume(trees(20))
+        assert stats.resumed_from == 7
+        # With batching the flush limit is also expressed in absolute
+        # coordinates: no micro-batch straddles a multiple of 5.
+        assert seen == [10, 15, 20]

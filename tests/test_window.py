@@ -1,6 +1,9 @@
 """Tests for sliding-window pattern counting."""
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import SketchTreeConfig, WindowedSketchTree
 from repro.errors import ConfigError
@@ -93,3 +96,88 @@ class TestWindowSemantics:
     def test_repr(self):
         window = WindowedSketchTree(CONFIG, window_trees=10, bucket_trees=5)
         assert "WindowedSketchTree" in repr(window)
+
+
+class TestUpdateBatch:
+    """``update_batch`` must respect bucket boundaries bit-identically.
+
+    A batch that straddles a bucket boundary has to be cut so each
+    bucket's synopsis receives exactly the trees the per-tree loop would
+    have given it — otherwise rotation happens at the wrong tree and the
+    window covers the wrong suffix of the stream.
+    """
+
+    TREES = [
+        from_sexpr(text)
+        for text in ["(E (E1))", "(L (L1))", "(A (B) (C))", "(A (B (C)))"] * 5
+    ]
+
+    @staticmethod
+    def bucket_states(window):
+        """Per-live-bucket sketch counters, oldest bucket first."""
+        return [
+            {
+                residue: matrix.counters.copy()
+                for residue, matrix in bucket.streams.iter_sketches()
+            }
+            for bucket in window._live_buckets()
+        ]
+
+    def assert_same_window_state(self, a, b):
+        assert a.n_trees_seen == b.n_trees_seen
+        assert a.n_live_buckets == b.n_live_buckets
+        left, right = self.bucket_states(a), self.bucket_states(b)
+        assert len(left) == len(right)
+        for bucket_a, bucket_b in zip(left, right):
+            assert bucket_a.keys() == bucket_b.keys()
+            for residue, counters in bucket_a.items():
+                assert np.array_equal(counters, bucket_b[residue])
+
+    def test_single_batch_across_boundaries(self):
+        per_tree = WindowedSketchTree(CONFIG, window_trees=8, bucket_trees=4)
+        batched = WindowedSketchTree(CONFIG, window_trees=8, bucket_trees=4)
+        for tree in self.TREES:
+            per_tree.update(tree)
+        batched.update_batch(self.TREES)  # spans four full rotations
+        self.assert_same_window_state(per_tree, batched)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=9), max_size=8))
+    def test_any_chunking_bit_identical(self, chunk_sizes):
+        per_tree = WindowedSketchTree(CONFIG, window_trees=6, bucket_trees=3)
+        batched = WindowedSketchTree(CONFIG, window_trees=6, bucket_trees=3)
+        position = 0
+        for size in chunk_sizes:
+            chunk = self.TREES[position : position + size]
+            position += len(chunk)
+            for tree in chunk:
+                per_tree.update(tree)
+            batched.update_batch(chunk)
+        self.assert_same_window_state(per_tree, batched)
+        for query in ["(E (E1))", "(A (B))"]:
+            assert per_tree.estimate_ordered(query) == batched.estimate_ordered(
+                query
+            )
+
+    def test_ingest_chunks_through_update_batch(self):
+        looped = WindowedSketchTree(CONFIG, window_trees=8, bucket_trees=4)
+        ingested = WindowedSketchTree(CONFIG, window_trees=8, bucket_trees=4)
+        for tree in self.TREES:
+            looped.update(tree)
+        ingested.ingest(self.TREES, batch_trees=7)
+        self.assert_same_window_state(looped, ingested)
+
+    def test_ingest_rejects_bad_batch_trees(self):
+        window = WindowedSketchTree(CONFIG, window_trees=8, bucket_trees=4)
+        with pytest.raises(ConfigError):
+            window.ingest(self.TREES, batch_trees=0)
+
+    def test_stream_processor_batches_into_window(self):
+        from repro.stream import StreamProcessor
+
+        per_tree = WindowedSketchTree(CONFIG, window_trees=6, bucket_trees=3)
+        batched = WindowedSketchTree(CONFIG, window_trees=6, bucket_trees=3)
+        for tree in self.TREES:
+            per_tree.update(tree)
+        StreamProcessor([batched], batch_trees=5).run(self.TREES)
+        self.assert_same_window_state(per_tree, batched)
