@@ -27,6 +27,7 @@ batched pairing fold.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Iterable, Sequence
 
@@ -42,7 +43,7 @@ from repro.trees.tree import Nested
 DEFAULT_CACHE_LIMIT = 1 << 20
 
 
-class PatternEncoder:
+class PatternEncoder:  # sketchlint: thread-safe
     """Maps nested-tuple patterns to one-dimensional integer values.
 
     Deterministic given ``(mapping, degree, seed)``; two encoders built
@@ -50,6 +51,12 @@ class PatternEncoder:
     query-time encoder reproduce stream-time values.  ``cache_limit``
     bounds the LRU memo (``None`` = unbounded); it is purely a
     performance knob and never affects encoded values.
+
+    Thread-safe: one mutex serialises the whole probe → encode → insert →
+    stats sequence, taken **once per call** — so :meth:`encode_batch`
+    pays a single uncontended acquire per batch on the ingest hot path
+    (see docs/concurrency.md).  The lock also confines the lazy tables
+    inside the owned :class:`RabinFingerprint` / :class:`LabelHasher`.
     """
 
     def __init__(
@@ -74,6 +81,7 @@ class PatternEncoder:
             self._sequence_fp = None
             self._labels = LabelHasher("enumerate")
         self._cache: OrderedDict[Nested, int] = OrderedDict()
+        self._lock = threading.Lock()
         #: Lifetime LRU accounting (plain ints, always on — one addition
         #: per encode call; surfaced as pull counters by repro.obs).
         self.cache_hits = 0
@@ -81,18 +89,19 @@ class PatternEncoder:
 
     def encode(self, pattern: Nested) -> int:
         """The one-dimensional value of a pattern (LRU-memoised)."""
-        cache = self._cache
-        value = cache.get(pattern)
-        if value is None:
-            self.cache_misses += 1
-            value = self._encode_distinct([pattern])[0]
-            self._remember(pattern, value)
-        else:
-            self.cache_hits += 1
-            cache.move_to_end(pattern)
-        return value
+        with self._lock:
+            cache = self._cache
+            value = cache.get(pattern)
+            if value is None:
+                self.cache_misses += 1
+                value = self._encode_distinct([pattern])[0]
+                self._remember(pattern, value)
+            else:
+                self.cache_hits += 1
+                cache.move_to_end(pattern)
+            return value
 
-    def _remember(self, pattern: Nested, value: int) -> None:
+    def _remember(self, pattern: Nested, value: int) -> None:  # sketchlint: guarded-by=_lock
         cache = self._cache
         cache[pattern] = value
         if self.cache_limit is not None and len(cache) > self.cache_limit:
@@ -121,30 +130,34 @@ class PatternEncoder:
         the values :meth:`encode` would (tested bit-identical); only the
         LRU's internal recency order may differ, which affects eviction
         choices but never a value.
+
+        The mutex is taken once for the whole batch, so the per-pattern
+        cost of thread safety is amortised to nothing on the hot path.
         """
         patterns = patterns if isinstance(patterns, list) else list(patterns)
         # Placeholder zeros are always overwritten: every index is either
         # a cache hit (filled now) or recorded in `misses` (filled below).
         values: list[int] = [0] * len(patterns)
         misses: dict[Nested, list[int]] = {}
-        cache = self._cache
-        for index, pattern in enumerate(patterns):
-            value = cache.get(pattern)
-            if value is None:
-                misses.setdefault(pattern, []).append(index)
-            else:
-                cache.move_to_end(pattern)
-                values[index] = value
-        n_missed = 0
-        if misses:
-            n_missed = sum(len(indices) for indices in misses.values())
-            fresh = self._encode_distinct(list(misses))
-            for pattern, value in zip(misses, fresh):
-                self._remember(pattern, value)
-                for index in misses[pattern]:
+        with self._lock:
+            cache = self._cache
+            for index, pattern in enumerate(patterns):
+                value = cache.get(pattern)
+                if value is None:
+                    misses.setdefault(pattern, []).append(index)
+                else:
+                    cache.move_to_end(pattern)
                     values[index] = value
-        self.cache_hits += len(patterns) - n_missed
-        self.cache_misses += n_missed
+            n_missed = 0
+            if misses:
+                n_missed = sum(len(indices) for indices in misses.values())
+                fresh = self._encode_distinct(list(misses))
+                for pattern, value in zip(misses, fresh):
+                    self._remember(pattern, value)
+                    for index in misses[pattern]:
+                        values[index] = value
+            self.cache_hits += len(patterns) - n_missed
+            self.cache_misses += n_missed
         return values
 
     def encode_many(self, patterns) -> list[int]:

@@ -80,7 +80,7 @@ def coerce_pattern(query) -> Nested:
     raise QueryError(f"cannot interpret {type(query).__name__} as a tree pattern")
 
 
-class SketchTree:
+class SketchTree:  # sketchlint: single-writer
     """The streaming synopsis for approximate tree pattern counts.
 
     >>> st = SketchTree(SketchTreeConfig(s1=30, s2=5, max_pattern_edges=3,
@@ -89,6 +89,19 @@ class SketchTree:
     >>> st.update(from_sexpr("(A (B) (C))"))
     >>> round(st.estimate_ordered("(A (B))"))
     1
+
+    **Thread-ownership contract (single-writer).**  One ingest thread
+    owns all mutation of a synopsis (``update*``, ``ingest*``,
+    ``delete_tree``); any number of threads may call ``estimate_*``
+    concurrently with it.  Concurrent reads of the int64 counters are
+    racy but benign: an estimate computed mid-batch is an estimate of a
+    valid prefix of the stream, because counter updates are pure
+    additions (AMS linearity) — there is no invalid intermediate state
+    to observe.  The internally locked components (the pattern encoder,
+    per-stream top-k trackers, metrics) stay consistent on their own.
+    Cross-thread *combination* happens only through :meth:`merge` over
+    quiesced shards, or through snapshots.  See docs/concurrency.md for
+    the full model; sketchlint's SKL2xx phase enforces the declarations.
     """
 
     def __init__(
@@ -677,6 +690,14 @@ class SketchTree:
 
         Top-k state cannot be merged soundly (deletions are per-synopsis
         estimates), so merging requires ``topk_size = 0``.
+
+        This is the cross-thread combination point of the serving tier:
+        each shard's ingest thread owns its synopsis; a query/admin
+        thread merges *quiesced* shards (no in-flight updates) into a
+        fresh synopsis.  Because counters are exact int64 sums and every
+        shard shares one ξ family, the merge is bit-identical to a
+        single-threaded run over the concatenated stream (AMS
+        linearity) — pinned by ``tests/test_thread_safety.py``.
         """
         if other.config != self.config:
             raise ConfigError("can only merge synopses with identical configs")

@@ -52,6 +52,7 @@ import hashlib
 import io
 import json
 import os
+import threading
 import time
 import zipfile
 from dataclasses import asdict
@@ -289,6 +290,9 @@ def _restore_trackers(synopsis: SketchTree, header: dict[str, Any]) -> None:
                 f"snapshot tracker stream {residue} outside "
                 f"[0, {synopsis.config.n_virtual_streams})"
             )
+        # tracker() is non-allocating; make sure the stream (and with it
+        # the tracker) exists even if the payload carried no counters.
+        synopsis.streams.sketch(residue)
         tracker = synopsis.streams.tracker(residue)
         assert tracker is not None  # topk_size checked above
         try:
@@ -394,7 +398,7 @@ def load_snapshot(
     return synopsis
 
 
-class CheckpointManager:
+class CheckpointManager:  # sketchlint: thread-safe
     """Crash-safe, keep-last-N checkpoint directory for one synopsis run.
 
     Checkpoints are snapshot files named ``<prefix>-<n_trees>`` (zero
@@ -402,6 +406,10 @@ class CheckpointManager:
     :func:`save_snapshot`.  Retention keeps the newest ``keep_last``
     files; recovery loads the newest checkpoint that validates, falling
     back to older ones if the newest is damaged.
+
+    Thread-safe: one mutex serialises save → prune → recover over the
+    directory, so a recovery scan never races retention's unlinks and
+    two admin threads cannot interleave a save and a prune.
 
     ``metrics`` (``None`` → the process default, a no-op) records
     save/load durations and byte totals — timing lives here at the call
@@ -428,6 +436,10 @@ class CheckpointManager:
         self.keep_last = keep_last
         self.prefix = prefix
         self.metrics = metrics if metrics is not None else get_default_registry()
+        self._lock = threading.Lock()
+        #: Lifetime checkpoint saves through this manager (introspection;
+        #: surfaced as a pull counter by callers that care).
+        self.n_saves = 0
         self.directory.mkdir(parents=True, exist_ok=True)
 
     def paths(self) -> list[Path]:
@@ -443,27 +455,33 @@ class CheckpointManager:
         """Checkpoint ``synopsis`` now and prune to ``keep_last`` files."""
         name = f"{self.prefix}-{synopsis.n_trees:012d}{self.SUFFIX}"
         obs = self.metrics
-        if not obs.enabled:
-            path = save_snapshot(synopsis, self.directory / name)
-        else:
-            start = time.perf_counter()
-            path = save_snapshot(synopsis, self.directory / name)
-            obs.histogram("snapshot_save_seconds").observe(
-                time.perf_counter() - start
-            )
-            size = path.stat().st_size
-            obs.histogram(
-                "snapshot_save_bytes", buckets=BYTE_BUCKETS
-            ).observe(size)
-            obs.counter(
-                "snapshot_save_bytes_total",
-                help="bytes written by checkpoint saves",
-            ).inc(size)
-        self.prune()
+        with self._lock:
+            if not obs.enabled:
+                path = save_snapshot(synopsis, self.directory / name)
+            else:
+                start = time.perf_counter()
+                path = save_snapshot(synopsis, self.directory / name)
+                obs.histogram("snapshot_save_seconds").observe(
+                    time.perf_counter() - start
+                )
+                size = path.stat().st_size
+                obs.histogram(
+                    "snapshot_save_bytes", buckets=BYTE_BUCKETS
+                ).observe(size)
+                obs.counter(
+                    "snapshot_save_bytes_total",
+                    help="bytes written by checkpoint saves",
+                ).inc(size)
+            self.n_saves += 1
+            self._prune()
         return path
 
     def prune(self) -> None:
         """Delete all but the newest ``keep_last`` checkpoints."""
+        with self._lock:
+            self._prune()
+
+    def _prune(self) -> None:  # sketchlint: guarded-by=_lock
         for stale in self.paths()[: -self.keep_last]:
             stale.unlink(missing_ok=True)
 
@@ -500,11 +518,12 @@ class CheckpointManager:
         from scratch and undercount.
         """
         failures: list[tuple[Path, SnapshotError]] = []
-        for path in reversed(self.paths()):
-            try:
-                return self.load(path, expected_config)
-            except SnapshotError as exc:
-                failures.append((path, exc))
+        with self._lock:
+            for path in reversed(self.paths()):
+                try:
+                    return self.load(path, expected_config)
+                except SnapshotError as exc:
+                    failures.append((path, exc))
         if failures:
             names = ", ".join(path.name for path, _ in failures)
             raise SnapshotIntegrityError(

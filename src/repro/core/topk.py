@@ -27,6 +27,7 @@ counters (the paper's modification of Algorithm 2).
 from __future__ import annotations
 
 import heapq
+import threading
 from typing import Iterable, Mapping
 
 import numpy as np
@@ -35,7 +36,7 @@ from repro.errors import ConfigError
 from repro.sketch.ams import SketchMatrix
 
 
-class TopKTracker:
+class TopKTracker:  # sketchlint: thread-safe
     """Top-k frequent-value tracking bound to one sketch matrix.
 
     Parameters
@@ -46,6 +47,11 @@ class TopKTracker:
         The :class:`SketchMatrix` this tracker deletes from / adds back
         to.  With virtual streams there is one tracker per stream
         (Section 5.3's combination note).
+
+    Thread-safe: one mutex serialises Algorithm 4's transitions with the
+    query-time :meth:`adjustment` and the :meth:`snapshot` /
+    :meth:`restore` pair, so the delete-condition invariant (tracked
+    frequency ⇔ deleted occurrences) is never observed half-applied.
     """
 
     def __init__(self, size: int, sketch: SketchMatrix):
@@ -55,6 +61,7 @@ class TopKTracker:
         self.sketch = sketch
         self._freq: dict[int, int] = {}  # the paper's L and H values
         self._heap: list[tuple[int, int]] = []  # (freq, value); lazy deletion
+        self._lock = threading.Lock()
         #: Lifetime churn accounting (plain ints, always on — surfaced as
         #: pull counters by repro.obs; not part of snapshot state).
         self.n_evictions = 0
@@ -69,6 +76,10 @@ class TopKTracker:
         ξ(value) is evaluated once and reused for the add-back, the
         estimate, and the deletion — the hot path of bulk construction.
         """
+        with self._lock:
+            self._process(value)
+
+    def _process(self, value: int) -> None:  # sketchlint: guarded-by=_lock
         sketch = self.sketch
         signs = sketch.xi.xi(value)
         tracked = self._freq.pop(value, None)
@@ -95,8 +106,9 @@ class TopKTracker:
         sketch.counters -= estimate * signs
 
     def process_many(self, values: Iterable[int]) -> None:
-        for value in values:
-            self.process(value)
+        with self._lock:
+            for value in values:
+                self._process(value)
 
     def bulk_build(self, values: list[int], candidate_factor: int = 2) -> None:
         """Emulate the end-of-stream tracker state over distinct values.
@@ -111,15 +123,16 @@ class TopKTracker:
         if not values:
             return
         arr = self.sketch.xi.to_field(values, count=len(values))
-        estimates = self.sketch.estimate_batch(arr)
-        order = np.argsort(-estimates)
-        limit = min(len(values), candidate_factor * self.size)
-        for index in order[:limit]:
-            if estimates[index] <= 0:
-                break
-            self.process(values[int(index)])
+        with self._lock:
+            estimates = self.sketch.estimate_batch(arr)
+            order = np.argsort(-estimates)
+            limit = min(len(values), candidate_factor * self.size)
+            for index in order[:limit]:
+                if estimates[index] <= 0:
+                    break
+                self._process(values[int(index)])
 
-    def _prune(self) -> None:
+    def _prune(self) -> None:  # sketchlint: guarded-by=_lock
         """Drop heap entries invalidated by untracking / re-insertion."""
         heap = self._heap
         while heap and self._freq.get(heap[0][1]) != heap[0][0]:
@@ -134,13 +147,14 @@ class TopKTracker:
         ``None`` when no queried value is tracked (the common case) so
         callers can skip the add.
         """
-        relevant = [(q, self._freq[q]) for q in dict.fromkeys(query_values)
-                    if q in self._freq]
-        if not relevant:
-            return None
-        signs = self.sketch.xi.xi_values([q for q, _ in relevant])
-        freqs = np.asarray([f for _, f in relevant], dtype=np.int64)
-        return signs @ freqs
+        with self._lock:
+            relevant = [(q, self._freq[q]) for q in dict.fromkeys(query_values)
+                        if q in self._freq]
+            if not relevant:
+                return None
+            signs = self.sketch.xi.xi_values([q for q, _ in relevant])
+            freqs = np.asarray([f for _, f in relevant], dtype=np.int64)
+            return signs @ freqs
 
     # ------------------------------------------------------------------
     # Persistence
@@ -152,7 +166,8 @@ class TopKTracker:
         sketch's counters (from which exactly these frequencies have been
         deleted) it captures everything :meth:`restore` needs.
         """
-        return dict(self._freq)
+        with self._lock:
+            return dict(self._freq)
 
     def restore(self, state: Mapping[int, int]) -> None:
         """Install state captured by :meth:`snapshot`, replacing any
@@ -183,9 +198,11 @@ class TopKTracker:
             raise ConfigError(
                 f"state tracks {len(freq)} values, tracker size is {self.size}"
             )
-        self._freq = freq
-        self._heap = [(count, value) for value, count in freq.items()]
-        heapq.heapify(self._heap)
+        heap = [(count, value) for value, count in freq.items()]
+        heapq.heapify(heap)
+        with self._lock:
+            self._freq = freq
+            self._heap = heap
 
     # ------------------------------------------------------------------
     # Introspection
@@ -193,7 +210,8 @@ class TopKTracker:
     @property
     def tracked(self) -> dict[int, int]:
         """Copy of the tracked value → deleted-frequency map."""
-        return dict(self._freq)
+        with self._lock:
+            return dict(self._freq)
 
     @property
     def n_tracked(self) -> int:

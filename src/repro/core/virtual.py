@@ -51,8 +51,14 @@ def next_prime(n: int) -> int:
     return candidate
 
 
-class VirtualStreams:
+class VirtualStreams:  # sketchlint: single-writer
     """``p`` lazily-allocated per-residue sketch matrices + top-k trackers.
+
+    Single-writer: the owning shard's ingest thread performs all
+    allocation and counter mutation; query threads only combine already
+    allocated counters (see docs/concurrency.md).  :meth:`tracker` is
+    deliberately non-allocating so the query path never mutates the
+    stream table.
 
     Parameters
     ----------
@@ -160,11 +166,15 @@ class VirtualStreams:
         self.sketch(residue).counters = counters.astype(np.int64).copy()
 
     def tracker(self, residue: int) -> TopKTracker | None:
-        """The stream's top-k tracker, or ``None`` when disabled/unused."""
+        """The stream's top-k tracker, or ``None`` when disabled/unused.
+
+        Non-allocating: an unallocated stream has tracked nothing, so
+        queries get ``None`` (no compensation) without mutating the
+        stream table — ingest allocates via :meth:`sketch` first.
+        """
         if not self.topk_size:
             return None
-        self.sketch(residue)  # ensure allocated
-        return self._trackers[residue]
+        return self._trackers.get(residue)
 
     # ------------------------------------------------------------------
     # Query-side combination

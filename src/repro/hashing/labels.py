@@ -20,8 +20,11 @@ from repro.hashing.rabin import RabinFingerprint
 _MODES = ("rabin", "enumerate")
 
 
-class LabelHasher:
+class LabelHasher:  # sketchlint: thread-confined
     """Maps label strings to non-negative integers, deterministically.
+
+    Thread-confined: the enumeration cache mutates only under the owning
+    encoder's critical section (see docs/concurrency.md).
 
     Parameters
     ----------

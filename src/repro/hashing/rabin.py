@@ -26,8 +26,12 @@ from repro.hashing.gf2 import gf2_degree, gf2_mod, is_irreducible, random_irredu
 DEFAULT_DEGREE = 31
 
 
-class RabinFingerprint:
+class RabinFingerprint:  # sketchlint: thread-confined
     """Fingerprints of byte strings / integer sequences modulo ``p_irr``.
+
+    Thread-confined: the lazily grown position tables are serialised by
+    the owning :class:`~repro.core.encoding.PatternEncoder`'s lock; a
+    fingerprint is never shared across encoders.
 
     Parameters
     ----------

@@ -34,6 +34,7 @@ or rebuilt synopsis take over its gauges.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Callable, Iterator
@@ -76,10 +77,15 @@ BYTE_BUCKETS: tuple[float, ...] = tuple(
 )
 
 
-class Counter:
-    """A monotonically increasing total (or a pull callback thereof)."""
+class Counter:  # sketchlint: thread-safe
+    """A monotonically increasing total (or a pull callback thereof).
 
-    __slots__ = ("name", "help", "_value", "_fn")
+    ``inc`` is atomic under the instrument's own lock, so totals are
+    exact even when every thread in the process increments the same
+    counter (pinned by ``tests/test_thread_safety.py``).
+    """
+
+    __slots__ = ("name", "help", "_value", "_fn", "_lock")
 
     def __init__(
         self, name: str, help: str = "", fn: Callable[[], float] | None = None
@@ -88,9 +94,16 @@ class Counter:
         self.help = help
         self._value = 0.0
         self._fn = fn
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1) -> None:
-        self._value += amount
+        with self._lock:
+            self._value += amount
+
+    def rebind(self, fn: Callable[[], float]) -> None:
+        """Atomically rebind a pull counter's callback (last owner wins)."""
+        with self._lock:
+            self._fn = fn
 
     @property
     def value(self) -> float:
@@ -100,10 +113,10 @@ class Counter:
         return self._value
 
 
-class Gauge:
+class Gauge:  # sketchlint: thread-safe
     """A point-in-time value, set directly or pulled from a callback."""
 
-    __slots__ = ("name", "help", "_value", "_fn")
+    __slots__ = ("name", "help", "_value", "_fn", "_lock")
 
     def __init__(
         self, name: str, help: str = "", fn: Callable[[], float] | None = None
@@ -112,9 +125,16 @@ class Gauge:
         self.help = help
         self._value = 0.0
         self._fn = fn
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self._value = value
+        with self._lock:
+            self._value = value
+
+    def rebind(self, fn: Callable[[], float]) -> None:
+        """Atomically rebind a pull gauge's callback (last owner wins)."""
+        with self._lock:
+            self._fn = fn
 
     @property
     def value(self) -> float:
@@ -123,7 +143,7 @@ class Gauge:
         return self._value
 
 
-class Histogram:
+class Histogram:  # sketchlint: thread-safe
     """A fixed-bucket histogram over non-negative observations.
 
     ``buckets`` are the inclusive upper bounds (Prometheus ``le``
@@ -132,7 +152,9 @@ class Histogram:
     single ``searchsorted`` plus an increment.
     """
 
-    __slots__ = ("name", "help", "bounds", "bucket_counts", "total", "count")
+    __slots__ = (
+        "name", "help", "bounds", "bucket_counts", "total", "count", "_lock"
+    )
 
     def __init__(self, name: str, buckets: tuple[float, ...], help: str = ""):
         bounds = np.asarray(buckets, dtype=np.float64)
@@ -148,16 +170,19 @@ class Histogram:
         self.bucket_counts = np.zeros(len(bounds) + 1, dtype=np.int64)
         self.total = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         index = int(np.searchsorted(self.bounds, value, side="left"))
-        self.bucket_counts[index] += 1
-        self.total += float(value)
-        self.count += 1
+        with self._lock:
+            self.bucket_counts[index] += 1
+            self.total += float(value)
+            self.count += 1
 
     def cumulative(self) -> list[tuple[float, int]]:
         """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last."""
-        running = np.cumsum(self.bucket_counts)
+        with self._lock:
+            running = np.cumsum(self.bucket_counts)
         pairs = [
             (float(bound), int(running[i])) for i, bound in enumerate(self.bounds)
         ]
@@ -165,8 +190,13 @@ class Histogram:
         return pairs
 
 
-class Span:
-    """A ``with``-block timer recording its duration into a histogram."""
+class Span:  # sketchlint: thread-confined
+    """A ``with``-block timer recording its duration into a histogram.
+
+    Thread-confined by construction: a Span is created, entered, and
+    exited by one thread; only the Histogram it records into is shared
+    (and that is locked).
+    """
 
     __slots__ = ("_histogram", "_start")
 
@@ -208,12 +238,16 @@ class _NullInstrument:
 _NULL_INSTRUMENT = _NullInstrument()
 
 
-class MetricsRegistry:
+class MetricsRegistry:  # sketchlint: thread-safe
     """A live registry: instruments are created on first use by name.
 
     Re-requesting a name returns the existing instrument (its buckets
     and help text are fixed by the first registration); passing a new
     ``fn`` rebinds a pull instrument's callback (last owner wins).
+
+    Thread-safe: a registration lock makes each get-or-create atomic, so
+    two threads requesting the same name always receive the same
+    instrument; the instruments themselves carry their own locks.
     """
 
     enabled = True
@@ -222,27 +256,30 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     # -- instruments ---------------------------------------------------
     def counter(
         self, name: str, help: str = "", fn: Callable[[], float] | None = None
     ) -> Counter:
-        counter = self._counters.get(name)
-        if counter is None:
-            counter = self._counters[name] = Counter(name, help, fn)
-        elif fn is not None:
-            counter._fn = fn
-        return counter
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter(name, help, fn)
+            elif fn is not None:
+                counter.rebind(fn)
+            return counter
 
     def gauge(
         self, name: str, help: str = "", fn: Callable[[], float] | None = None
     ) -> Gauge:
-        gauge = self._gauges.get(name)
-        if gauge is None:
-            gauge = self._gauges[name] = Gauge(name, help, fn)
-        elif fn is not None:
-            gauge._fn = fn
-        return gauge
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge(name, help, fn)
+            elif fn is not None:
+                gauge.rebind(fn)
+            return gauge
 
     def histogram(
         self,
@@ -250,10 +287,11 @@ class MetricsRegistry:
         buckets: tuple[float, ...] = LATENCY_BUCKETS,
         help: str = "",
     ) -> Histogram:
-        histogram = self._histograms.get(name)
-        if histogram is None:
-            histogram = self._histograms[name] = Histogram(name, buckets, help)
-        return histogram
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(name, buckets, help)
+            return histogram
 
     def span(
         self, name: str, buckets: tuple[float, ...] = LATENCY_BUCKETS
@@ -263,13 +301,16 @@ class MetricsRegistry:
 
     # -- collection ----------------------------------------------------
     def all_counters(self) -> list[Counter]:
-        return [self._counters[name] for name in sorted(self._counters)]
+        with self._lock:
+            return [self._counters[name] for name in sorted(self._counters)]
 
     def all_gauges(self) -> list[Gauge]:
-        return [self._gauges[name] for name in sorted(self._gauges)]
+        with self._lock:
+            return [self._gauges[name] for name in sorted(self._gauges)]
 
     def all_histograms(self) -> list[Histogram]:
-        return [self._histograms[name] for name in sorted(self._histograms)]
+        with self._lock:
+            return [self._histograms[name] for name in sorted(self._histograms)]
 
 
 class NullRegistry:
@@ -322,6 +363,9 @@ NULL_REGISTRY = NullRegistry()
 
 _default_registry: Registry = NULL_REGISTRY
 
+#: Guards the process-wide default; swaps are rare and never on a hot path.
+_DEFAULT_LOCK = threading.Lock()
+
 
 def get_default_registry() -> Registry:
     """The registry newly-constructed components attach to by default."""
@@ -337,9 +381,10 @@ def set_default_registry(registry: Registry | None) -> Registry:
     ``SketchTree.set_metrics``).
     """
     global _default_registry
-    previous = _default_registry
-    _default_registry = registry if registry is not None else NULL_REGISTRY
-    return previous
+    with _DEFAULT_LOCK:
+        previous = _default_registry
+        _default_registry = registry if registry is not None else NULL_REGISTRY
+        return previous
 
 
 @contextmanager

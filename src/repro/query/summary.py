@@ -128,12 +128,15 @@ class _TrieNode:
         self.children: dict[str, _TrieNode] = {}
 
 
-class StructuralSummary:
+class StructuralSummary:  # sketchlint: single-writer
     """A dataguide: the trie of distinct root-to-node label paths.
 
     Build it online with :meth:`add_tree` as the stream flows, then call
     :meth:`resolve` to turn an extended query into the set of distinct
     parent-child patterns whose counts sum to the query's count.
+
+    Single-writer: the ingest thread owns all trie mutation; query
+    threads only read resolved paths (see docs/concurrency.md).
     """
 
     def __init__(self):

@@ -60,8 +60,12 @@ class ProcessingStats:
         return self.n_trees / self.elapsed_seconds
 
 
-class StreamProcessor:
+class StreamProcessor:  # sketchlint: single-writer
     """Feeds a tree stream into one or more synopses.
+
+    Single-writer: one thread drives :meth:`run`/:meth:`resume`; the
+    consumers it feeds follow the same ownership contract (see
+    docs/concurrency.md).
 
     Parameters
     ----------

@@ -1,0 +1,793 @@
+"""Tests for sketchlint's concurrency-safety phase (SKL201–SKL205), the
+deterministic baseline writer, and the ``--jobs`` parallel driver.
+
+Rule fixtures are mini-projects written to ``tmp_path`` and analysed
+under a *custom* :class:`ConcurrencyConfig`, so the tests control which
+qualnames are concurrent entrypoints.  The acceptance-mutation tests run
+the real analysis over the real ``src/`` tree with one lock surgically
+removed, pinning that the rules would catch exactly the regressions the
+locks exist to prevent.
+"""
+
+import random
+from pathlib import Path
+
+import pytest
+
+from tools.sketchlint.baseline import render_baseline
+from tools.sketchlint.engine import lint_paths_with_sources
+from tools.sketchlint.semantic import analyze_project
+from tools.sketchlint.semantic.callgraph import CallGraph
+from tools.sketchlint.semantic.concurrency import (
+    DEFAULT_CONFIG,
+    ConcurrencyConfig,
+    EntrypointGroup,
+    check_concurrency,
+)
+from tools.sketchlint.semantic.model import ProjectModel
+from tools.sketchlint.violations import Violation
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: One self-parallel group entering every Store method: the smallest
+#: model in which any unguarded shared write is a hazard.
+WORKERS = ConcurrencyConfig(
+    groups=(
+        EntrypointGroup("workers", ("app.store.Store.*",), parallel=True),
+    )
+)
+
+#: Two single-threaded groups touching the same class: hazards come from
+#: the *pair*, not from self-parallelism.
+WRITER_READER = ConcurrencyConfig(
+    groups=(
+        EntrypointGroup("writer", ("app.store.Store.put*",), parallel=False),
+        EntrypointGroup("reader", ("app.store.Store.get*",), parallel=False),
+    )
+)
+
+
+def write_project(tmp_path: Path, files: dict[str, str]) -> Path:
+    """Materialise ``relative path -> source`` as a package tree."""
+    root = tmp_path / "proj"
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+        for parent in path.parents:
+            if parent == root:
+                break
+            init = parent / "__init__.py"
+            if not init.exists():
+                init.write_text("", encoding="utf-8")
+    return root
+
+
+def run_concurrency(tmp_path, files, config):
+    root = write_project(tmp_path, files)
+    pairs = [
+        (path, path.read_text(encoding="utf-8"))
+        for path in sorted(root.rglob("*.py"))
+    ]
+    model = ProjectModel.build(pairs)
+    graph = CallGraph.build(model)
+    return check_concurrency(model, graph, config=config)
+
+
+def rules_of(violations):
+    return sorted({v.rule for v in violations})
+
+
+class TestSKL201UnguardedWrites:
+    def test_unguarded_write_from_parallel_group(self, tmp_path):
+        violations = run_concurrency(
+            tmp_path,
+            {
+                "app/store.py": (
+                    "class Store:\n"
+                    "    def __init__(self):\n"
+                    "        self._total = 0\n"
+                    "    def put(self, x):\n"
+                    "        self._total = x\n"
+                ),
+            },
+            WORKERS,
+        )
+        assert rules_of(violations) == ["SKL201"]
+        assert "Store._total" in violations[0].message
+
+    def test_two_single_threaded_groups_also_conflict(self, tmp_path):
+        violations = run_concurrency(
+            tmp_path,
+            {
+                "app/store.py": (
+                    "class Store:\n"
+                    "    def __init__(self):\n"
+                    "        self._total = 0\n"
+                    "    def put(self, x):\n"
+                    "        self._total = x\n"
+                    "    def get(self):\n"
+                    "        return self._total\n"
+                ),
+            },
+            WRITER_READER,
+        )
+        assert rules_of(violations) == ["SKL201"]
+
+    def test_lock_guarded_write_is_clean(self, tmp_path):
+        violations = run_concurrency(
+            tmp_path,
+            {
+                "app/store.py": (
+                    "import threading\n"
+                    "class Store:\n"
+                    "    def __init__(self):\n"
+                    "        self._total = 0\n"
+                    "        self._lock = threading.Lock()\n"
+                    "    def put(self, x):\n"
+                    "        with self._lock:\n"
+                    "            self._total = x\n"
+                ),
+            },
+            WORKERS,
+        )
+        assert violations == []
+
+    def test_constructor_writes_are_not_hazards(self, tmp_path):
+        violations = run_concurrency(
+            tmp_path,
+            {
+                "app/store.py": (
+                    "class Store:\n"
+                    "    def __init__(self):\n"
+                    "        self._total = 0\n"
+                    "    def get(self):\n"
+                    "        return self._total\n"
+                ),
+            },
+            WORKERS,
+        )
+        assert violations == []
+
+    def test_single_serial_group_is_not_a_hazard(self, tmp_path):
+        config = ConcurrencyConfig(
+            groups=(
+                EntrypointGroup("only", ("app.store.Store.*",), parallel=False),
+            )
+        )
+        violations = run_concurrency(
+            tmp_path,
+            {
+                "app/store.py": (
+                    "class Store:\n"
+                    "    def __init__(self):\n"
+                    "        self._total = 0\n"
+                    "    def put(self, x):\n"
+                    "        self._total = x\n"
+                ),
+            },
+            config,
+        )
+        assert violations == []
+
+    def test_write_in_helper_reached_through_entrypoint(self, tmp_path):
+        violations = run_concurrency(
+            tmp_path,
+            {
+                "app/store.py": (
+                    "class Store:\n"
+                    "    def __init__(self):\n"
+                    "        self._total = 0\n"
+                    "    def put(self, x):\n"
+                    "        self._apply(x)\n"
+                    "    def _apply(self, x):\n"
+                    "        self._total = x\n"
+                ),
+            },
+            ConcurrencyConfig(
+                groups=(
+                    EntrypointGroup(
+                        "workers", ("app.store.Store.put",), parallel=True
+                    ),
+                )
+            ),
+        )
+        assert rules_of(violations) == ["SKL201"]
+        assert "_apply" in violations[0].message
+
+    def test_guarded_by_annotation_discharges_the_write(self, tmp_path):
+        violations = run_concurrency(
+            tmp_path,
+            {
+                "app/store.py": (
+                    "import threading\n"
+                    "class Store:\n"
+                    "    def __init__(self):\n"
+                    "        self._total = 0\n"
+                    "        self._lock = threading.Lock()\n"
+                    "    def put(self, x):\n"
+                    "        with self._lock:\n"
+                    "            self._apply(x)\n"
+                    "    def _apply(self, x):  # sketchlint: guarded-by=_lock\n"
+                    "        self._total = x\n"
+                ),
+            },
+            WORKERS,
+        )
+        assert violations == []
+
+    def test_unguarded_module_global_write(self, tmp_path):
+        violations = run_concurrency(
+            tmp_path,
+            {
+                "app/state.py": (
+                    "_current = None\n"
+                    "def install(value):\n"
+                    "    global _current\n"
+                    "    _current = value\n"
+                ),
+            },
+            ConcurrencyConfig(
+                groups=(
+                    EntrypointGroup(
+                        "workers", ("app.state.install",), parallel=True
+                    ),
+                )
+            ),
+        )
+        assert rules_of(violations) == ["SKL201"]
+        assert "module global" in violations[0].message
+
+    def test_module_global_write_under_module_lock_is_clean(self, tmp_path):
+        violations = run_concurrency(
+            tmp_path,
+            {
+                "app/state.py": (
+                    "import threading\n"
+                    "_current = None\n"
+                    "_LOCK = threading.Lock()\n"
+                    "def install(value):\n"
+                    "    global _current\n"
+                    "    with _LOCK:\n"
+                    "        _current = value\n"
+                ),
+            },
+            ConcurrencyConfig(
+                groups=(
+                    EntrypointGroup(
+                        "workers", ("app.state.install",), parallel=True
+                    ),
+                )
+            ),
+        )
+        assert violations == []
+
+
+class TestSKL202CheckThenAct:
+    LRU = (
+        "class Store:\n"
+        "    def __init__(self):\n"
+        "        self._cache = {}\n"
+        "    def put(self, key):\n"
+        "        value = self._cache.get(key)\n"
+        "        if value is None:\n"
+        "            value = key * 2\n"
+        "            self._cache[key] = value\n"
+        "        return value\n"
+    )
+
+    def test_lru_get_miss_insert(self, tmp_path):
+        violations = run_concurrency(tmp_path, {"app/store.py": self.LRU}, WORKERS)
+        assert rules_of(violations) == ["SKL202"]
+        assert "check-then-act" in violations[0].message
+
+    def test_unguarded_increment(self, tmp_path):
+        violations = run_concurrency(
+            tmp_path,
+            {
+                "app/store.py": (
+                    "class Store:\n"
+                    "    def __init__(self):\n"
+                    "        self.hits = 0\n"
+                    "    def put(self):\n"
+                    "        self.hits += 1\n"
+                ),
+            },
+            WORKERS,
+        )
+        assert rules_of(violations) == ["SKL202"]
+        assert "read-modify-write" in violations[0].message
+
+    def test_probe_and_insert_under_one_lock_is_clean(self, tmp_path):
+        violations = run_concurrency(
+            tmp_path,
+            {
+                "app/store.py": (
+                    "import threading\n"
+                    "class Store:\n"
+                    "    def __init__(self):\n"
+                    "        self._cache = {}\n"
+                    "        self._lock = threading.Lock()\n"
+                    "    def put(self, key):\n"
+                    "        with self._lock:\n"
+                    "            value = self._cache.get(key)\n"
+                    "            if value is None:\n"
+                    "                value = key * 2\n"
+                    "                self._cache[key] = value\n"
+                    "        return value\n"
+                ),
+            },
+            WORKERS,
+        )
+        assert violations == []
+
+    def test_probe_and_insert_in_separate_lock_scopes_still_flagged(
+        self, tmp_path
+    ):
+        violations = run_concurrency(
+            tmp_path,
+            {
+                "app/store.py": (
+                    "import threading\n"
+                    "class Store:\n"
+                    "    def __init__(self):\n"
+                    "        self._cache = {}\n"
+                    "        self._lock = threading.Lock()\n"
+                    "    def put(self, key):\n"
+                    "        with self._lock:\n"
+                    "            value = self._cache.get(key)\n"
+                    "        if value is None:\n"
+                    "            value = key * 2\n"
+                    "            with self._lock:\n"
+                    "                self._cache[key] = value\n"
+                    "        return value\n"
+                ),
+            },
+            WORKERS,
+        )
+        assert rules_of(violations) == ["SKL202"]
+
+    def test_alias_of_attribute_is_tracked(self, tmp_path):
+        violations = run_concurrency(
+            tmp_path,
+            {
+                "app/store.py": (
+                    "class Store:\n"
+                    "    def __init__(self):\n"
+                    "        self._cache = {}\n"
+                    "    def put(self, key):\n"
+                    "        cache = self._cache\n"
+                    "        value = cache.get(key)\n"
+                    "        if value is None:\n"
+                    "            cache[key] = key * 2\n"
+                ),
+            },
+            WORKERS,
+        )
+        assert rules_of(violations) == ["SKL202"]
+
+
+class TestSKL203EscapingInternals:
+    def test_returning_locked_container_by_reference(self, tmp_path):
+        violations = run_concurrency(
+            tmp_path,
+            {
+                "app/store.py": (
+                    "import threading\n"
+                    "class Store:  # sketchlint: thread-safe\n"
+                    "    def __init__(self):\n"
+                    "        self._items = []\n"
+                    "        self._lock = threading.Lock()\n"
+                    "    def put(self, x):\n"
+                    "        with self._lock:\n"
+                    "            self._items.append(x)\n"
+                    "    def items(self):\n"
+                    "        return self._items\n"
+                ),
+            },
+            WORKERS,
+        )
+        assert rules_of(violations) == ["SKL203"]
+        assert "by reference" in violations[0].message
+
+    def test_returning_a_copy_is_clean(self, tmp_path):
+        violations = run_concurrency(
+            tmp_path,
+            {
+                "app/store.py": (
+                    "import threading\n"
+                    "class Store:  # sketchlint: thread-safe\n"
+                    "    def __init__(self):\n"
+                    "        self._items = []\n"
+                    "        self._lock = threading.Lock()\n"
+                    "    def put(self, x):\n"
+                    "        with self._lock:\n"
+                    "            self._items.append(x)\n"
+                    "    def items(self):\n"
+                    "        with self._lock:\n"
+                    "            return list(self._items)\n"
+                ),
+            },
+            WORKERS,
+        )
+        assert violations == []
+
+
+class TestSKL204LockOrder:
+    def test_opposite_nesting_order(self, tmp_path):
+        violations = run_concurrency(
+            tmp_path,
+            {
+                "app/store.py": (
+                    "import threading\n"
+                    "class Store:\n"
+                    "    def __init__(self):\n"
+                    "        self._a = threading.Lock()\n"
+                    "        self._b = threading.Lock()\n"
+                    "    def ab(self):\n"
+                    "        with self._a:\n"
+                    "            with self._b:\n"
+                    "                pass\n"
+                    "    def ba(self):\n"
+                    "        with self._b:\n"
+                    "            with self._a:\n"
+                    "                pass\n"
+                ),
+            },
+            WORKERS,
+        )
+        assert "SKL204" in rules_of(violations)
+        assert any("order" in v.message for v in violations)
+
+    def test_consistent_nesting_order_is_clean(self, tmp_path):
+        violations = run_concurrency(
+            tmp_path,
+            {
+                "app/store.py": (
+                    "import threading\n"
+                    "class Store:\n"
+                    "    def __init__(self):\n"
+                    "        self._a = threading.Lock()\n"
+                    "        self._b = threading.Lock()\n"
+                    "    def one(self):\n"
+                    "        with self._a:\n"
+                    "            with self._b:\n"
+                    "                pass\n"
+                    "    def two(self):\n"
+                    "        with self._a:\n"
+                    "            with self._b:\n"
+                    "                pass\n"
+                ),
+            },
+            WORKERS,
+        )
+        assert violations == []
+
+    def test_reacquire_through_call_graph(self, tmp_path):
+        violations = run_concurrency(
+            tmp_path,
+            {
+                "app/store.py": (
+                    "import threading\n"
+                    "class Store:\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.Lock()\n"
+                    "    def outer(self):\n"
+                    "        with self._lock:\n"
+                    "            self.inner()\n"
+                    "    def inner(self):\n"
+                    "        with self._lock:\n"
+                    "            pass\n"
+                ),
+            },
+            WORKERS,
+        )
+        assert "SKL204" in rules_of(violations)
+        assert any("re-acquired" in v.message for v in violations)
+
+    def test_rlock_reacquire_is_clean(self, tmp_path):
+        violations = run_concurrency(
+            tmp_path,
+            {
+                "app/store.py": (
+                    "import threading\n"
+                    "class Store:\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.RLock()\n"
+                    "    def outer(self):\n"
+                    "        with self._lock:\n"
+                    "            self.inner()\n"
+                    "    def inner(self):\n"
+                    "        with self._lock:\n"
+                    "            pass\n"
+                ),
+            },
+            WORKERS,
+        )
+        assert violations == []
+
+    def test_public_lock_private_helper_pattern_is_clean(self, tmp_path):
+        # The pattern the runtime fixes use: the public method takes the
+        # lock once and delegates to an annotated private helper.
+        violations = run_concurrency(
+            tmp_path,
+            {
+                "app/store.py": (
+                    "import threading\n"
+                    "class Store:\n"
+                    "    def __init__(self):\n"
+                    "        self._total = 0\n"
+                    "        self._lock = threading.Lock()\n"
+                    "    def put(self, x):\n"
+                    "        with self._lock:\n"
+                    "            self._apply(x)\n"
+                    "    def put_many(self, xs):\n"
+                    "        with self._lock:\n"
+                    "            for x in xs:\n"
+                    "                self._apply(x)\n"
+                    "    def _apply(self, x):  # sketchlint: guarded-by=_lock\n"
+                    "        self._total += x\n"
+                ),
+            },
+            WORKERS,
+        )
+        assert violations == []
+
+
+class TestSKL205SharedRng:
+    RNG = (
+        "import numpy as np\n"
+        "class Store:\n"
+        "    def __init__(self):\n"
+        "        self._rng = np.random.default_rng(0)\n"
+        "    def put(self):\n"
+        "        return self._rng.integers(10)\n"
+    )
+
+    def test_rng_from_parallel_group(self, tmp_path):
+        violations = run_concurrency(tmp_path, {"app/store.py": self.RNG}, WORKERS)
+        assert "SKL205" in rules_of(violations)
+        assert "nondeterministic" in violations[-1].message
+
+    def test_rng_from_one_serial_group_is_clean(self, tmp_path):
+        config = ConcurrencyConfig(
+            groups=(
+                EntrypointGroup("only", ("app.store.Store.*",), parallel=False),
+            )
+        )
+        violations = run_concurrency(tmp_path, {"app/store.py": self.RNG}, config)
+        assert violations == []
+
+    def test_rng_under_lock_is_clean(self, tmp_path):
+        violations = run_concurrency(
+            tmp_path,
+            {
+                "app/store.py": (
+                    "import threading\n"
+                    "import numpy as np\n"
+                    "class Store:\n"
+                    "    def __init__(self):\n"
+                    "        self._rng = np.random.default_rng(0)\n"
+                    "        self._lock = threading.Lock()\n"
+                    "    def put(self):\n"
+                    "        with self._lock:\n"
+                    "            return self._rng.integers(10)\n"
+                ),
+            },
+            WORKERS,
+        )
+        assert violations == []
+
+
+class TestContracts:
+    UNGUARDED = (
+        "class Store:{contract}\n"
+        "    def __init__(self):\n"
+        "        self._items = {{}}\n"
+        "    def put(self, key):\n"
+        "        value = self._items.get(key)\n"
+        "        if value is None:\n"
+        "            self._items[key] = key\n"
+        "    def items(self):\n"
+        "        return self._items\n"
+    )
+
+    def test_undeclared_class_gets_the_full_rule_set(self, tmp_path):
+        source = self.UNGUARDED.format(contract="")
+        violations = run_concurrency(tmp_path, {"app/store.py": source}, WORKERS)
+        assert rules_of(violations) == ["SKL202", "SKL203"]
+
+    def test_single_writer_waives_guard_rules(self, tmp_path):
+        source = self.UNGUARDED.format(contract="  # sketchlint: single-writer")
+        violations = run_concurrency(tmp_path, {"app/store.py": source}, WORKERS)
+        assert violations == []
+
+    def test_thread_confined_waives_everything(self, tmp_path):
+        source = (
+            "import numpy as np\n"
+            + self.UNGUARDED.format(contract="  # sketchlint: thread-confined")
+        )
+        violations = run_concurrency(tmp_path, {"app/store.py": source}, WORKERS)
+        assert violations == []
+
+    def test_single_writer_keeps_skl205(self, tmp_path):
+        violations = run_concurrency(
+            tmp_path,
+            {
+                "app/store.py": (
+                    "import numpy as np\n"
+                    "class Store:  # sketchlint: single-writer\n"
+                    "    def __init__(self):\n"
+                    "        self._rng = np.random.default_rng(0)\n"
+                    "    def put(self):\n"
+                    "        return self._rng.integers(10)\n"
+                ),
+            },
+            WORKERS,
+        )
+        assert rules_of(violations) == ["SKL205"]
+
+
+def _src_pairs(mutate: dict[str, tuple[str, str]] | None = None):
+    """All of src/ as ``(path, source)``, with optional string surgeries.
+
+    ``mutate`` maps a path suffix to an ``(old, new)`` replacement; the
+    test fails if the old text is missing (the fixture went stale).
+    """
+    pairs = []
+    for path in sorted((REPO_ROOT / "src").rglob("*.py")):
+        source = path.read_text(encoding="utf-8")
+        if mutate:
+            for suffix, (old, new) in mutate.items():
+                if path.as_posix().endswith(suffix):
+                    assert old in source, f"stale mutation fixture for {suffix}"
+                    source = source.replace(old, new)
+        pairs.append((path, source))
+    return pairs
+
+
+class TestAcceptanceMutations:
+    """Re-introducing the bugs the locks fixed must trip the analysis."""
+
+    def test_real_src_is_clean(self):
+        violations = analyze_project(
+            _src_pairs(), select={"SKL201", "SKL202", "SKL203", "SKL204", "SKL205"}
+        )
+        assert violations == []
+
+    def test_removing_a_lock_trips_skl201(self):
+        # Gauge.set without its lock is an unguarded shared-state write
+        # reachable from the (parallel) metrics group.
+        mutated = _src_pairs(
+            mutate={
+                "repro/obs/registry.py": (
+                    "    def set(self, value: float) -> None:\n"
+                    "        with self._lock:\n"
+                    "            self._value = value\n",
+                    "    def set(self, value: float) -> None:\n"
+                    "        if True:\n"
+                    "            self._value = value\n",
+                )
+            }
+        )
+        violations = analyze_project(mutated, select={"SKL201"})
+        assert any(
+            v.rule == "SKL201" and v.path.endswith("repro/obs/registry.py")
+            for v in violations
+        )
+
+    def test_unguarded_lru_insert_trips_skl202(self):
+        # PatternEncoder.encode without its lock re-introduces the
+        # canonical get-miss-insert race and the unguarded hit counters.
+        mutated = _src_pairs(
+            mutate={
+                "repro/core/encoding.py": (
+                    '"""The one-dimensional value of a pattern (LRU-memoised)."""\n'
+                    "        with self._lock:\n",
+                    '"""The one-dimensional value of a pattern (LRU-memoised)."""\n'
+                    "        if True:\n",
+                )
+            }
+        )
+        violations = analyze_project(mutated, select={"SKL202"})
+        assert any(
+            v.rule == "SKL202" and v.path.endswith("repro/core/encoding.py")
+            for v in violations
+        )
+
+
+class TestDefaultConfig:
+    def test_groups_cover_the_serving_tier(self):
+        names = {group.name for group in DEFAULT_CONFIG.groups}
+        assert names == {"ingest", "query", "admin", "metrics", "lint-workers"}
+
+    def test_query_and_metrics_are_self_parallel(self):
+        parallel = {g.name for g in DEFAULT_CONFIG.groups if g.parallel}
+        assert "query" in parallel
+        assert "metrics" in parallel
+        assert "ingest" not in parallel
+
+
+class TestBaselineDeterminism:
+    def _violations(self):
+        sources = {
+            "pkg/a.py": "x = 1\ny = 2\nz = 3\n",
+            "pkg/b.py": "x = 1\nx = 1\n",
+        }
+        violations = [
+            Violation("SKL001", "pkg/a.py", 1, 1, "first"),
+            Violation("SKL001", "pkg/a.py", 3, 1, "third"),
+            Violation("SKL002", "pkg/a.py", 2, 1, "second"),
+            Violation("SKL001", "pkg/b.py", 1, 1, "dup line"),
+            Violation("SKL001", "pkg/b.py", 2, 1, "dup line"),
+        ]
+        return violations, sources
+
+    def test_permutation_invariant(self):
+        violations, sources = self._violations()
+        reference = render_baseline(violations, sources)
+        rng = random.Random(7)
+        for _ in range(10):
+            shuffled = list(violations)
+            rng.shuffle(shuffled)
+            assert render_baseline(shuffled, sources) == reference
+
+    def test_trailing_newline_and_sorted_keys(self):
+        violations, sources = self._violations()
+        rendered = render_baseline(violations, sources)
+        assert rendered.endswith("}\n")
+        assert not rendered.endswith("\n\n")
+        lines = [line.strip() for line in rendered.splitlines()]
+        keys = [
+            line.split('"')[1]
+            for line in lines
+            if line.startswith('"') and line.endswith("{")
+            and line.split('"')[1] != "findings"
+        ]
+        assert len(keys) == 5
+        assert keys == sorted(keys)
+
+    def test_identical_lines_get_distinct_keys(self):
+        violations, sources = self._violations()
+        rendered = render_baseline(violations, sources)
+        assert rendered.count('"dup line"') == 2
+
+
+class TestParallelDriver:
+    FILES = {
+        "pkg/__init__.py": "",
+        "pkg/clean.py": "def ok():\n    return 1\n",
+        "pkg/broken.py": "def nope(:\n",
+        "pkg/more.py": "VALUE = 3\n",
+    }
+
+    def _write(self, tmp_path):
+        root = tmp_path / "tree"
+        for rel, source in self.FILES.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source, encoding="utf-8")
+        return root
+
+    def test_jobs_output_matches_serial(self, tmp_path):
+        root = self._write(tmp_path)
+        serial = lint_paths_with_sources([root], jobs=1)
+        parallel = lint_paths_with_sources([root], jobs=2)
+        assert parallel == serial
+        violations, n_files, sources = serial
+        assert n_files == len(self.FILES)
+        assert any(v.rule == "SKL000" for v in violations)
+        assert "pkg/clean.py" in " ".join(sources)
+
+    def test_jobs_zero_means_cpu_count(self, tmp_path):
+        root = self._write(tmp_path)
+        assert lint_paths_with_sources([root], jobs=0) == lint_paths_with_sources(
+            [root], jobs=1
+        )
+
+    def test_negative_jobs_is_a_usage_error(self, tmp_path):
+        from tools.sketchlint.engine import LintUsageError
+
+        root = self._write(tmp_path)
+        with pytest.raises(LintUsageError):
+            lint_paths_with_sources([root], jobs=-1)

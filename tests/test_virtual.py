@@ -96,7 +96,11 @@ class TestCombination:
         streams.sketch(0).update(0, 500)
         streams.tracker(0).process(0)
         assert streams.tracker(0).n_tracked == 1
-        assert streams.tracker(1).n_tracked == 0
+        # tracker() is non-allocating: a stream that never received a
+        # value has tracked nothing, and the query path must not mutate
+        # the stream table.
+        assert streams.tracker(1) is None
+        assert streams.n_allocated == 1
 
     def test_tracker_none_when_disabled(self):
         streams = VirtualStreams(31, s1=4, s2=2, seed=0, topk_size=0)

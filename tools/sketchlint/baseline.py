@@ -78,21 +78,27 @@ def load_baseline(path: str | Path) -> dict[str, dict]:
 def render_baseline(
     violations: list[Violation], sources: dict[str, str]
 ) -> str:
-    """Serialise current findings as a baseline document (deterministic)."""
+    """Serialise current findings as a baseline document (deterministic).
+
+    The output is byte-identical regardless of input order: violations
+    are keyed in sorted order, a key collision keeps the first (sorted)
+    violation, every object is emitted with sorted keys, and the
+    document ends with exactly one trailing newline.
+    """
     keys = finding_keys(violations, sources)
-    findings = {
-        key: {
-            "rule": violation.rule,
-            "path": violation.path,
-            "message": violation.message,
-        }
-        for violation, key in keys.items()
-    }
+    findings: dict[str, dict] = {}
+    for violation, key in keys.items():  # keys is in Violation.sort_key order
+        if key not in findings:
+            findings[key] = {
+                "rule": violation.rule,
+                "path": violation.path,
+                "message": violation.message,
+            }
     document = {
         "version": BASELINE_VERSION,
         "findings": {key: findings[key] for key in sorted(findings)},
     }
-    return json.dumps(document, indent=2, sort_keys=False) + "\n"
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
 
 
 def write_baseline(

@@ -66,6 +66,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the whole-project semantic phase (default: on)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for the per-file phase "
+            "(0 = one per CPU; default: 1, serial)"
+        ),
+    )
+    parser.add_argument(
         "--baseline",
         default=str(DEFAULT_BASELINE_PATH),
         help="baseline file of accepted findings (default: %(default)s)",
@@ -101,7 +111,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     select = args.select.split(",") if args.select else None
     try:
         violations, n_files, sources = lint_paths_with_sources(
-            args.paths, select=select, semantic=args.semantic
+            args.paths, select=select, semantic=args.semantic, jobs=args.jobs
         )
         if args.update_baseline:
             Path(args.baseline).write_text(

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import ast
+import os
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -121,17 +122,47 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
             raise LintUsageError(f"path does not exist: {path}")
 
 
+def _lint_worker(
+    path_str: str, select: tuple[str, ...] | None
+) -> tuple[str, str | None, list[Violation]]:
+    """The per-file phase for one file: read, parse, run per-file rules.
+
+    Pure and picklable — its only inputs are the arguments and its only
+    output is the return value, so ``--jobs`` can run it in worker
+    processes with results merged in submission order.  A ``None``
+    source means the file could not be read (the violation says why).
+    """
+    file_path = Path(path_str)
+    posix = file_path.as_posix()
+    per_file_rules, _, _ = split_select(select)
+    try:
+        source = file_path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as error:
+        violation = Violation(
+            rule=PARSE_ERROR_RULE,
+            path=posix,
+            line=1,
+            col=1,
+            message=f"file cannot be read: {error}",
+        )
+        return posix, None, [violation]
+    return posix, source, lint_source(source, path_str, per_file_rules)
+
+
 def lint_paths(
     paths: Iterable[str | Path],
     select: Iterable[str] | None = None,
     semantic: bool = True,
+    jobs: int = 1,
 ) -> tuple[list[Violation], int]:
     """Lint files and/or directory trees (both phases).
 
     Returns ``(violations, n_files_checked)``; violations are sorted by
     location.
     """
-    violations, n_files, _ = lint_paths_with_sources(paths, select, semantic)
+    violations, n_files, _ = lint_paths_with_sources(
+        paths, select, semantic, jobs=jobs
+    )
     return violations, n_files
 
 
@@ -139,32 +170,44 @@ def lint_paths_with_sources(
     paths: Iterable[str | Path],
     select: Iterable[str] | None = None,
     semantic: bool = True,
+    jobs: int = 1,
 ) -> tuple[list[Violation], int, dict[str, str]]:
     """Like :func:`lint_paths`, also returning path → source for every file
-    that could be read (the baseline/SARIF writers need line content)."""
-    per_file_rules, semantic_ids, include_parse = split_select(select)
+    that could be read (the baseline/SARIF writers need line content).
+
+    ``jobs`` parallelises the per-file phase across processes (0 = one
+    per CPU); the semantic phase always runs serially in this process,
+    and the output is identical for every ``jobs`` value.
+    """
+    select_ids = tuple(select) if select is not None else None
+    _, semantic_ids, include_parse = split_select(select_ids)
+    if jobs < 0:
+        raise LintUsageError(f"--jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    all_files = list(iter_python_files(paths))
+    n_files = len(all_files)
+    if jobs > 1 and n_files > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, n_files)) as pool:
+            results = list(
+                pool.map(
+                    _lint_worker,
+                    [str(p) for p in all_files],
+                    [select_ids] * n_files,
+                )
+            )
+    else:
+        results = [_lint_worker(str(p), select_ids) for p in all_files]
     violations: list[Violation] = []
     sources: dict[str, str] = {}
     files: list[tuple[Path, str]] = []
-    n_files = 0
-    for file_path in iter_python_files(paths):
-        n_files += 1
-        try:
-            source = file_path.read_text(encoding="utf-8")
-        except (OSError, UnicodeDecodeError) as error:
-            violations.append(
-                Violation(
-                    rule=PARSE_ERROR_RULE,
-                    path=file_path.as_posix(),
-                    line=1,
-                    col=1,
-                    message=f"file cannot be read: {error}",
-                )
-            )
-            continue
-        sources[file_path.as_posix()] = source
-        files.append((file_path, source))
-        violations.extend(lint_source(source, str(file_path), per_file_rules))
+    for file_path, (posix, source, found) in zip(all_files, results):
+        violations.extend(found)
+        if source is not None:
+            sources[posix] = source
+            files.append((file_path, source))
     if semantic and (semantic_ids is None or semantic_ids):
         from tools.sketchlint.semantic import analyze_project
 

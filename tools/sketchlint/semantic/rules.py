@@ -55,6 +55,31 @@ SEMANTIC_RULES: tuple[SemanticRule, ...] = (
         "np.load without allow_pickle=False, or np.frombuffer without an "
         "explicit dtype",
     ),
+    SemanticRule(
+        "SKL201",
+        "unguarded shared-state write reachable from a concurrent "
+        "entrypoint (declare a lock or a class threading contract)",
+    ),
+    SemanticRule(
+        "SKL202",
+        "non-atomic check-then-act or read-modify-write on shared state "
+        "(probe and write never share a lock scope)",
+    ),
+    SemanticRule(
+        "SKL203",
+        "thread-safe class returns a mutable container attribute by "
+        "reference, letting callers bypass its lock",
+    ),
+    SemanticRule(
+        "SKL204",
+        "inconsistent lock-acquisition order (cycle in the lock graph) "
+        "or re-acquisition of a non-reentrant lock",
+    ),
+    SemanticRule(
+        "SKL205",
+        "np.random.Generator consumed from multiple concurrent "
+        "entrypoints without a guard (breaks seeded determinism)",
+    ),
 )
 SEMANTIC_RULES_BY_ID = {rule.id: rule for rule in SEMANTIC_RULES}
 
