@@ -10,6 +10,7 @@ Usage::
     sketchtree-experiments snapshot resume ckpts/ --dataset dblp --n-trees 600
     sketchtree-experiments stats --dataset dblp --n-trees 200 --format prom
     sketchtree-experiments table1 --scale smoke --metrics-out metrics.json
+    sketchtree-experiments serve --shards 4 --port 8080
 """
 
 from __future__ import annotations
@@ -202,6 +203,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the report to FILE instead of stdout",
     )
+
+    from repro.serve.app import add_serve_arguments
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the sharded always-on serving tier over HTTP "
+        "(see docs/serving.md)",
+    )
+    add_serve_arguments(serve)
     return parser
 
 
@@ -366,6 +376,10 @@ def _run_stats(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.experiment == "serve":
+        from repro.serve.app import run_from_args
+
+        return run_from_args(args)
     if args.experiment == "stats":
         return _run_stats(args)
     if args.experiment == "snapshot":

@@ -32,6 +32,7 @@ from typing import Iterable
 from repro.core.config import SketchTreeConfig
 from repro.core.sketchtree import SketchTree
 from repro.errors import ConfigError
+from repro.sketch.ams import SketchMatrix
 from repro.trees.tree import LabeledTree
 
 
@@ -148,8 +149,105 @@ class WindowedSketchTree:
         return sum(b.estimate_unordered(query) for b in self._live_buckets())
 
     def estimate_sum(self, queries) -> float:
-        """Approximate a distinct-pattern sum over the current window."""
+        """Approximate a distinct-pattern sum over the current window.
+
+        ``queries`` is materialised once up front: every live bucket must
+        see the *same* pattern list, and a generator argument would be
+        exhausted by the first bucket (leaving the rest to contribute 0,
+        a silent undercount).
+        """
+        queries = list(queries)
         return sum(b.estimate_sum(queries) for b in self._live_buckets())
+
+    def estimate_or(self, query) -> float:
+        """Approximate an OR-predicate pattern count over the window
+        (paper Example 5), summed across live buckets by linearity."""
+        return sum(b.estimate_or(query) for b in self._live_buckets())
+
+    def estimate_self_join_size(self) -> float:
+        """Residual self-join size of the *window's* sub-stream.
+
+        Computed over the live buckets' counters summed per stream
+        (:meth:`_combined_matrix`) — summing per-bucket
+        ``estimate_self_join_size`` instead would ignore cross-bucket
+        repetitions of a value (``SJ`` is quadratic in frequencies, which
+        add across buckets) and systematically undercount.
+        """
+        residues = set()
+        for bucket in self._live_buckets():
+            residues.update(r for r, _ in bucket.streams.iter_sketches())
+        total = 0.0
+        for residue in residues:
+            matrix = self._combined_matrix(residue)
+            if matrix is not None:
+                total += max(0.0, matrix.estimate_self_join_size())
+        return total
+
+    def estimate_ordered_interval(self, query, confidence: float = 0.9):
+        """``COUNT_ord(Q)`` over the window with a Chebyshev error bar.
+
+        Evaluated on the summed bucket counters: by AMS linearity those
+        *are* the counters a single synopsis over the window's trees
+        would hold, so both the point estimate and the self-reported
+        self-join size driving the half-width are exactly the
+        whole-stream quantities of :meth:`SketchTree.estimate_ordered_interval`.
+        (The centre is the merged-counter estimate, which can differ by
+        median nonlinearity from :meth:`estimate_ordered`'s per-bucket
+        sum; both are valid estimators of the same count.)
+        """
+        from repro.core.intervals import Interval, chebyshev_half_width
+
+        pattern = self._current._checked(query)
+        value = self._current.encoder.encode(pattern)
+        residue = self._current.streams.residue(value)
+        matrix = self._combined_matrix(residue)
+        if matrix is None:
+            return Interval(0.0, 0.0, confidence, 0.0)
+        estimate = matrix.estimate(value)
+        self_join = max(0.0, matrix.estimate_self_join_size())
+        half_width = chebyshev_half_width(self_join, self.config.s1, confidence)
+        return Interval(estimate, half_width, confidence, self_join)
+
+    def _combined_matrix(self, residue: int) -> SketchMatrix | None:
+        """Stream ``residue``'s counters summed across live buckets, as a
+        fresh read-only :class:`~repro.sketch.ams.SketchMatrix` view.
+
+        Pure on bucket state (no ``merge()``, nothing mutated): every
+        bucket shares one ξ family per the window's single config/seed,
+        so summed counters are exactly the stream's counters over the
+        window's trees (linearity).  Returns ``None`` when no live
+        bucket ever routed a value to the stream (an exact zero).
+        """
+        total = None
+        for bucket in self._live_buckets():
+            matrix = bucket.streams.sketch_if_allocated(residue)
+            if matrix is None:
+                continue
+            total = (
+                matrix.counters.copy() if total is None
+                else total + matrix.counters
+            )
+        if total is None:
+            return None
+        view = SketchMatrix(
+            self.config.s1, self.config.s2, xi=self._current.streams.xi
+        )
+        view.counters = total
+        return view
+
+    def merged(self) -> SketchTree:
+        """The live buckets collapsed into one fresh synopsis.
+
+        Windows always run with ``topk_size=0``, so
+        :meth:`~repro.core.sketchtree.SketchTree.merge` applies; the
+        result is bit-identical to a single synopsis fed the window's
+        trees (linearity).  The returned synopsis is a snapshot-in-time
+        copy — later window updates do not flow into it.
+        """
+        combined = SketchTree(self.config)
+        for bucket in self._live_buckets():
+            combined = combined.merge(bucket)
+        return combined
 
     # ------------------------------------------------------------------
     # Introspection

@@ -36,6 +36,18 @@ def _metric_name(name: str, prefix: str) -> str:
     return sanitised
 
 
+def _escape_help(text: str) -> str:
+    """Escape a HELP string per the text exposition format (0.0.4).
+
+    Backslashes become ``\\\\`` and line feeds become the two-character
+    sequence ``\\n`` — a raw newline would terminate the comment line and
+    leave the remainder of the help text as a garbage sample line,
+    corrupting the whole scrape.  (Backslash must be escaped first so an
+    original ``\\n`` in the help text round-trips distinctly.)
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_value(value: float) -> str:
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
@@ -54,19 +66,19 @@ def to_prometheus_text(registry: Registry, prefix: str = "repro") -> str:
     for counter in registry.all_counters():
         name = _metric_name(counter.name, prefix)
         if counter.help:
-            lines.append(f"# HELP {name} {counter.help}")
+            lines.append(f"# HELP {name} {_escape_help(counter.help)}")
         lines.append(f"# TYPE {name} counter")
         lines.append(f"{name} {_format_value(counter.value)}")
     for gauge in registry.all_gauges():
         name = _metric_name(gauge.name, prefix)
         if gauge.help:
-            lines.append(f"# HELP {name} {gauge.help}")
+            lines.append(f"# HELP {name} {_escape_help(gauge.help)}")
         lines.append(f"# TYPE {name} gauge")
         lines.append(f"{name} {_format_value(gauge.value)}")
     for histogram in registry.all_histograms():
         name = _metric_name(histogram.name, prefix)
         if histogram.help:
-            lines.append(f"# HELP {name} {histogram.help}")
+            lines.append(f"# HELP {name} {_escape_help(histogram.help)}")
         lines.append(f"# TYPE {name} histogram")
         for bound, cumulative in histogram.cumulative():
             lines.append(

@@ -1,0 +1,8 @@
+"""``python -m repro.serve`` — run the serving tier standalone."""
+
+import sys
+
+from repro.serve.app import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,244 @@
+"""Process lifecycle for the serving tier: args, signals, graceful stop.
+
+Wires :class:`~repro.serve.service.ShardedService` to
+:class:`~repro.serve.api.ServingHTTPServer` and runs the accept loop in
+a background thread while the main thread waits for a shutdown signal.
+``SIGTERM``/``SIGINT`` trigger the graceful sequence: stop accepting
+connections, drain every shard queue (every acknowledged batch is
+applied), then write a final per-shard checkpoint when a checkpoint
+directory is configured — so ``--resume`` on the next start loses
+nothing that was ever acknowledged with a 202.
+
+Run standalone (``python -m repro.serve --port 0`` prints the bound
+ephemeral port) or through the CLI (``sketchtree-experiments serve``),
+which shares this module's argument table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+
+from repro.core.config import SketchTreeConfig
+from repro.errors import ReproError
+from repro.obs.registry import MetricsRegistry
+from repro.serve.api import ApiHandler, ServingHTTPServer, make_server
+from repro.serve.service import ShardedService
+
+__all__ = [
+    "ServerApp",
+    "add_serve_arguments",
+    "build_parser",
+    "config_from_args",
+    "main",
+    "run_from_args",
+    "service_from_args",
+]
+
+
+class ServerApp:  # sketchlint: thread-confined
+    """One serving process: HTTP accept loop + shard threads + shutdown.
+
+    Thread-confined to the main thread: :meth:`start`,
+    :meth:`wait_for_signal` and :meth:`shutdown` are called there (and
+    Python delivers signal handlers on the main thread); only the accept
+    loop runs on the background thread, via the thread-safe server
+    object.
+    """
+
+    def __init__(
+        self,
+        service: ShardedService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service
+        self.httpd: ServingHTTPServer = make_server(service, host=host, port=port)
+        self._accept_thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            name="sketchtree-http-accept",
+            daemon=True,
+        )
+        self._stop_requested = threading.Event()
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (meaningful after construction even
+        for ``--port 0``, which binds an ephemeral port)."""
+        return self.httpd.server_address[1]
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    def start(self) -> None:
+        """Start the shard drain threads, then the HTTP accept loop."""
+        self.service.start()
+        self._accept_thread.start()
+
+    def install_signal_handlers(self) -> None:
+        """Route ``SIGTERM``/``SIGINT`` into :meth:`wait_for_signal`.
+
+        Main thread only (a CPython restriction on ``signal.signal``).
+        """
+        def _request_stop(signum: int, frame: object) -> None:
+            self._stop_requested.set()
+
+        signal.signal(signal.SIGTERM, _request_stop)
+        signal.signal(signal.SIGINT, _request_stop)
+
+    def request_stop(self) -> None:
+        """Programmatic equivalent of receiving ``SIGTERM``."""
+        self._stop_requested.set()
+
+    def wait_for_signal(self) -> None:
+        """Block the main thread until a stop is requested."""
+        self._stop_requested.wait()
+
+    def shutdown(self) -> list:
+        """The graceful sequence; returns final checkpoint paths.
+
+        Order matters: close the listening socket first (no new work can
+        arrive), then stop the service — which gates ingress, drains
+        every queued batch into the shard synopses, joins the drain
+        threads, and writes final checkpoints if configured.
+        """
+        self.httpd.shutdown()
+        if self._accept_thread.is_alive():
+            self._accept_thread.join()
+        self.httpd.server_close()
+        return self.service.stop()
+
+
+# ---------------------------------------------------------------------------
+# Arguments (shared with the `sketchtree-experiments serve` subcommand)
+# ---------------------------------------------------------------------------
+
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    """Add the serving tier's options (service + synopsis) to a parser."""
+    group = parser.add_argument_group("serving")
+    group.add_argument("--host", default="127.0.0.1", help="bind address")
+    group.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="bind port (0 = ephemeral; the bound port is printed)",
+    )
+    group.add_argument(
+        "--shards", type=int, default=4, help="ingest shards (drain threads)"
+    )
+    group.add_argument(
+        "--queue-batches",
+        type=int,
+        default=64,
+        help="per-shard queue capacity in batches; a full queue answers "
+        "503 backpressure (default 64)",
+    )
+    group.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="enable /admin/snapshot and shutdown checkpoints into DIR",
+    )
+    group.add_argument(
+        "--keep", type=int, default=3, help="checkpoints retained per shard"
+    )
+    group.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore each shard from its newest checkpoint in "
+        "--checkpoint-dir before serving",
+    )
+    group.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    synopsis = parser.add_argument_group("synopsis configuration")
+    synopsis.add_argument(
+        "--s1", type=int, default=50, help="AMS instances per group"
+    )
+    synopsis.add_argument(
+        "--s2", type=int, default=7, help="median-of-means groups"
+    )
+    synopsis.add_argument("--k", type=int, default=3, help="max pattern edges")
+    synopsis.add_argument(
+        "--streams", type=int, default=229, help="virtual streams (prime)"
+    )
+    synopsis.add_argument(
+        "--summary",
+        action="store_true",
+        help="maintain the structural summary (enables * and // queries)",
+    )
+    synopsis.add_argument("--seed", type=int, default=0, help="master seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Sharded always-on SketchTree serving tier "
+        "(see docs/serving.md for the endpoint reference).",
+    )
+    add_serve_arguments(parser)
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> SketchTreeConfig:
+    # topk_size is pinned to 0: per-shard top-k deletions cannot be
+    # merged, so the serving tier never exposes the flag.
+    return SketchTreeConfig(
+        s1=args.s1,
+        s2=args.s2,
+        max_pattern_edges=args.k,
+        n_virtual_streams=args.streams,
+        topk_size=0,
+        maintain_summary=args.summary,
+        seed=args.seed,
+    )
+
+
+def service_from_args(args: argparse.Namespace) -> ShardedService:
+    return ShardedService(
+        config_from_args(args),
+        n_shards=args.shards,
+        max_pending=args.queue_batches,
+        metrics=MetricsRegistry(),
+        checkpoint_dir=args.checkpoint_dir,
+        keep_last=args.keep,
+        resume=args.resume,
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Build, serve, wait for a signal, shut down gracefully."""
+    try:
+        service = service_from_args(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.verbose:
+        ApiHandler.log_requests = True
+    app = ServerApp(service, host=args.host, port=args.port)
+    app.install_signal_handlers()
+    app.start()
+    resumed = sum(shard.synopsis.n_trees for shard in service.shards)
+    if resumed:
+        print(f"resumed {resumed} trees from {args.checkpoint_dir}", flush=True)
+    # The smoke test and orchestration scripts parse this line for the
+    # ephemeral port — keep its shape stable.
+    print(
+        f"serving on http://{app.host}:{app.port} "
+        f"({args.shards} shards, queue {args.queue_batches}/shard)",
+        flush=True,
+    )
+    app.wait_for_signal()
+    print("shutting down: draining shard queues...", flush=True)
+    checkpoints = app.shutdown()
+    for path in checkpoints:
+        print(f"wrote final checkpoint {path}", flush=True)
+    print("stopped cleanly", flush=True)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    return run_from_args(build_parser().parse_args(argv))

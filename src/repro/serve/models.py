@@ -1,0 +1,109 @@
+"""Request/response schemas for the serving tier's JSON API.
+
+Pure functions from already-decoded JSON payloads to validated domain
+objects (trees, queries) and back.  Everything a handler rejects is
+raised as :class:`ApiError` carrying the HTTP status the API layer
+should answer with, so the transport code never inspects error types.
+
+Trees travel as s-expressions (``"(A (B) (C))"`` — the repository's
+canonical text form, see :func:`repro.trees.builders.from_sexpr`);
+queries travel as s-expressions or, for ``/estimate/xpath``, as the
+XPath subset of :mod:`repro.query.xpath`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError, TreeError
+from repro.trees.builders import from_sexpr
+from repro.trees.tree import LabeledTree
+
+__all__ = [
+    "ESTIMATE_KINDS",
+    "MAX_TREES_PER_REQUEST",
+    "ApiError",
+    "parse_estimate_request",
+    "parse_ingest_request",
+    "require_mapping",
+]
+
+#: Estimate endpoints the query tier serves (``POST /estimate/<kind>``).
+ESTIMATE_KINDS = ("ordered", "unordered", "sum", "xpath")
+
+#: Upper bound on trees accepted per ``POST /ingest`` call; bounds the
+#: parse cost and queue-slot size one request can claim.
+MAX_TREES_PER_REQUEST = 10_000
+
+
+class ApiError(ReproError):
+    """A rejected request, carrying the HTTP status code to answer with."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+def require_mapping(payload: object) -> dict:
+    """The request body as a JSON object, or a 400."""
+    if not isinstance(payload, dict):
+        raise ApiError(
+            f"request body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def parse_ingest_request(payload: object) -> list[LabeledTree]:
+    """Validate a ``POST /ingest`` body: ``{"trees": ["(A (B))", ...]}``."""
+    body = require_mapping(payload)
+    texts = body.get("trees")
+    if not isinstance(texts, list) or not texts:
+        raise ApiError('ingest body needs a non-empty "trees" list')
+    if len(texts) > MAX_TREES_PER_REQUEST:
+        raise ApiError(
+            f"at most {MAX_TREES_PER_REQUEST} trees per request, "
+            f"got {len(texts)}",
+            status=413,
+        )
+    trees: list[LabeledTree] = []
+    for position, text in enumerate(texts):
+        if not isinstance(text, str):
+            raise ApiError(
+                f'trees[{position}] is not an s-expression string '
+                f"(got {type(text).__name__})"
+            )
+        try:
+            trees.append(from_sexpr(text))
+        except TreeError as exc:
+            raise ApiError(f"trees[{position}]: {exc}") from exc
+    return trees
+
+
+def parse_estimate_request(kind: str, payload: object) -> object:
+    """Validate a ``POST /estimate/<kind>`` body.
+
+    Returns the single query string for ``ordered``/``unordered``/
+    ``xpath`` (``{"query": ...}``) or the list of query strings for
+    ``sum`` (``{"queries": [...]}``) — validation of the *patterns*
+    themselves is left to the synopsis, whose typed errors the API layer
+    maps to 400s.
+    """
+    if kind not in ESTIMATE_KINDS:
+        raise ApiError(
+            f"unknown estimate kind {kind!r}; one of {', '.join(ESTIMATE_KINDS)}",
+            status=404,
+        )
+    body = require_mapping(payload)
+    if kind == "sum":
+        queries = body.get("queries")
+        if not isinstance(queries, list) or not queries:
+            raise ApiError('estimate/sum body needs a non-empty "queries" list')
+        for position, query in enumerate(queries):
+            if not isinstance(query, str):
+                raise ApiError(
+                    f'queries[{position}] is not a pattern string '
+                    f"(got {type(query).__name__})"
+                )
+        return list(queries)
+    query = body.get("query")
+    if not isinstance(query, str) or not query:
+        raise ApiError(f'estimate/{kind} body needs a "query" string')
+    return query

@@ -1,0 +1,420 @@
+"""The service layer: shard routing, query fan-out, admin operations.
+
+:class:`ShardedService` is what the HTTP handlers call into — it owns
+the shard set and implements the three interaction patterns of the tier:
+
+* **Ingest** — round-robin routing of tree batches onto the shards'
+  bounded queues (backpressure propagates as ``queue.Full``).
+* **Read path** — ``estimate_*`` sums the per-shard estimates with no
+  locks taken: shard synopses follow the single-writer contract, whose
+  racy-but-benign concurrent reads are exactly the AMS-linearity
+  argument of docs/concurrency.md.  A summed estimate is therefore an
+  estimate over *some* valid prefix of each shard's sub-stream.
+* **Admin path** — operations needing a serialisation point (exact
+  ``merge()`` queries, checkpoints, drain, shutdown) hold the *admin
+  gate*, which new ingest submissions also take briefly: while an admin
+  operation runs, ingress stalls, the queues drain to empty, and the
+  shard synopses are quiesced — making ``merge()`` sound per its
+  contract (bit-identical to one synopsis over the concatenated
+  stream).
+
+Health/readiness are *derived from the metrics registry's gauges* (not
+from privileged internal state): the service registers pull gauges for
+queue depth, shards started/alive and faults, and :meth:`health` /
+:meth:`ready` read those same gauges a scraper sees on ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+from repro.core.config import SketchTreeConfig
+from repro.core.sketchtree import SketchTree
+from repro.core.snapshot import CheckpointManager
+from repro.errors import ConfigError
+from repro.obs.registry import MetricsRegistry, Registry
+from repro.serve.models import ESTIMATE_KINDS, ApiError
+from repro.serve.shards import IngestShard
+from repro.trees.tree import LabeledTree
+
+__all__ = ["ShardedService"]
+
+
+class ShardedService:  # sketchlint: thread-safe
+    """N single-writer ingest shards behind one query/admin facade.
+
+    Thread-safe: every public method may be called from any HTTP
+    handler thread.  The round-robin cursor is lock-guarded, admin
+    operations serialise on the admin gate, and everything else is
+    either immutable after construction or delegates to components
+    carrying their own contracts (shards, checkpoint managers, the
+    registry).
+
+    Parameters
+    ----------
+    config:
+        The one synopsis configuration every shard shares — the
+        ``merge()`` contract (same config and seed) is what makes both
+        summed estimates and exact-merge admin queries sound.
+        ``topk_size`` must be 0: top-k deletions cannot be merged.
+    n_shards:
+        Ingest parallelism (one drain thread per shard).
+    max_pending:
+        Per-shard queue capacity in batches (backpressure bound).
+    metrics:
+        The registry health and ``/metrics`` are served from; ``None``
+        builds a private :class:`~repro.obs.registry.MetricsRegistry`
+        (the serving tier always runs with live metrics — they are its
+        health surface).
+    checkpoint_dir:
+        Directory for per-shard checkpoints (``shard00-*.sktsnap``, …);
+        ``None`` disables snapshot/resume endpoints.
+    resume:
+        Restore each shard from its newest valid checkpoint before
+        serving (missing checkpoints start that shard fresh).
+    """
+
+    def __init__(
+        self,
+        config: SketchTreeConfig,
+        n_shards: int = 4,
+        max_pending: int = 64,
+        metrics: Registry | None = None,
+        checkpoint_dir: str | Path | None = None,
+        keep_last: int = 3,
+        resume: bool = False,
+    ):
+        if n_shards < 1:
+            raise ConfigError(f"n_shards must be >= 1, got {n_shards}")
+        if config.topk_size:
+            raise ConfigError(
+                "the serving tier requires topk_size=0: per-shard top-k "
+                "deletions cannot be merged soundly (see SketchTree.merge)"
+            )
+        if resume and checkpoint_dir is None:
+            raise ConfigError("resume=True needs a checkpoint_dir")
+        self.config = config
+        self.metrics: Registry = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
+        self.checkpoints: tuple[CheckpointManager, ...] = ()
+        if checkpoint_dir is not None:
+            self.checkpoints = tuple(
+                CheckpointManager(
+                    checkpoint_dir,
+                    keep_last=keep_last,
+                    prefix=f"shard{index:02d}",
+                    metrics=self.metrics,
+                )
+                for index in range(n_shards)
+            )
+        self.shards: tuple[IngestShard, ...] = tuple(
+            IngestShard(
+                index,
+                config,
+                metrics=self.metrics,
+                max_pending=max_pending,
+                synopsis=(
+                    self.checkpoints[index].load_latest(expected_config=config)
+                    if resume
+                    else None
+                ),
+            )
+            for index in range(n_shards)
+        )
+        self._route_lock = threading.Lock()
+        self._next_shard = 0
+        #: The admin gate: held (briefly) by every ingest submission and
+        #: (for the whole operation) by quiescing admin paths.
+        self._gate = threading.Lock()
+        self._stopped = False
+        self._register_metrics()
+
+    # ------------------------------------------------------------------
+    # Observability (the health surface)
+    # ------------------------------------------------------------------
+    def _register_metrics(self) -> None:
+        shards = self.shards
+        obs = self.metrics
+        obs.gauge(
+            "serve_shards",
+            help="configured ingest shards",
+            fn=lambda: len(shards),
+        )
+        obs.gauge(
+            "serve_shards_started",
+            help="shards whose drain thread has started",
+            fn=lambda: sum(1 for shard in shards if shard.started),
+        )
+        obs.gauge(
+            "serve_shards_alive",
+            help="shards whose drain thread is running",
+            fn=lambda: sum(1 for shard in shards if shard.alive),
+        )
+        obs.gauge(
+            "serve_shard_faults",
+            help="shards that recorded an ingest fault",
+            fn=lambda: sum(1 for shard in shards if shard.error() is not None),
+        )
+        # The multi-line help string doubles as live coverage of the
+        # exporter's HELP escaping (a raw newline would corrupt the
+        # exposition text) — tests parse /metrics and round-trip it.
+        obs.gauge(
+            "serve_queue_depth",
+            help=(
+                "ingest batches waiting in shard queues\n"
+                "(bounded per shard; a full queue answers 503 backpressure)"
+            ),
+            fn=lambda: sum(shard.pending for shard in shards),
+        )
+        obs.gauge(
+            "serve_queue_capacity",
+            help="total ingest queue capacity across shards (batches)",
+            fn=lambda: sum(shard.capacity for shard in shards),
+        )
+        obs.counter(
+            "serve_trees_total",
+            help="trees absorbed into shard synopses since (re)start",
+            fn=lambda: sum(shard.synopsis.n_trees for shard in shards),
+        )
+
+    def health(self) -> dict:
+        """Liveness, derived from the registry's gauges.
+
+        Healthy while no shard has faulted and every started drain
+        thread is still running — the same numbers a scraper reads off
+        ``/metrics``.
+        """
+        obs = self.metrics
+        alive = obs.gauge("serve_shards_alive").value
+        started = obs.gauge("serve_shards_started").value
+        faults = obs.gauge("serve_shard_faults").value
+        healthy = faults == 0 and alive >= started
+        return {
+            "status": "ok" if healthy else "failing",
+            "shards": len(self.shards),
+            "alive": int(alive),
+            "faults": int(faults),
+        }
+
+    def ready(self) -> dict:
+        """Readiness: started, running, and accepting ingest.
+
+        Not ready before every drain thread is up, after :meth:`stop`,
+        or while the queues are saturated (backpressure — tell the load
+        balancer to back off rather than queueing 503s).
+        """
+        obs = self.metrics
+        started = obs.gauge("serve_shards_started").value
+        alive = obs.gauge("serve_shards_alive").value
+        depth = obs.gauge("serve_queue_depth").value
+        capacity = obs.gauge("serve_queue_capacity").value
+        ready = (
+            not self._stopped
+            and started == len(self.shards)
+            and alive == len(self.shards)
+            and depth < capacity
+        )
+        return {
+            "ready": ready,
+            "started": int(started),
+            "queue_depth": int(depth),
+            "queue_capacity": int(capacity),
+        }
+
+    def stats(self) -> dict:
+        """Per-shard introspection for the ``/stats`` endpoint."""
+        return {
+            "config": {
+                "s1": self.config.s1,
+                "s2": self.config.s2,
+                "max_pattern_edges": self.config.max_pattern_edges,
+                "n_virtual_streams": self.config.n_virtual_streams,
+                "seed": self.config.seed,
+                "maintain_summary": self.config.maintain_summary,
+            },
+            "n_trees": sum(shard.synopsis.n_trees for shard in self.shards),
+            "shards": [
+                {
+                    "index": shard.index,
+                    "trees": shard.synopsis.n_trees,
+                    "pending": shard.pending,
+                    "alive": shard.alive,
+                    "fault": (
+                        None if shard.error() is None else repr(shard.error())
+                    ),
+                }
+                for shard in self.shards
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start every shard's drain thread."""
+        for shard in self.shards:
+            shard.start()
+
+    def stop(self) -> list[Path]:
+        """Graceful shutdown: gate ingress, drain, stop, checkpoint.
+
+        The SIGTERM path: new submissions are refused, every queued
+        batch is applied, the drain threads exit, and (when a
+        checkpoint directory is configured) each quiesced shard writes
+        a final checkpoint — so a restart with ``resume=True`` loses
+        nothing that was ever acknowledged.  Returns the checkpoint
+        paths written (empty without a checkpoint directory).
+        """
+        with self._gate:
+            if self._stopped:
+                return []
+            self._stopped = True
+            for shard in self.shards:
+                shard.stop(drain=True)
+            return self._checkpoint_quiesced()
+
+    # ------------------------------------------------------------------
+    # Ingest path (HTTP handler threads)
+    # ------------------------------------------------------------------
+    def submit(self, trees: list[LabeledTree]) -> dict:
+        """Route one batch to the next shard (round-robin), non-blocking.
+
+        Raises ``queue.Full`` (→ 503) when the chosen shard is
+        saturated and :class:`ApiError` 503 after shutdown began.  The
+        admin gate is held only for the enqueue itself, so ingest
+        stalls exactly while a quiescing admin operation runs.
+        """
+        with self._gate:
+            if self._stopped:
+                raise ApiError("service is shutting down", status=503)
+            with self._route_lock:
+                index = self._next_shard
+                self._next_shard = (index + 1) % len(self.shards)
+            self.shards[index].submit(trees)
+        return {"accepted": len(trees), "shard": index}
+
+    # ------------------------------------------------------------------
+    # Read path (lock-free: sums of per-shard estimates)
+    # ------------------------------------------------------------------
+    def estimate_ordered(self, query: str) -> float:
+        return sum(s.synopsis.estimate_ordered(query) for s in self.shards)
+
+    def estimate_unordered(self, query: str) -> float:
+        return sum(s.synopsis.estimate_unordered(query) for s in self.shards)
+
+    def estimate_sum(self, queries: list[str]) -> float:
+        queries = list(queries)  # one materialised list for every shard
+        return sum(s.synopsis.estimate_sum(queries) for s in self.shards)
+
+    def estimate_xpath(self, query: str) -> float:
+        return sum(s.synopsis.estimate_xpath(query) for s in self.shards)
+
+    def estimate(self, kind: str, parsed: object) -> dict:
+        """Dispatch a validated ``/estimate/<kind>`` request."""
+        if kind == "sum":
+            estimate = self.estimate_sum(parsed)  # type: ignore[arg-type]
+        elif kind == "ordered":
+            estimate = self.estimate_ordered(parsed)  # type: ignore[arg-type]
+        elif kind == "unordered":
+            estimate = self.estimate_unordered(parsed)  # type: ignore[arg-type]
+        elif kind == "xpath":
+            estimate = self.estimate_xpath(parsed)  # type: ignore[arg-type]
+        else:  # pragma: no cover — parse_estimate_request rejects first
+            raise ApiError(f"unknown estimate kind {kind!r}", status=404)
+        return {
+            "kind": kind,
+            "estimate": estimate,
+            "shards": len(self.shards),
+            "n_trees": sum(s.synopsis.n_trees for s in self.shards),
+        }
+
+    # ------------------------------------------------------------------
+    # Admin path (quiesce-and-merge under the gate)
+    # ------------------------------------------------------------------
+    def merged_synopsis(self) -> SketchTree:
+        """Quiesce the shards and merge them into one fresh synopsis.
+
+        Holds the admin gate (stalling new ingest), drains every queue
+        to empty — so no updates are in flight — then ``merge()``s the
+        shard synopses.  By linearity the result is bit-identical to a
+        single-threaded synopsis over the concatenated stream; the
+        caller owns the returned copy, which no shard mutates later.
+        """
+        with self._gate:
+            return self._merge_quiesced()
+
+    def admin_estimate(self, kind: str, parsed: object) -> dict:
+        """An exact-merge estimate: one answer over one merged synopsis.
+
+        Unlike the lock-free read path (sum of per-shard medians), this
+        is the estimate a single-node synopsis over the whole stream
+        would produce — the bit-identical reference for audits and
+        tests, at the cost of stalling ingest while it runs.
+        """
+        merged = self.merged_synopsis()
+        if kind == "sum":
+            estimate = merged.estimate_sum(parsed)
+        elif kind == "ordered":
+            estimate = merged.estimate_ordered(parsed)
+        elif kind == "unordered":
+            estimate = merged.estimate_unordered(parsed)
+        elif kind == "xpath":
+            estimate = merged.estimate_xpath(parsed)
+        else:
+            raise ApiError(f"unknown estimate kind {kind!r}", status=404)
+        return {
+            "kind": kind,
+            "estimate": estimate,
+            "merged": True,
+            "n_trees": merged.n_trees,
+        }
+
+    def drain(self) -> dict:
+        """Quiesce: stall ingress, wait until every queue is applied."""
+        with self._gate:
+            for shard in self.shards:
+                shard.drain()
+        return {"drained": True, "n_trees": sum(
+            shard.synopsis.n_trees for shard in self.shards
+        )}
+
+    def snapshot(self) -> list[Path]:
+        """Checkpoint every shard at a common quiesced point."""
+        if not self.checkpoints:
+            raise ApiError(
+                "no checkpoint directory configured (--checkpoint-dir)",
+                status=409,
+            )
+        with self._gate:
+            for shard in self.shards:
+                shard.drain()
+            return self._checkpoint_quiesced()
+
+    def _merge_quiesced(self) -> SketchTree:  # sketchlint: guarded-by=_gate
+        for shard in self.shards:
+            shard.drain()
+        merged = SketchTree(self.config)
+        for shard in self.shards:
+            merged = merged.merge(shard.synopsis)
+        return merged
+
+    def _checkpoint_quiesced(self) -> list[Path]:  # sketchlint: guarded-by=_gate
+        if not self.checkpoints:
+            return []
+        return [
+            manager.save(shard.synopsis)
+            for manager, shard in zip(self.checkpoints, self.shards)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedService(shards={len(self.shards)}, "
+            f"trees={sum(s.synopsis.n_trees for s in self.shards)}, "
+            f"stopped={self._stopped})"
+        )
+
+
+#: Re-exported for the API layer's dispatch table.
+assert set(ESTIMATE_KINDS) == {"ordered", "unordered", "sum", "xpath"}

@@ -209,6 +209,41 @@ class TestExporters:
         registry.counter("weird-name.total").inc()
         assert "repro_weird_name_total 1" in to_prometheus_text(registry)
 
+    def test_prometheus_escapes_help_text(self):
+        """Regression: HELP strings with newlines or backslashes must be
+        escaped per the exposition format (0.0.4), or the remainder of a
+        multi-line help text parses as garbage sample lines."""
+        registry = MetricsRegistry()
+        registry.gauge(
+            "depth", help="line one\nline two (bounded)"
+        ).set(3)
+        registry.counter("paths_total", help="matches C:\\trees\\*").inc(2)
+        text = to_prometheus_text(registry)
+        assert "# HELP repro_depth line one\\nline two (bounded)" in text
+        assert "# HELP repro_paths_total matches C:\\\\trees\\\\*" in text
+        assert "\nline two" not in text  # no raw newline leaked through
+
+    def test_prometheus_text_parse_round_trip(self):
+        """Every line of the exposition must scan as a comment or a
+        sample, and un-escaping HELP recovers the original help text."""
+        registry = self.build_registry()
+        registry.gauge("tricky", help="a\\b\nc").set(1)
+        helps = {}
+        for line in to_prometheus_text(registry).splitlines():
+            assert line, "no blank/garbage lines"
+            if line.startswith("# HELP "):
+                name, escaped = line[len("# HELP "):].split(" ", 1)
+                helps[name] = (
+                    escaped.replace("\\n", "\n").replace("\\\\", "\\")
+                )
+            elif line.startswith("# TYPE "):
+                name, kind = line[len("# TYPE "):].split(" ")
+                assert kind in ("counter", "gauge", "histogram")
+            else:  # a sample: name{labels} value
+                name, value = line.rsplit(" ", 1)
+                float(value)
+        assert helps["repro_tricky"] == "a\\b\nc"
+
     def test_json_dict_round_trips(self):
         payload = to_json_dict(self.build_registry())
         clone = json.loads(json.dumps(payload))

@@ -1,0 +1,494 @@
+"""Integration tests for the sharded serving tier (:mod:`repro.serve`).
+
+The load-bearing assertion is the merge contract over HTTP: after
+concurrent multi-shard ingest with estimate queries in flight, the
+quiesced ``/admin/estimate/*`` answers must be **bit-identical** to a
+single-threaded :class:`SketchTree` fed the concatenated stream — AMS
+linearity end to end, through the queue/drain/merge machinery.
+
+The suite boots real servers on ephemeral ports (``http.server`` in a
+background thread) — no sockets are mocked.
+"""
+
+import json
+import queue
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.config import SketchTreeConfig
+from repro.core.sketchtree import SketchTree
+from repro.errors import ConfigError
+from repro.obs.registry import MetricsRegistry
+from repro.serve.api import make_server
+from repro.serve.app import ServerApp, build_parser, run_from_args
+from repro.serve.models import (
+    ApiError,
+    parse_estimate_request,
+    parse_ingest_request,
+)
+from repro.serve.service import ShardedService
+from repro.serve.shards import IngestShard
+from repro.trees import from_sexpr
+
+CONFIG = SketchTreeConfig(
+    s1=40, s2=5, max_pattern_edges=3, n_virtual_streams=31, seed=7
+)
+
+STREAM = [
+    "(A (B) (C))",
+    "(A (C) (B))",
+    "(A (B (C)))",
+    "(A (B) (C))",
+    "(X (A (B)))",
+    "(A (B) (B))",
+    "(A (B (C) (B)))",
+    "(X (A (C)))",
+] * 6
+
+QUERIES = ["(A (B))", "(A (C))", "(X (A))", "(A (B (C)))"]
+
+
+def reference_synopsis(texts=STREAM):
+    synopsis = SketchTree(CONFIG)
+    synopsis.update_batch([from_sexpr(text) for text in texts])
+    return synopsis
+
+
+class Client:
+    """A tiny JSON client over urllib (raises nothing on 4xx/5xx)."""
+
+    def __init__(self, port):
+        self.base = f"http://127.0.0.1:{port}"
+
+    def get(self, path):
+        try:
+            with urllib.request.urlopen(self.base + path, timeout=30) as resp:
+                return resp.status, resp.read().decode()
+        except urllib.error.HTTPError as error:
+            return error.code, error.read().decode()
+
+    def post(self, path, payload):
+        request = urllib.request.Request(
+            self.base + path,
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+
+@pytest.fixture
+def server(tmp_path):
+    """A started 3-shard server on an ephemeral port, stopped afterwards."""
+    service = ShardedService(
+        CONFIG, n_shards=3, checkpoint_dir=tmp_path / "ckpts"
+    )
+    app = ServerApp(service, port=0)
+    app.start()
+    yield app, Client(app.port)
+    app.request_stop()
+    app.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Schemas
+# ---------------------------------------------------------------------------
+
+
+class TestModels:
+    def test_ingest_parses_sexprs(self):
+        trees = parse_ingest_request({"trees": ["(A (B))", "(C)"]})
+        # The root is the last node in postorder.
+        assert [tree.labels[-1] for tree in trees] == ["A", "C"]
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            [],
+            {},
+            {"trees": []},
+            {"trees": "not-a-list"},
+            {"trees": [42]},
+            {"trees": ["(unclosed"]},
+        ],
+    )
+    def test_ingest_rejections_are_400(self, payload):
+        with pytest.raises(ApiError) as excinfo:
+            parse_ingest_request(payload)
+        assert excinfo.value.status == 400
+
+    def test_ingest_oversize_is_413(self):
+        with pytest.raises(ApiError) as excinfo:
+            parse_ingest_request({"trees": ["(A)"] * 10_001})
+        assert excinfo.value.status == 413
+
+    def test_ingest_error_names_the_position(self):
+        with pytest.raises(ApiError, match=r"trees\[1\]"):
+            parse_ingest_request({"trees": ["(A)", "(("]})
+
+    def test_estimate_unknown_kind_is_404(self):
+        with pytest.raises(ApiError) as excinfo:
+            parse_estimate_request("median", {"query": "(A)"})
+        assert excinfo.value.status == 404
+
+    def test_estimate_sum_takes_queries_list(self):
+        assert parse_estimate_request("sum", {"queries": ["(A)"]}) == ["(A)"]
+        with pytest.raises(ApiError):
+            parse_estimate_request("sum", {"query": "(A)"})
+
+    def test_estimate_single_takes_query_string(self):
+        assert parse_estimate_request("ordered", {"query": "(A)"}) == "(A)"
+        with pytest.raises(ApiError):
+            parse_estimate_request("ordered", {"queries": ["(A)"]})
+
+
+# ---------------------------------------------------------------------------
+# Shards
+# ---------------------------------------------------------------------------
+
+
+class TestIngestShard:
+    def test_drain_means_applied(self):
+        shard = IngestShard(0, CONFIG)
+        shard.start()
+        shard.submit([from_sexpr(text) for text in STREAM])
+        shard.drain()
+        assert shard.synopsis.n_trees == len(STREAM)
+        shard.stop()
+
+    def test_full_queue_backpressures(self):
+        shard = IngestShard(0, CONFIG, max_pending=1)  # never started
+        shard.submit([from_sexpr("(A)")])
+        with pytest.raises(queue.Full):
+            shard.submit([from_sexpr("(A)")])
+
+    def test_submit_after_stop_is_refused(self):
+        shard = IngestShard(0, CONFIG)
+        shard.start()
+        shard.stop()
+        with pytest.raises(ConfigError):
+            shard.submit([from_sexpr("(A)")])
+
+    def test_fault_is_recorded_and_quiesce_survives(self):
+        shard = IngestShard(0, CONFIG)
+        shard.start()
+        shard._queue.put_nowait(object())  # not a batch: the writer faults
+        shard.submit([from_sexpr("(A)")])  # still consumed and acked
+        shard.drain()  # must not deadlock on the faulted shard
+        assert shard.error() is not None
+        shard.stop()
+
+    def test_restored_synopsis_config_must_match(self):
+        other = SketchTree(
+            SketchTreeConfig(s1=10, s2=3, n_virtual_streams=31, seed=1)
+        )
+        with pytest.raises(ConfigError):
+            IngestShard(0, CONFIG, synopsis=other)
+
+
+# ---------------------------------------------------------------------------
+# Service (no HTTP)
+# ---------------------------------------------------------------------------
+
+
+class TestShardedService:
+    def test_rejects_topk_config(self):
+        with pytest.raises(ConfigError):
+            ShardedService(
+                SketchTreeConfig(
+                    s1=10, s2=3, n_virtual_streams=31, topk_size=2
+                )
+            )
+
+    def test_rejects_resume_without_dir(self):
+        with pytest.raises(ConfigError):
+            ShardedService(CONFIG, resume=True)
+
+    def test_round_robin_covers_all_shards(self):
+        service = ShardedService(CONFIG, n_shards=3)
+        service.start()
+        for text in STREAM:
+            service.submit([from_sexpr(text)])
+        service.drain()
+        assert [s.synopsis.n_trees for s in service.shards] == [16, 16, 16]
+        service.stop()
+
+    def test_merged_is_bit_identical_to_serial_run(self):
+        service = ShardedService(CONFIG, n_shards=4)
+        service.start()
+        service.submit([from_sexpr(text) for text in STREAM])
+        merged = service.merged_synopsis()
+        reference = reference_synopsis()
+        for query in QUERIES:
+            assert merged.estimate_ordered(query) == reference.estimate_ordered(
+                query
+            )
+        service.stop()
+
+    def test_stop_is_idempotent_and_refuses_ingest(self):
+        service = ShardedService(CONFIG, n_shards=2)
+        service.start()
+        service.stop()
+        assert service.stop() == []
+        with pytest.raises(ApiError):
+            service.submit([from_sexpr("(A)")])
+
+    def test_health_and_ready_derive_from_gauges(self):
+        registry = MetricsRegistry()
+        service = ShardedService(CONFIG, n_shards=2, metrics=registry)
+        assert not service.ready()["ready"]  # drain threads not started
+        service.start()
+        assert service.ready()["ready"]
+        assert service.health()["status"] == "ok"
+        assert registry.gauge("serve_shards_alive").value == 2
+        service.stop()
+        assert not service.ready()["ready"]
+
+
+# ---------------------------------------------------------------------------
+# HTTP integration
+# ---------------------------------------------------------------------------
+
+
+class TestHttpIntegration:
+    def test_concurrent_ingest_then_merged_estimates_bit_identical(
+        self, server
+    ):
+        """The acceptance test: ≥2 shards, concurrent ingest with reads
+        in flight, then quiesced merge answers == single-threaded run."""
+        app, client = server
+        chunks = [STREAM[i : i + 4] for i in range(0, len(STREAM), 4)]
+        read_errors = []
+        stop_reading = threading.Event()
+
+        def reader():
+            while not stop_reading.is_set():
+                status, body = client.post(
+                    "/estimate/ordered", {"query": "(A (B))"}
+                )
+                if status != 200 or "estimate" not in body:
+                    read_errors.append((status, body))
+
+        def writer(chunk):
+            status, body = client.post("/ingest", {"trees": chunk})
+            assert status == 202, body
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in readers:
+            thread.start()
+        writers = [
+            threading.Thread(target=writer, args=(chunk,)) for chunk in chunks
+        ]
+        for thread in writers:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        stop_reading.set()
+        for thread in readers:
+            thread.join()
+        assert not read_errors
+
+        status, drained = client.post("/admin/drain", {})
+        assert status == 200 and drained["n_trees"] == len(STREAM)
+        reference = reference_synopsis()
+        for query in QUERIES:
+            status, body = client.post(
+                "/admin/estimate/ordered", {"query": query}
+            )
+            assert status == 200
+            assert body["estimate"] == reference.estimate_ordered(query)
+        status, body = client.post(
+            "/admin/estimate/sum", {"queries": QUERIES}
+        )
+        assert body["estimate"] == reference.estimate_sum(QUERIES)
+
+    def test_lockfree_estimates_sum_per_shard_answers(self, server):
+        app, client = server
+        client.post("/ingest", {"trees": STREAM})
+        client.post("/admin/drain", {})
+        expected = sum(
+            shard.synopsis.estimate_unordered("(A (B))")
+            for shard in app.service.shards
+        )
+        status, body = client.post(
+            "/estimate/unordered", {"query": "(A (B))"}
+        )
+        assert status == 200 and body["estimate"] == expected
+
+    def test_xpath_estimates_serve(self, server):
+        app, client = server
+        client.post("/ingest", {"trees": STREAM})
+        client.post("/admin/drain", {})
+        status, body = client.post("/estimate/xpath", {"query": "/A/B"})
+        assert status == 200 and body["estimate"] > 0
+
+    def test_health_ready_and_stats(self, server):
+        app, client = server
+        assert client.get("/healthz")[0] == 200
+        assert client.get("/readyz")[0] == 200
+        client.post("/ingest", {"trees": STREAM[:8]})
+        client.post("/admin/drain", {})
+        stats = json.loads(client.get("/stats")[1])
+        assert stats["n_trees"] == 8
+        assert len(stats["shards"]) == 3
+        assert stats["config"]["seed"] == CONFIG.seed
+
+    def test_metrics_endpoint_parses_with_multiline_help(self, server):
+        """The live /metrics text must scan line-by-line even though
+        serve_queue_depth's HELP is deliberately multi-line."""
+        app, client = server
+        client.post("/ingest", {"trees": STREAM[:8]})
+        client.post("/admin/drain", {})
+        status, text = client.get("/metrics")
+        assert status == 200
+        helps = {}
+        for line in text.splitlines():
+            assert line, "blank line in exposition output"
+            if line.startswith("# HELP "):
+                name, escaped = line[len("# HELP "):].split(" ", 1)
+                helps[name] = escaped
+            elif line.startswith("# TYPE "):
+                assert line.split(" ")[-1] in ("counter", "gauge", "histogram")
+            else:
+                float(line.rsplit(" ", 1)[1])
+        assert "\\n" in helps["repro_serve_queue_depth"]  # escaped, not raw
+        assert "repro_serve_trees_total 8" in text
+        assert "repro_serve_shards 3" in text
+
+    def test_error_mapping(self, server):
+        app, client = server
+        assert client.post("/ingest", {"trees": []})[0] == 400
+        assert client.post("/estimate/median", {"query": "(A)"})[0] == 404
+        assert client.get("/nope")[0] == 404
+        assert client.post("/nope", {})[0] == 404
+        # An invalid pattern reaches the synopsis and maps to a 400.
+        status, body = client.post(
+            "/estimate/ordered", {"query": "(A (B (C (D (E)))))"}
+        )
+        assert status == 400 and "error" in body
+
+    def test_backpressure_is_503_with_retry_after(self, tmp_path):
+        service = ShardedService(CONFIG, n_shards=1, max_pending=1)
+        # Shards deliberately NOT started: the queue can only fill.
+        httpd = make_server(service)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        client = Client(httpd.server_address[1])
+        try:
+            assert client.post("/ingest", {"trees": ["(A)"]})[0] == 202
+            status, body = client.post("/ingest", {"trees": ["(A)"]})
+            assert status == 503
+            assert "retry" in body["error"].lower()
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+
+    def test_snapshot_resume_round_trip(self, tmp_path):
+        first = ShardedService(
+            CONFIG, n_shards=2, checkpoint_dir=tmp_path / "ck"
+        )
+        app = ServerApp(first, port=0)
+        app.start()
+        client = Client(app.port)
+        client.post("/ingest", {"trees": STREAM})
+        status, body = client.post("/admin/snapshot", {})
+        assert status == 200 and len(body["checkpoints"]) == 2
+        app.request_stop()
+        app.wait_for_signal()
+        finals = app.shutdown()
+        assert len(finals) == 2  # SIGTERM path writes final checkpoints
+
+        second = ShardedService(
+            CONFIG, n_shards=2, checkpoint_dir=tmp_path / "ck", resume=True
+        )
+        second.start()
+        reference = reference_synopsis()
+        merged = second.merged_synopsis()
+        for query in QUERIES:
+            assert merged.estimate_ordered(query) == reference.estimate_ordered(
+                query
+            )
+        second.stop()
+
+    def test_snapshot_without_dir_is_409(self):
+        service = ShardedService(CONFIG, n_shards=1)
+        service.start()
+        httpd = make_server(service)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            assert Client(httpd.server_address[1]).post(
+                "/admin/snapshot", {}
+            )[0] == 409
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.stop()
+
+    def test_graceful_stop_applies_queued_batches(self, tmp_path):
+        service = ShardedService(CONFIG, n_shards=2)
+        app = ServerApp(service, port=0)
+        app.start()
+        client = Client(app.port)
+        client.post("/ingest", {"trees": STREAM})
+        app.request_stop()
+        app.wait_for_signal()
+        app.shutdown()  # must drain before joining the drain threads
+        total = sum(shard.synopsis.n_trees for shard in service.shards)
+        assert total == len(STREAM)
+        # The listener is closed: new connections are refused.
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{app.port}/healthz", timeout=2
+            )
+
+
+# ---------------------------------------------------------------------------
+# CLI entry points
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_module_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.port == 8080 and args.shards == 4
+
+    def test_experiments_cli_has_serve_subcommand(self):
+        from repro.cli import build_parser as experiments_parser
+
+        args = experiments_parser().parse_args(
+            ["serve", "--port", "0", "--shards", "2"]
+        )
+        assert args.experiment == "serve" and args.shards == 2
+
+    def test_run_from_args_serves_and_stops_on_signal(self, capsys):
+        args = build_parser().parse_args(
+            ["--port", "0", "--shards", "2", "--s1", "20", "--streams", "31"]
+        )
+        # Drive run_from_args from a helper thread: install_signal_handlers
+        # requires the main thread, so patch it out and stop via the app.
+        import repro.serve.app as app_module
+
+        original_wait = app_module.ServerApp.wait_for_signal
+        original_install = app_module.ServerApp.install_signal_handlers
+
+        def wait_and_record(self):
+            self.request_stop()
+            original_wait(self)
+
+        app_module.ServerApp.install_signal_handlers = lambda self: None
+        app_module.ServerApp.wait_for_signal = wait_and_record
+        try:
+            assert run_from_args(args) == 0
+        finally:
+            app_module.ServerApp.install_signal_handlers = original_install
+            app_module.ServerApp.wait_for_signal = original_wait
+        out = capsys.readouterr().out
+        assert "serving on http://" in out
+        assert "stopped cleanly" in out

@@ -699,13 +699,34 @@ class TestAcceptanceMutations:
 class TestDefaultConfig:
     def test_groups_cover_the_serving_tier(self):
         names = {group.name for group in DEFAULT_CONFIG.groups}
-        assert names == {"ingest", "query", "admin", "metrics", "lint-workers"}
+        assert names == {
+            "ingest",
+            "query",
+            "admin",
+            "metrics",
+            "lint-workers",
+            "http-handlers",
+            "shard-ingest",
+        }
 
     def test_query_and_metrics_are_self_parallel(self):
         parallel = {g.name for g in DEFAULT_CONFIG.groups if g.parallel}
         assert "query" in parallel
         assert "metrics" in parallel
+        assert "http-handlers" in parallel
+        assert "shard-ingest" in parallel
         assert "ingest" not in parallel
+
+    def test_shard_drain_loop_is_in_the_single_writer_ingest_group(self):
+        """The drain thread is the synopsis' one writer — it must live in
+        the non-parallel `ingest` group, not a parallel one, or SKL205
+        would see the synopsis RNG consumed from two concurrent groups."""
+        ingest = next(g for g in DEFAULT_CONFIG.groups if g.name == "ingest")
+        assert "repro.serve.shards.IngestShard._drain_loop" in ingest.patterns
+        shard_ingest = next(
+            g for g in DEFAULT_CONFIG.groups if g.name == "shard-ingest"
+        )
+        assert not any("_drain_loop" in p for p in shard_ingest.patterns)
 
 
 class TestBaselineDeterminism:

@@ -173,11 +173,105 @@ class TestUpdateBatch:
             window.ingest(self.TREES, batch_trees=0)
 
     def test_stream_processor_batches_into_window(self):
-        from repro.stream import StreamProcessor
-
         per_tree = WindowedSketchTree(CONFIG, window_trees=6, bucket_trees=3)
         batched = WindowedSketchTree(CONFIG, window_trees=6, bucket_trees=3)
         for tree in self.TREES:
             per_tree.update(tree)
+        from repro.stream import StreamProcessor
+
         StreamProcessor([batched], batch_trees=5).run(self.TREES)
         self.assert_same_window_state(per_tree, batched)
+
+
+class TestReadPathParity:
+    """The window must answer every read the synopsis answers.
+
+    The reference for each query method is the ``merged()`` synopsis —
+    by linearity, bit-identical to a single :class:`SketchTree` fed the
+    window's live trees — so these pin both *presence* of the delegated
+    methods and exact agreement with whole-stream semantics.
+    """
+
+    TREES = [
+        from_sexpr(text)
+        for text in ["(A (B) (C))", "(A (B (C)))", "(E (E1))", "(A (C))"] * 4
+    ]
+
+    @staticmethod
+    def window(bucket_trees=3):
+        window = WindowedSketchTree(
+            CONFIG, window_trees=9, bucket_trees=bucket_trees
+        )
+        window.ingest(TestReadPathParity.TREES)
+        return window
+
+    def test_estimate_sum_accepts_a_generator(self):
+        """Regression: a generator argument must count in *every* live
+        bucket, not just the first (which would silently undercount)."""
+        window = self.window()
+        assert window.n_live_buckets > 1  # the bug needs several buckets
+        queries = ["(A (B))", "(A (C))"]
+        from_list = window.estimate_sum(queries)
+        from_generator = window.estimate_sum(q for q in queries)
+        assert from_generator == from_list
+        assert from_list != 0.0
+
+    def test_estimate_sum_generator_matches_per_bucket_sum(self):
+        window = self.window()
+        queries = ["(A (B))", "(E (E1))"]
+        expected = sum(
+            bucket.estimate_sum(queries) for bucket in window._live_buckets()
+        )
+        assert window.estimate_sum(iter(queries)) == expected
+
+    def test_estimate_or_delegates_to_live_buckets(self):
+        window = self.window()
+        query = "(A (B|C))"
+        expected = sum(
+            bucket.estimate_or(query) for bucket in window._live_buckets()
+        )
+        assert window.estimate_or(query) == expected
+        assert window.estimate_or(query) != 0.0
+
+    def test_self_join_size_matches_merged_synopsis(self):
+        """Summed-counter SJ, not sum of per-bucket SJs: frequencies add
+        across buckets and SJ is quadratic in them."""
+        window = self.window()
+        merged = window.merged()
+        assert window.estimate_self_join_size() == pytest.approx(
+            merged.estimate_self_join_size()
+        )
+        per_bucket = sum(
+            b.estimate_self_join_size() for b in window._live_buckets()
+        )
+        # With the same tree repeated across buckets the per-bucket sum
+        # is a strict undercount of the true combined quantity.
+        assert per_bucket < merged.estimate_self_join_size()
+
+    def test_ordered_interval_matches_merged_synopsis(self):
+        window = self.window()
+        merged = window.merged()
+        ours = window.estimate_ordered_interval("(A (B))", confidence=0.95)
+        reference = merged.estimate_ordered_interval("(A (B))", confidence=0.95)
+        assert ours.estimate == reference.estimate
+        assert ours.half_width == reference.half_width
+        assert ours.confidence == reference.confidence
+
+    def test_ordered_interval_unallocated_stream_is_exact_zero(self):
+        window = WindowedSketchTree(CONFIG, window_trees=9, bucket_trees=3)
+        interval = window.estimate_ordered_interval("(A (B))")
+        assert interval.estimate == 0.0
+        assert interval.half_width == 0.0
+
+    def test_merged_is_bit_identical_to_single_synopsis(self):
+        from repro.core import SketchTree
+
+        window = self.window(bucket_trees=4)
+        live_trees = self.TREES[-window.window_size_actual :]
+        reference = SketchTree(CONFIG)
+        reference.update_batch(live_trees)
+        merged = window.merged()
+        for query in ["(A (B))", "(A (C))", "(E (E1))"]:
+            assert merged.estimate_ordered(query) == reference.estimate_ordered(
+                query
+            )

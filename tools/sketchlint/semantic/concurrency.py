@@ -125,6 +125,9 @@ DEFAULT_CONFIG = ConcurrencyConfig(
                 "repro.core.sketchtree.SketchTree.ingest*",
                 "repro.stream.engine.StreamProcessor.run",
                 "repro.stream.engine.StreamProcessor.resume",
+                # Each serving shard's drain loop is the single writer of
+                # its own synopsis — the same thread kind as `ingest`.
+                "repro.serve.shards.IngestShard._drain_loop",
             ),
             parallel=False,
         ),
@@ -147,6 +150,31 @@ DEFAULT_CONFIG = ConcurrencyConfig(
         EntrypointGroup(
             "metrics",
             ("repro.obs.registry.*", "repro.obs.export.*"),
+            parallel=True,
+        ),
+        EntrypointGroup(
+            # The serving tier's HTTP handler threads: every route of the
+            # API plus the service facade they call into runs on an
+            # arbitrary ThreadingHTTPServer worker, many at once.
+            "http-handlers",
+            (
+                "repro.serve.api.*",
+                "repro.serve.service.ShardedService.*",
+            ),
+            parallel=True,
+        ),
+        EntrypointGroup(
+            # The cross-thread ingress surface of a shard: submit /
+            # drain / stop arrive from any handler thread concurrently
+            # (the drain loop itself belongs to `ingest` above).
+            "shard-ingest",
+            (
+                "repro.serve.shards.IngestShard.submit",
+                "repro.serve.shards.IngestShard.drain",
+                "repro.serve.shards.IngestShard.stop",
+                "repro.serve.shards.IngestShard.start",
+                "repro.serve.shards.IngestShard.error",
+            ),
             parallel=True,
         ),
         EntrypointGroup(
