@@ -20,6 +20,11 @@ answer.  Results (trees/sec, values/sec, speedup) are written as JSON —
 by default ``BENCH_ingest.json`` at the repo root, which CI uploads as
 an artifact.
 
+The batched run is instrumented with a live
+:class:`~repro.obs.MetricsRegistry`, so the report also breaks the
+batched wall time into the pipeline's span stages (enumerate → encode →
+apply) — the numbers profiling would otherwise have to re-derive.
+
 Run::
 
     PYTHONPATH=src python benchmarks/bench_ingest.py --trees 120
@@ -28,6 +33,7 @@ Run::
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import sys
 import time
@@ -38,6 +44,7 @@ import numpy as np
 from repro import SketchTree, SketchTreeConfig
 from repro.datasets import DblpGenerator, TreebankGenerator
 from repro.enumtree.enumerate import iter_pattern_multiset
+from repro.obs import MetricsRegistry
 from repro.stream import StreamProcessor
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -62,14 +69,22 @@ def ingest_legacy(synopsis: SketchTree, trees: list) -> tuple[float, int]:
     k = synopsis.config.max_pattern_edges
     encoder = synopsis.encoder
     streams = synopsis.streams
-    start = time.perf_counter()
-    n_values = 0
-    for tree in trees:
-        for pattern in iter_pattern_multiset(tree, k):
-            value = encoder.encode(pattern)
-            streams.sketch(streams.residue(value)).update(value)
-            n_values += 1
-    elapsed = time.perf_counter() - start
+    # Collect setup garbage and pause the collector for the timed region:
+    # whichever path runs second would otherwise pay cycle-scan time over
+    # the first path's still-live caches (both paths get the same terms).
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        n_values = 0
+        for tree in trees:
+            for pattern in iter_pattern_multiset(tree, k):
+                value = encoder.encode(pattern)
+                streams.sketch(streams.residue(value)).update(value)
+                n_values += 1
+        elapsed = time.perf_counter() - start
+    finally:
+        gc.enable()
     return elapsed, n_values
 
 
@@ -78,10 +93,34 @@ def ingest_batched(
 ) -> tuple[float, int]:
     """The shipped path: StreamProcessor cross-tree micro-batching."""
     processor = StreamProcessor([synopsis], batch_trees=batch_trees)
-    start = time.perf_counter()
-    processor.run(trees)
-    elapsed = time.perf_counter() - start
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        processor.run(trees)
+        elapsed = time.perf_counter() - start
+    finally:
+        gc.enable()
     return elapsed, synopsis.n_values
+
+
+def stage_timings(metrics: MetricsRegistry) -> dict[str, dict]:
+    """Per-stage span totals (``ingest_*_seconds`` histograms) as JSON.
+
+    The batched synopsis runs with a live registry, so the pipeline's own
+    spans (enumerate → encode → apply, see ``SketchTree.update_batch``)
+    accumulate the stage breakdown as a side effect of the timed run.
+    """
+    stages: dict[str, dict] = {}
+    for histogram in metrics.all_histograms():
+        name = histogram.name
+        if name.startswith("ingest_") and name.endswith("_seconds"):
+            stage = name[len("ingest_") : -len("_seconds")]
+            stages[stage] = {
+                "seconds": round(histogram.total, 6),
+                "spans": histogram.count,
+            }
+    return stages
 
 
 def counters_of(synopsis: SketchTree) -> list[np.ndarray]:
@@ -96,7 +135,8 @@ def run_dataset(name: str, n_trees: int, batch_trees: int, seed: int) -> dict:
     legacy_st = SketchTree(make_config(seed))
     legacy_seconds, n_values = ingest_legacy(legacy_st, trees)
 
-    batched_st = SketchTree(make_config(seed))
+    metrics = MetricsRegistry()
+    batched_st = SketchTree(make_config(seed), metrics=metrics)
     batched_seconds, batched_values = ingest_batched(batched_st, trees, batch_trees)
 
     identical = batched_values == n_values and all(
@@ -119,6 +159,7 @@ def run_dataset(name: str, n_trees: int, batch_trees: int, seed: int) -> dict:
             "seconds": round(batched_seconds, 6),
             "trees_per_second": round(n_trees / batched_seconds, 2),
             "values_per_second": round(n_values / batched_seconds, 2),
+            "stages": stage_timings(metrics),
         },
         "speedup": round(speedup, 2),
     }

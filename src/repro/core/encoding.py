@@ -29,14 +29,14 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Iterable, Sequence
+from typing import Iterable, Sequence, cast
 
 from repro.core.config import LABEL_SEED_OFFSET
 from repro.errors import ConfigError
 from repro.hashing.labels import LabelHasher
 from repro.hashing.pairing import pair_sequences
 from repro.hashing.rabin import RabinFingerprint
-from repro.prufer.sequences import prufer_of_nested
+from repro.prufer.sequences import _extended_postorder
 from repro.trees.tree import Nested
 
 #: Default bound on distinct patterns memoised by a PatternEncoder.
@@ -108,11 +108,23 @@ class PatternEncoder:  # sketchlint: thread-safe
             cache.popitem(last=False)
 
     def _sequence_of(self, pattern: Nested) -> list[int]:
-        """The concatenated ``hash(LPS).NPS`` integer sequence."""
-        sequences = prufer_of_nested(pattern)
+        """The concatenated ``hash(LPS).NPS`` integer sequence.
+
+        Works on the raw postorder ``(labels, parents)`` arrays directly:
+        ``NPS[i] = parents[i]`` and ``LPS[i] = labels[parents[i] − 1]``
+        for ``i < n − 1`` (see :mod:`repro.prufer.sequences`), so
+        materialising a :class:`PruferSequences` per distinct pattern on
+        the encode hot path would only add tuple/dataclass churn.
+        """
+        raw_labels, parents = _extended_postorder(pattern)
+        # Parents are always internal (original) nodes, never dummies, so
+        # the labels indexed below are real strings — only dummy entries
+        # carry None.
+        labels = cast("list[str]", raw_labels)
         label_hash = self._labels
-        values = [label_hash(label) for label in sequences.lps]
-        values.extend(sequences.nps)
+        nps = parents[:-1]
+        values = [label_hash(labels[p - 1]) for p in nps]
+        values.extend(nps)
         return values
 
     def _encode_distinct(self, patterns: Sequence[Nested]) -> list[int]:

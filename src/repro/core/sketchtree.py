@@ -43,7 +43,7 @@ from repro.core.encoding import PatternEncoder
 from repro.core.expressions import Expression, required_independence
 from repro.core.memory import MemoryReport
 from repro.core.virtual import VirtualStreams
-from repro.enumtree.enumerate import collect_forest_patterns
+from repro.enumtree.enumerate import PatternTableMemo, collect_forest_patterns
 from repro.errors import ConfigError, QueryError
 from repro.obs.registry import COUNT_BUCKETS, Registry, get_default_registry
 from repro.query.pattern import arrangements, pattern_edges, validate_pattern
@@ -133,6 +133,10 @@ class SketchTree:  # sketchlint: single-writer
             xi_family=config.xi_family,
         )
         self._rng = np.random.default_rng(config.seed ^ TOPK_RNG_SALT)
+        # Canonical-subtree → pattern-table cache shared across every tree
+        # this synopsis ingests.  Pure enumeration speedup (bit-identical
+        # output); owned by the single ingest thread, never serialised.
+        self._enum_memo = PatternTableMemo()
         self.summary: StructuralSummary | None = (
             StructuralSummary() if config.maintain_summary else None
         )
@@ -192,6 +196,22 @@ class SketchTree:  # sketchlint: single-writer
             help="distinct patterns currently memoised",
             fn=lambda: encoder.cache_size,
         )
+        enum_memo = self._enum_memo
+        obs.counter(
+            "enum_memo_hits_total",
+            help="node tables reused across structurally identical subtrees",
+            fn=lambda: enum_memo.hits,
+        )
+        obs.counter(
+            "enum_memo_misses_total",
+            help="node tables built fresh (first sight of a subtree shape)",
+            fn=lambda: enum_memo.misses,
+        )
+        obs.gauge(
+            "enum_memo_shapes",
+            help="distinct subtree shapes currently interned",
+            fn=lambda: enum_memo.n_shapes,
+        )
         if self.config.topk_size:
             obs.counter(
                 "topk_evictions_total",
@@ -250,18 +270,16 @@ class SketchTree:  # sketchlint: single-writer
         obs = self._obs
         if not obs.enabled:
             patterns, offsets = collect_forest_patterns(
-                trees, self.config.max_pattern_edges
+                trees, self.config.max_pattern_edges, self._enum_memo
             )
         else:
             with obs.span("ingest_enumerate_seconds"):
                 patterns, offsets = collect_forest_patterns(
-                    trees, self.config.max_pattern_edges
+                    trees, self.config.max_pattern_edges, self._enum_memo
                 )
-            per_tree = obs.histogram(
+            obs.histogram(
                 "ingest_patterns_per_tree", buckets=COUNT_BUCKETS
-            )
-            for t in range(len(offsets) - 1):
-                per_tree.observe(offsets[t + 1] - offsets[t])
+            ).observe_batch(np.diff(offsets))
         batch = self._encode_batch(patterns, tree_offsets=offsets)
         self._ingest_batch(batch, track=True)
         self.n_trees += len(trees)
@@ -297,7 +315,7 @@ class SketchTree:  # sketchlint: single-writer
         unchanged.
         """
         patterns, offsets = collect_forest_patterns(
-            (tree,), self.config.max_pattern_edges
+            (tree,), self.config.max_pattern_edges, self._enum_memo
         )
         batch = self._encode_batch(patterns, count=-1, tree_offsets=offsets)
         self._ingest_batch(batch, track=False)
@@ -519,7 +537,7 @@ class SketchTree:  # sketchlint: single-writer
             [self._encoder.encode(p) for p in arrangements(pattern)]
         )
 
-    def estimate_sum(self, queries) -> float:
+    def estimate_sum(self, queries: Iterable) -> float:
         """Approximate ``Σ_j COUNT_ord(Q_j)`` for distinct patterns
         (Theorem 2 estimator — a single combined sketch product, not a sum
         of per-pattern estimates)."""

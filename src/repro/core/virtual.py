@@ -23,7 +23,7 @@ from repro.core.topk import TopKTracker
 if TYPE_CHECKING:
     from repro.core.batch import EncodedBatch
 from repro.errors import ConfigError
-from repro.sketch.ams import SketchMatrix
+from repro.sketch.ams import _CHUNK, SketchMatrix
 from repro.sketch.xi import XiGenerator
 
 
@@ -124,27 +124,53 @@ class VirtualStreams:  # sketchlint: single-writer
     def update_batch(self, batch: "EncodedBatch") -> None:
         """Route a whole :class:`~repro.core.batch.EncodedBatch` at once.
 
-        The batch's residue column is grouped with one stable argsort
-        and each touched stream receives a single vectorised
-        :meth:`SketchMatrix.update_batch` — replacing the per-value dict
-        dispatch of the legacy path.  Within each group, duplicate field
-        values are first collapsed into one row with summed counts:
-        ξ depends only on the field value, so ``c1·ξ(v) + c2·ξ(v) =
-        (c1+c2)·ξ(v)`` exactly in int64, and real streams repeat values
-        heavily (skewed pattern distributions).  Counters are exact int64
-        sums, so the result is bit-identical to per-value updates in any
-        order and grouping.
+        One ``lexsort`` over (residue, value) replaces both the per-value
+        dict dispatch of the legacy path and the per-group ``np.unique``
+        of the first columnar pass: duplicate (residue, value) rows are
+        collapsed into single rows with summed counts (ξ depends only on
+        the field value, so ``c1·ξ(v) + c2·ξ(v) = (c1+c2)·ξ(v)`` exactly
+        in int64, and real streams repeat values heavily), ξ is evaluated
+        once over the deduplicated rows in bounded-memory chunks (the
+        same ``(n_instances, chunk)`` peak as
+        :meth:`SketchMatrix.update_batch`), and each touched stream
+        receives one int64 matmul per chunk it appears in.  Counters are
+        exact int64 sums, so the result is bit-identical to per-value
+        updates in any order and grouping.
         """
-        values, counts = batch.values, batch.counts
-        for residue, indices in batch.iter_residue_groups():
-            group_values = values[indices]
-            group_counts = counts[indices]
-            unique, inverse = np.unique(group_values, return_inverse=True)
-            if len(unique) < len(group_values):
-                summed = np.zeros(len(unique), dtype=np.int64)
-                np.add.at(summed, inverse, group_counts)
-                group_values, group_counts = unique, summed
-            self.sketch(residue).update_batch(group_values, group_counts)
+        n = len(batch)
+        if n == 0:
+            return
+        order = np.lexsort((batch.values, batch.residues))
+        values = batch.values[order]
+        counts = batch.counts[order]
+        residues = batch.residues[order]
+        # Row starts of distinct (residue, value) pairs in the sorted view.
+        fresh = np.empty(n, dtype=bool)
+        fresh[0] = True
+        np.not_equal(values[1:], values[:-1], out=fresh[1:])
+        fresh[1:] |= residues[1:] != residues[:-1]
+        starts = np.flatnonzero(fresh)
+        values = values[starts]
+        residues = residues[starts]
+        counts = np.add.reduceat(counts, starts)
+        xi = self.xi
+        sketch = self.sketch
+        for lo in range(0, len(values), _CHUNK):
+            hi = min(lo + _CHUNK, len(values))
+            signs = xi.xi_batch(values[lo:hi])  # (n_instances, hi - lo)
+            chunk_residues = residues[lo:hi]
+            change = np.flatnonzero(chunk_residues[1:] != chunk_residues[:-1]) + 1
+            # Group edges [0, *change, hi - lo] without growing an array
+            # per iteration (this is the ingest hot loop).
+            edges = np.empty(len(change) + 2, dtype=np.int64)
+            edges[0] = 0
+            edges[1:-1] = change
+            edges[-1] = hi - lo
+            for g in range(len(edges) - 1):
+                first, stop = int(edges[g]), int(edges[g + 1])
+                sketch(int(chunk_residues[first])).counters += (
+                    signs[:, first:stop] @ counts[lo + first : lo + stop]
+                )
 
     def set_counters(self, residue: int, counters: np.ndarray) -> None:
         """Install counters for stream ``residue`` (snapshot restore path).

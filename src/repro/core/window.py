@@ -148,7 +148,7 @@ class WindowedSketchTree:
         """Approximate ``COUNT(Q)`` over the current window."""
         return sum(b.estimate_unordered(query) for b in self._live_buckets())
 
-    def estimate_sum(self, queries) -> float:
+    def estimate_sum(self, queries: Iterable) -> float:
         """Approximate a distinct-pattern sum over the current window.
 
         ``queries`` is materialised once up front: every live bucket must

@@ -133,14 +133,14 @@ class RabinFingerprint:  # sketchlint: thread-confined
         grown = np.empty((n_shifts, 256), dtype=np.int64)
         if have:
             grown[:have] = tables
+        else:
+            # degree >= 8, so every byte is already reduced.
+            grown[0] = np.arange(256, dtype=np.int64)
+            have = 1
         feed = self.feed_byte
         for s in range(have, n_shifts):
-            if s == 0:
-                # degree >= 8, so every byte is already reduced.
-                grown[0] = np.arange(256, dtype=np.int64)
-            else:
-                previous = grown[s - 1]
-                grown[s] = [feed(int(v), 0) for v in previous]
+            previous = grown[s - 1]
+            grown[s] = [feed(int(v), 0) for v in previous]
         self._pos_tables = grown
         return grown
 

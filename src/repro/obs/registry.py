@@ -37,7 +37,7 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -179,6 +179,24 @@ class Histogram:  # sketchlint: thread-safe
             self.total += float(value)
             self.count += 1
 
+    def observe_batch(self, values: "np.ndarray | Sequence[float]") -> None:
+        """Record many observations with one bucket pass and one acquire.
+
+        Equivalent to calling :meth:`observe` per value, but the bucket
+        search is a single vectorised ``searchsorted`` and the lock is
+        taken once — what per-element instrumentation inside ingest
+        loops must use instead (sketchlint SKL305).
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size == 0:
+            return
+        indices = np.searchsorted(self.bounds, arr, side="left")
+        increments = np.bincount(indices, minlength=len(self.bucket_counts))
+        with self._lock:
+            self.bucket_counts += increments
+            self.total += float(arr.sum())
+            self.count += int(arr.size)
+
     def cumulative(self) -> list[tuple[float, int]]:
         """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last."""
         with self._lock:
@@ -226,6 +244,9 @@ class _NullInstrument:
         pass
 
     def observe(self, value: float) -> None:
+        pass
+
+    def observe_batch(self, values: object) -> None:
         pass
 
     def __enter__(self) -> "_NullInstrument":

@@ -96,39 +96,43 @@ def _extended_postorder(pattern: Nested) -> tuple[list[str | None], list[int]]:
     postorder number ``i + 1``; dummy nodes carry the label ``None``.
     Iterative so arbitrarily deep patterns cannot overflow the recursion
     stack.
+
+    Implementation: one *reverse-postorder* pass (root first, children
+    right-to-left) that records each node's label and its parent's visit
+    index, then one flip.  A node visited at reverse index ``r`` of an
+    ``n``-node extended tree has postorder number ``n − r``, so the parent
+    array falls out arithmetically — no per-node frame lists or
+    child-number relays, which dominated the encode stage at stream scale.
     """
     if not (isinstance(pattern, tuple) and len(pattern) == 2):
         raise TreeError(f"not a nested tree form: {pattern!r}")
-    labels: list[str | None] = []
-    parents: list[int] = []
-    # Frame: [label, children, next_child_index, numbers of finished children]
-    frames: list[list] = [[pattern[0], pattern[1], 0, []]]
-    finished_number: int | None = None
-    while frames:
-        frame = frames[-1]
-        label, children, idx, child_numbers = frame
-        if finished_number is not None:
-            child_numbers.append(finished_number)
-            finished_number = None
-        if idx < len(children):
-            frame[2] += 1
-            child = children[idx]
-            if not (isinstance(child, tuple) and len(child) == 2):
-                raise TreeError(f"not a nested tree form: {child!r}")
-            frames.append([child[0], child[1], 0, []])
-            continue
-        if not children:  # original leaf: give it a dummy child first
-            labels.append(_DUMMY)
-            parents.append(0)
-            child_numbers.append(len(labels))
-        my_number = len(labels) + 1
-        labels.append(label)
-        parents.append(0)
-        for child_number in child_numbers:
-            parents[child_number - 1] = my_number
-        frames.pop()
-        finished_number = my_number
-    return labels, parents
+    rev_labels: list[str | None] = []
+    rev_parent: list[int] = []  # parent's reverse index; -1 for the root
+    stack: list[tuple[Nested, int]] = [(pattern, -1)]
+    while stack:
+        node, parent_rev = stack.pop()
+        if not (isinstance(node, tuple) and len(node) == 2):
+            raise TreeError(f"not a nested tree form: {node!r}")
+        label, children = node
+        my_rev = len(rev_labels)
+        rev_labels.append(label)
+        rev_parent.append(parent_rev)
+        if children:
+            # Document order pushed, so popping visits children
+            # right-to-left — exactly reverse postorder.
+            for child in children:
+                stack.append((child, my_rev))
+        else:
+            # Original leaf: its dummy child is the next node in reverse
+            # postorder (it finishes just before the leaf in postorder).
+            rev_labels.append(_DUMMY)
+            rev_parent.append(my_rev)
+    n = len(rev_labels)
+    rev_labels.reverse()
+    parents = [0] * n
+    for r in range(1, n):
+        parents[n - 1 - r] = n - rev_parent[r]
+    return rev_labels, parents
 
 
 def tree_from_prufer(sequences: PruferSequences) -> LabeledTree:

@@ -16,6 +16,7 @@ deliberately different from XPath's target-node counts.
 from __future__ import annotations
 
 from functools import lru_cache
+from typing import Iterable
 
 from repro.query.pattern import arrangements, validate_pattern
 from repro.trees.tree import LabeledTree, Nested
@@ -106,12 +107,12 @@ def iter_ordered_embeddings(tree: LabeledTree, pattern: Nested):
         yield from assignments(pattern, v)
 
 
-def count_ordered_in_stream(trees, pattern: Nested) -> int:
+def count_ordered_in_stream(trees: Iterable[LabeledTree], pattern: Nested) -> int:
     """``COUNT_ord`` accumulated over an iterable of trees."""
     return sum(count_ordered(tree, pattern) for tree in trees)
 
 
-def count_unordered_in_stream(trees, pattern: Nested) -> int:
+def count_unordered_in_stream(trees: Iterable[LabeledTree], pattern: Nested) -> int:
     """``COUNT`` accumulated over an iterable of trees."""
     arrs = arrangements(pattern)
     return sum(count_ordered(tree, arr) for tree in trees for arr in arrs)

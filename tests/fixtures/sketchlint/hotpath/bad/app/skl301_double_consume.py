@@ -1,0 +1,7 @@
+"""Triggers SKL301: a generator expression consumed by two passes."""
+
+
+def total_and_peak(values):
+    squares = (v * v for v in values)
+    total = sum(squares)
+    return total, max(squares)  # squares is already exhausted here

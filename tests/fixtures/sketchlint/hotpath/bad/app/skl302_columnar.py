@@ -1,0 +1,21 @@
+"""Triggers SKL302: element-wise Python loops over columnar ndarray data."""
+
+
+class Batch:
+    def __init__(self, values, counts):
+        self.values = values
+        self.counts = counts
+
+
+def ingest_tolist(batch: Batch) -> int:
+    total = 0
+    for value in batch.values.tolist():
+        total += value
+    return total
+
+
+def ingest_columns(batch: Batch) -> int:
+    total = 0
+    for value in batch.values:
+        total += int(value)
+    return total

@@ -1,0 +1,26 @@
+"""Triggers SKL303: allocation / invariant recomputation inside a hot loop."""
+
+import numpy as np
+
+
+def ingest_concat(chunks):
+    acc = np.zeros(4, dtype=np.int64)
+    for chunk in chunks:
+        acc = np.concatenate([acc, chunk])  # O(n^2) growth
+    return acc
+
+
+def ingest_invariant_alloc(rows, width):
+    total = 0
+    for row in rows:
+        scratch = np.zeros(width)  # same allocation every iteration
+        total += int(scratch.sum() + row)
+    return total
+
+
+def ingest_repeated_chain(self_like, rows):
+    total = 0
+    for row in rows:
+        total += row * self_like.config.scale  # invariant chain, read twice
+        total -= self_like.config.scale
+    return total

@@ -1,0 +1,18 @@
+"""Triggers SKL304: ndarray copy / dtype churn on a hot path."""
+
+import numpy as np
+
+
+def ingest_astype_loop(rows):
+    out = []
+    for row in rows:
+        out.append(row.astype(np.float64))  # one full copy per element
+    return out
+
+
+def round_trip(arr):
+    return (arr.astype(np.float64) / 2).astype(np.int64)
+
+
+def fancy_then_astype(arr, index):
+    return arr[index].astype(np.float64)

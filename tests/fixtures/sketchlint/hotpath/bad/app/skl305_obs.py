@@ -1,0 +1,21 @@
+"""Triggers SKL305: per-element observability in the innermost loop."""
+
+
+def ingest_observe(histogram, values):
+    for value in values:
+        histogram.observe(value)  # instrument lock per element
+
+
+def ingest_lookup(obs, values):
+    for value in values:
+        obs.counter("ingested_total").inc()  # registry probe per element
+
+
+def ingest_try(rows):
+    out = []
+    for row in rows:
+        try:
+            out.append(int(row))
+        except ValueError:
+            continue
+    return out

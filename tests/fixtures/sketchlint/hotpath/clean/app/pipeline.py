@@ -1,0 +1,55 @@
+"""The fixed counterparts of every SKL30x bad fixture: zero findings."""
+
+import numpy as np
+
+
+class Batch:
+    def __init__(self, values, counts):
+        self.values = values
+        self.counts = counts
+
+
+def total_and_peak(values):
+    squares = [v * v for v in values]  # materialised: re-iterable
+    return sum(squares), max(squares)
+
+
+def ingest_vectorised(batch: Batch) -> int:
+    return int(np.sum(batch.values))  # one vectorised reduction
+
+
+def ingest_concat_once(chunks):
+    parts = list(chunks)
+    return np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
+
+
+def ingest_hoisted_alloc(rows, width):
+    scratch = np.zeros(width)  # hoisted out of the loop
+    total = 0
+    for row in rows:
+        total += int(scratch.sum() + row)
+    return total
+
+
+def ingest_hoisted_chain(self_like, rows):
+    scale = self_like.config.scale  # hoisted local
+    total = 0
+    for row in rows:
+        total += row * scale
+        total -= scale
+    return total
+
+
+def convert_once(rows):
+    return np.asarray(rows, dtype=np.float64)  # one conversion per batch
+
+
+def ingest_batched_obs(histogram, values):
+    histogram.observe_batch(values)  # one lock per batch
+
+
+def ingest_try_outside(rows):
+    try:
+        return [int(row) for row in rows]
+    except ValueError:
+        return []

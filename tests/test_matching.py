@@ -36,6 +36,12 @@ class TestPaperFigure1:
     def test_stream_ordered(self):
         assert count_ordered_in_stream([T1, T2, T3], Q) == 3
 
+    def test_stream_counts_accept_a_generator(self):
+        # Both stream counters take Iterable: a one-shot generator must
+        # match the list answer (SKL301 bug class).
+        assert count_ordered_in_stream(iter([T1, T2, T3]), Q) == 3
+        assert count_unordered_in_stream((t for t in (T1, T2, T3)), Q) == 5
+
 
 class TestOrderedMatching:
     def test_label_mismatch(self):

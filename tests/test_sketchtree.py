@@ -68,6 +68,18 @@ class TestEndToEnd:
         actual = exact.count_sum(patterns)
         assert abs(estimate - actual) <= max(6, 0.3 * actual)
 
+    def test_sum_accepts_a_generator(self):
+        # estimate_sum takes Iterable: a one-shot generator must give
+        # the same answer as the equivalent list (SKL301 bug class).
+        synopsis, _ = build()
+        patterns = [
+            from_sexpr("(A (B))").to_nested(),
+            from_sexpr("(A (C))").to_nested(),
+        ]
+        from_list = synopsis.estimate_sum(patterns)
+        from_generator = synopsis.estimate_sum(p for p in patterns)
+        assert from_generator == from_list
+
     def test_sum_rejects_duplicates(self):
         synopsis, _ = build(repeat=1)
         with pytest.raises(QueryError):

@@ -107,6 +107,50 @@ def write_baseline(
     Path(path).write_text(render_baseline(violations, sources), encoding="utf-8")
 
 
+def refresh_baseline(
+    path: str | Path, violations: list[Violation], sources: dict[str, str]
+) -> tuple[str, int, int]:
+    """The updated baseline document, plus (n_current, n_pruned).
+
+    ``--update-baseline`` semantics: findings from this run replace every
+    entry for a path that was linted this run (``sources`` holds exactly
+    the linted files), entries for paths *outside* this run's scope are
+    retained so a partial-tree update cannot discard accepted findings
+    elsewhere — but only while their file still exists.  Entries whose
+    file is gone are pruned: a stale entry can never match a real finding
+    again, and keeping it would let the baseline-staleness gate pass
+    vacuously forever.
+    """
+    existing = load_baseline(path)
+    keys = finding_keys(violations, sources)
+    findings: dict[str, dict] = {}
+    for violation, key in keys.items():  # Violation.sort_key order
+        if key not in findings:
+            findings[key] = {
+                "rule": violation.rule,
+                "path": violation.path,
+                "message": violation.message,
+            }
+    n_current = len(findings)
+    linted = set(sources)
+    n_pruned = 0
+    for key, meta in existing.items():
+        if key in findings:
+            continue
+        entry_path = meta.get("path") if isinstance(meta, dict) else None
+        if not isinstance(entry_path, str) or entry_path in linted:
+            continue  # re-linted this run: current findings are the truth
+        if not Path(entry_path).exists():
+            n_pruned += 1
+            continue
+        findings[key] = meta
+    document = {
+        "version": BASELINE_VERSION,
+        "findings": {key: findings[key] for key in sorted(findings)},
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n", n_current, n_pruned
+
+
 def split_baselined(
     violations: list[Violation],
     baseline: dict[str, dict],

@@ -17,7 +17,7 @@ from tools.sketchlint.baseline import (
     DEFAULT_BASELINE_PATH,
     BaselineError,
     load_baseline,
-    render_baseline,
+    refresh_baseline,
     split_baselined,
 )
 from tools.sketchlint.engine import (
@@ -90,6 +90,15 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--explain-hot",
+        action="store_true",
+        help=(
+            "print the SKL3xx hot set (functions reachable from the "
+            "configured hot entrypoints) with one sample call chain and "
+            "the max loop-nesting depth per function, then exit"
+        ),
+    )
     return parser
 
 
@@ -103,22 +112,53 @@ def _list_rules() -> None:
         print(f"{rule.id}  {rule.summary}")
 
 
+def _explain_hot(paths: Sequence[str]) -> int:
+    from tools.sketchlint.engine import iter_python_files
+    from tools.sketchlint.semantic.callgraph import CallGraph
+    from tools.sketchlint.semantic.hotpath import explain_hot
+    from tools.sketchlint.semantic.model import ProjectModel
+
+    try:
+        files = []
+        for file_path in iter_python_files(paths):
+            try:
+                files.append((file_path, file_path.read_text(encoding="utf-8")))
+            except (OSError, UnicodeDecodeError):
+                continue
+        model = ProjectModel.build(files)
+        graph = CallGraph.build(model)
+    except LintUsageError as error:
+        print(f"sketchlint: error: {error}", file=sys.stderr)
+        return 2
+    print(explain_hot(model, graph), end="")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.list_rules:
         _list_rules()
         return 0
+    if args.explain_hot:
+        return _explain_hot(args.paths)
     select = args.select.split(",") if args.select else None
     try:
         violations, n_files, sources = lint_paths_with_sources(
             args.paths, select=select, semantic=args.semantic, jobs=args.jobs
         )
         if args.update_baseline:
-            Path(args.baseline).write_text(
-                render_baseline(violations, sources), encoding="utf-8"
+            document, n_current, n_pruned = refresh_baseline(
+                args.baseline, violations, sources
             )
-            noun = "finding" if len(violations) == 1 else "findings"
-            print(f"sketchlint: baseline updated with {len(violations)} {noun}")
+            Path(args.baseline).write_text(document, encoding="utf-8")
+            noun = "finding" if n_current == 1 else "findings"
+            tail = (
+                f" ({n_pruned} stale entr"
+                f"{'y' if n_pruned == 1 else 'ies'} for deleted files pruned)"
+                if n_pruned
+                else ""
+            )
+            print(f"sketchlint: baseline updated with {n_current} {noun}{tail}")
             return 0
         baseline = load_baseline(args.baseline)
     except (LintUsageError, BaselineError, OSError) as error:

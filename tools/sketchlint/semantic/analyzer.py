@@ -8,6 +8,7 @@ from typing import Iterable
 from tools.sketchlint.semantic.callgraph import CallGraph
 from tools.sketchlint.semantic.concurrency import check_concurrency
 from tools.sketchlint.semantic.dataflow import DataflowAnalysis
+from tools.sketchlint.semantic.hotpath import check_hotpath
 from tools.sketchlint.semantic.model import ProjectModel
 from tools.sketchlint.semantic.rules import (
     SEMANTIC_RULES_BY_ID,
@@ -36,6 +37,7 @@ def analyze_project(
     violations += check_estimator_purity(model, graph)  # SKL104
     violations += check_numpy_deserialisation(model)  # SKL105
     violations += check_concurrency(model, graph)  # SKL201..SKL205
+    violations += check_hotpath(model, graph)  # SKL301..SKL305
     if select is not None:
         wanted = {token.strip().upper() for token in select}
         violations = [v for v in violations if v.rule in wanted]

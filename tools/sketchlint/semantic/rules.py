@@ -80,6 +80,32 @@ SEMANTIC_RULES: tuple[SemanticRule, ...] = (
         "np.random.Generator consumed from multiple concurrent "
         "entrypoints without a guard (breaks seeded determinism)",
     ),
+    SemanticRule(
+        "SKL301",
+        "single-use iterable (generator / map / filter / Iterable param) "
+        "consumed more than once or re-consumed inside a loop",
+    ),
+    SemanticRule(
+        "SKL302",
+        "per-element Python loop over columnar ndarray data on a hot "
+        "path (.tolist() loop, scalar np.asarray per element)",
+    ),
+    SemanticRule(
+        "SKL303",
+        "allocation or loop-invariant recomputation inside a hot loop "
+        "(np.concatenate per iteration, hoistable construction or "
+        "attribute chain)",
+    ),
+    SemanticRule(
+        "SKL304",
+        "implicit ndarray copy / dtype churn on a hot path (astype in a "
+        "loop, astype+fancy-index chain, dtype round trip)",
+    ),
+    SemanticRule(
+        "SKL305",
+        "per-element observability in a hot loop (instrument mutation, "
+        "registry lookup, logging, or try/except per element)",
+    ),
 )
 SEMANTIC_RULES_BY_ID = {rule.id: rule for rule in SEMANTIC_RULES}
 
