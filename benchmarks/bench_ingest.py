@@ -16,9 +16,13 @@ of that claim on one generated stream:
 Both runs ingest the *same* trees into identically-configured synopses;
 the script asserts the final sketch counters are bit-identical before
 reporting any number, so the speedup is never bought with a different
-answer.  Results (trees/sec, values/sec, speedup) are written as JSON —
-by default ``BENCH_ingest.json`` at the repo root, which CI uploads as
-an artifact.
+answer.  A third run repeats the batched path with top-k tracking on
+(``topk_size=8``); its gate is the fold/unfold invariant of
+:mod:`repro.core.topk` — unfolding every tracker must restore counters
+bit-identical to the ``topk_size=0`` run.  Results (trees/sec,
+values/sec, speedup, top-k overhead) are written as JSON — by default
+``BENCH_ingest.json`` at the repo root, which CI uploads as an
+artifact.
 
 The batched run is instrumented with a live
 :class:`~repro.obs.MetricsRegistry`, so the report also breaks the
@@ -52,10 +56,15 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 GENERATORS = {"treebank": TreebankGenerator, "dblp": DblpGenerator}
 
 
-def make_config(seed: int) -> SketchTreeConfig:
+#: Per-stream tracker capacity for the top-k run (Section 5.2).
+TOPK_SIZE = 8
+
+
+def make_config(seed: int, topk_size: int = 0) -> SketchTreeConfig:
     """The paper's experimental configuration (Section 7.1)."""
     return SketchTreeConfig(
-        s1=50, s2=7, max_pattern_edges=4, n_virtual_streams=229, seed=seed
+        s1=50, s2=7, max_pattern_edges=4, n_virtual_streams=229, seed=seed,
+        topk_size=topk_size,
     )
 
 
@@ -143,6 +152,21 @@ def run_dataset(name: str, n_trees: int, batch_trees: int, seed: int) -> dict:
         np.array_equal(a, b)
         for a, b in zip(counters_of(legacy_st), counters_of(batched_st))
     )
+
+    # The top-k run: same stream, per-stream trackers on.  Tracking
+    # deletes heavy values from the counters as it goes, so the gate is
+    # the fold/unfold protocol's invariant instead of raw equality:
+    # unfolding every tracker must restore counters bit-identical to the
+    # topk_size=0 run (same seed -> same xi family).
+    topk_st = SketchTree(make_config(seed, topk_size=TOPK_SIZE))
+    topk_seconds, topk_values = ingest_batched(topk_st, trees, batch_trees)
+    for _, tracker in list(topk_st.streams.iter_trackers()):
+        tracker.unfold()
+    topk_identical = topk_values == n_values and all(
+        np.array_equal(a, b)
+        for a, b in zip(counters_of(batched_st), counters_of(topk_st))
+    )
+
     speedup = legacy_seconds / batched_seconds if batched_seconds > 0 else float("inf")
     return {
         "dataset": name,
@@ -160,6 +184,17 @@ def run_dataset(name: str, n_trees: int, batch_trees: int, seed: int) -> dict:
             "trees_per_second": round(n_trees / batched_seconds, 2),
             "values_per_second": round(n_values / batched_seconds, 2),
             "stages": stage_timings(metrics),
+        },
+        "topk": {
+            "topk_size": TOPK_SIZE,
+            "seconds": round(topk_seconds, 6),
+            "trees_per_second": round(n_trees / topk_seconds, 2),
+            "values_per_second": round(n_values / topk_seconds, 2),
+            "overhead_vs_batched": round(
+                topk_seconds / batched_seconds if batched_seconds > 0 else 0.0,
+                3,
+            ),
+            "unfold_bit_identical": bool(topk_identical),
         },
         "speedup": round(speedup, 2),
     }
@@ -200,8 +235,10 @@ def main(argv: list[str] | None = None) -> int:
             f"{name:>9}: {result['n_trees']} trees / {result['n_values']} values  "
             f"legacy {result['legacy']['seconds']:.3f}s  "
             f"batched {result['batched']['seconds']:.3f}s  "
+            f"topk {result['topk']['seconds']:.3f}s  "
             f"speedup {result['speedup']:.1f}x  "
-            f"bit_identical={result['bit_identical']}"
+            f"bit_identical={result['bit_identical']}  "
+            f"unfold_bit_identical={result['topk']['unfold_bit_identical']}"
         )
 
     report = {
@@ -215,6 +252,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if not all(r["bit_identical"] for r in runs):
         print("FAIL: batched counters diverged from the legacy path", file=sys.stderr)
+        return 1
+    if not all(r["topk"]["unfold_bit_identical"] for r in runs):
+        print(
+            "FAIL: unfolded top-k counters diverged from the topk_size=0 run",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

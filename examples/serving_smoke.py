@@ -16,6 +16,16 @@ drives one full lifecycle against it:
 6. send SIGTERM and verify the graceful path: exit code 0, final
    checkpoints written, ``stopped cleanly`` on stdout.
 
+A second boot then exercises the mergeable-top-k surface
+(``--topk 4 --window-trees 16``): per-shard trackers and sliding
+windows run freely, ``/window/topk`` serves the live trending-pattern
+list, ``/admin/topk`` the exact-merged whole-stream one, and
+``/metrics`` exports the top-k gauges.  (No bit-identity assertion on
+this boot: the admin merge *refolds* trackers over the shards' union of
+heavy hitters, which legitimately differs from a single-threaded
+tracker's history — the counters, once unfolded, are what's
+bit-identical, and tests/test_topk_merge.py pins that.)
+
 Run:  python examples/serving_smoke.py
 """
 
@@ -62,8 +72,8 @@ def get(base, path):
         return resp.read().decode()
 
 
-def main() -> int:
-    checkpoint_dir = Path(tempfile.mkdtemp(prefix="serve-smoke-"))
+def boot(extra_args):
+    """Start ``python -m repro.serve`` and return (process, base URL)."""
     server = subprocess.Popen(
         [
             sys.executable, "-m", "repro.serve",
@@ -71,27 +81,85 @@ def main() -> int:
             "--s1", str(CONFIG.s1), "--s2", str(CONFIG.s2),
             "--streams", str(CONFIG.n_virtual_streams),
             "--seed", str(CONFIG.seed),
-            "--checkpoint-dir", str(checkpoint_dir),
+            *extra_args,
         ],
         stdout=subprocess.PIPE,
         text=True,
     )
-    try:
-        line = server.stdout.readline()
-        match = re.search(r"serving on (http://[\d.]+:\d+)", line)
-        assert match, f"no address line, got: {line!r}"
-        base = match.group(1)
-        print(f"server up at {base}")
+    line = server.stdout.readline()
+    match = re.search(r"serving on (http://[\d.]+:\d+)", line)
+    assert match, f"no address line, got: {line!r}"
+    base = match.group(1)
+    deadline = time.monotonic() + 30
+    while True:
+        try:
+            get(base, "/readyz")
+            return server, base
+        except (urllib.error.URLError, urllib.error.HTTPError):
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.05)
 
-        deadline = time.monotonic() + 30
-        while True:
-            try:
-                get(base, "/readyz")
-                break
-            except (urllib.error.URLError, urllib.error.HTTPError):
-                if time.monotonic() > deadline:
-                    raise
-                time.sleep(0.05)
+
+def topk_window_smoke() -> None:
+    """Second lifecycle: per-shard top-k trackers + sliding windows."""
+    server, base = boot(["--topk", "4", "--window-trees", "16",
+                         "--bucket-trees", "4"])
+    try:
+        print(f"top-k server up at {base}")
+        for start in range(0, len(STREAM), 4):
+            post(base, "/ingest", {"trees": STREAM[start : start + 4]})
+        drained = post(base, "/admin/drain", {})
+        assert drained["n_trees"] == len(STREAM), drained
+
+        windowed = json.loads(get(base, "/window/topk?limit=3"))
+        assert windowed["patterns"], windowed
+        assert windowed["trees_covered"] <= len(STREAM), windowed
+        top = windowed["patterns"][0]
+        assert top["frequency"] >= 1 and top["pattern"], top
+        print(
+            f"/window/topk over {windowed['trees_covered']} recent trees: "
+            f"{top['pattern']} x{top['frequency']}"
+        )
+
+        merged = json.loads(get(base, "/admin/topk?limit=3"))
+        assert merged["merged"] and merged["n_trees"] == len(STREAM), merged
+        assert merged["patterns"], merged
+        print(
+            "/admin/topk (exact merge): "
+            + ", ".join(
+                f"{e['pattern']} x{e['frequency']}" for e in merged["patterns"]
+            )
+        )
+
+        estimate = post(base, "/window/estimate/ordered", {"query": QUERY})
+        assert estimate["window_trees"] == 16, estimate
+        print(f"window estimate for {QUERY}: {estimate['estimate']:.1f}")
+
+        metrics = get(base, "/metrics")
+        for gauge in (
+            "repro_serve_topk_deleted_self_join_mass",
+            "repro_serve_window_topk_refolds_total",
+            "repro_serve_window_topk_deleted_self_join_mass",
+        ):
+            assert gauge in metrics, f"{gauge} missing from /metrics"
+        print("top-k gauges present on /metrics")
+
+        server.send_signal(signal.SIGTERM)
+        out, _ = server.communicate(timeout=60)
+        assert server.returncode == 0, f"exit {server.returncode}: {out}"
+        assert "stopped cleanly" in out, out
+        print("top-k boot: clean SIGTERM shutdown")
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+
+def main() -> int:
+    checkpoint_dir = Path(tempfile.mkdtemp(prefix="serve-smoke-"))
+    server, base = boot(["--checkpoint-dir", str(checkpoint_dir)])
+    try:
+        print(f"server up at {base}")
 
         for start in range(0, len(STREAM), 4):
             post(base, "/ingest", {"trees": STREAM[start : start + 4]})
@@ -127,10 +195,11 @@ def main() -> int:
             f"clean SIGTERM shutdown; {len(checkpoints)} final checkpoints "
             f"in {checkpoint_dir}"
         )
-        return 0
     finally:
         if server.poll() is None:
             server.kill()
+    topk_window_smoke()
+    return 0
 
 
 if __name__ == "__main__":

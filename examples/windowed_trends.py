@@ -10,6 +10,14 @@ forgetting old topics as they leave the window, while a landmark
 synopsis's counts only ever accumulate.  Exact windowed counts are
 computed alongside for comparison.
 
+With ``topk_size=4`` each bucket additionally runs per-stream top-k
+trackers; on bucket expiry the tracked state composes through the
+fold/unfold protocol (merge-on-expiry), so
+:meth:`WindowedSketchTree.tracked_patterns` is a *live trending list*:
+at each phase boundary the printed top patterns have rotated with the
+topic mix — the very patterns an hour-old landmark tracker would still
+rank by stale history.
+
 Run:  python examples/windowed_trends.py
 """
 
@@ -18,6 +26,7 @@ from collections import deque
 from repro import ExactCounter, SketchTree, SketchTreeConfig
 from repro.core import WindowedSketchTree
 from repro.trees import from_sexpr
+from repro.trees.builders import from_nested, to_sexpr
 
 WINDOW = 300
 BUCKET = 50
@@ -34,7 +43,8 @@ def make_doc(topic: str):
 
 def main() -> None:
     config = SketchTreeConfig(
-        s1=50, s2=7, max_pattern_edges=3, n_virtual_streams=229, seed=23,
+        s1=50, s2=7, max_pattern_edges=3, n_virtual_streams=229,
+        topk_size=4, seed=23,
     )
     window = WindowedSketchTree(config, window_trees=WINDOW, bucket_trees=BUCKET)
     landmark = SketchTree(config)
@@ -66,10 +76,26 @@ def main() -> None:
                     f"{landmark.estimate_ordered('(topic (politics))'):>12.0f}"
                 )
                 print(" ".join(row))
+        # The heaviest tracked patterns are the structural ones every
+        # document shares; the *topic-bearing* ones underneath are what
+        # rotate with the phases.
+        trending = [
+            entry for entry in window.tracked_patterns()
+            if entry["pattern"] and "topic" in str(entry["pattern"])
+            and entry["pattern"] != ("topic", ())
+            and "item" not in str(entry["pattern"])
+        ][:3]
+        names = ", ".join(
+            f"{to_sexpr(from_nested(entry['pattern']))} x{entry['frequency']}"
+            for entry in trending
+        )
+        print(f"      trending topics (window top-k): {names}")
 
     print("\nwindowed counts rise and fall with the phases "
           "(estimate/actual pairs), while the landmark count only grows — "
-          "the window forgets, the paper's synopsis remembers.")
+          "the window forgets, the paper's synopsis remembers.  the "
+          "trending list is the window's live tracked state, refolded "
+          "across bucket expiries (merge-on-expiry).")
 
 
 if __name__ == "__main__":

@@ -180,6 +180,30 @@ class PatternEncoder:  # sketchlint: thread-safe
         """
         return self.encode_batch(patterns)
 
+    def lookup_values(self, values: Iterable[int]) -> dict[int, Nested]:
+        """Best-effort reverse lookup: encoded value → pattern.
+
+        The encoding is one-way (a fingerprint), so the only names this
+        encoder knows are the patterns currently in its LRU memo; the
+        returned map covers exactly the requested values found there.
+        Callers (the top-k trend surfaces) treat a missing value as "no
+        longer nameable", never as an error — eviction costs a label,
+        not correctness.  One scan of the memo under the lock, without
+        touching recency order (a reverse lookup is not a use of the
+        forward mapping and must not perturb eviction choices).
+        """
+        wanted = set(values)
+        if not wanted:
+            return {}
+        found: dict[int, Nested] = {}
+        with self._lock:
+            for pattern, value in self._cache.items():
+                if value in wanted:
+                    found[value] = pattern
+                    if len(found) == len(wanted):
+                        break
+        return found
+
     @property
     def cache_size(self) -> int:
         """Distinct patterns currently memoised (≤ ``cache_limit``)."""

@@ -42,6 +42,7 @@ from repro.core.config import TOPK_RNG_SALT, XI_SEED_OFFSET, SketchTreeConfig
 from repro.core.encoding import PatternEncoder
 from repro.core.expressions import Expression, required_independence
 from repro.core.memory import MemoryReport
+from repro.core.topk import fold_vector
 from repro.core.virtual import VirtualStreams
 from repro.enumtree.enumerate import PatternTableMemo, collect_forest_patterns
 from repro.errors import ConfigError, QueryError
@@ -676,6 +677,60 @@ class SketchTree:  # sketchlint: single-writer
     # ------------------------------------------------------------------
     # Introspection / persistence
     # ------------------------------------------------------------------
+    def _tracker_items(self) -> list:
+        """Snapshot the ``(residue, tracker)`` pairs, retry-safe.
+
+        The writer thread allocates trackers while readers may be
+        iterating the stream table; a mid-scan allocation raises
+        ``RuntimeError``, and retrying until a clean pass is sound (the
+        GIL makes each step atomic, and allocations are rare).
+        """
+        for _ in range(8):
+            try:
+                return list(self._streams.iter_trackers())
+            except RuntimeError:
+                continue
+        return list(self._streams.iter_trackers())
+
+    def tracked(self) -> dict[int, int]:
+        """Tracked value → deleted-frequency map across virtual streams.
+
+        Empty when ``topk_size=0``.  The raw form of the "heavy
+        hitters" list — see :meth:`tracked_patterns` for the named one.
+        """
+        total: dict[int, int] = {}
+        for _, tracker in self._tracker_items():
+            total.update(tracker.tracked)
+        return total
+
+    def tracked_patterns(self, limit: int | None = None) -> list[dict]:
+        """The synopsis' tracked patterns, most frequent first.
+
+        Each entry carries the encoded ``value``, the tracked
+        ``frequency``, and the decoded ``pattern`` nested tuple when the
+        encoder still memoises it (``None`` after LRU eviction, or on a
+        merged synopsis whose fresh encoder never saw the stream — the
+        value is still servable, just nameless; callers with access to
+        the ingesting encoders can re-resolve).
+        """
+        ranked = sorted(self.tracked().items(), key=lambda kv: (-kv[1], kv[0]))
+        if limit is not None:
+            ranked = ranked[:limit]
+        names = self._encoder.lookup_values([value for value, _ in ranked])
+        return [
+            {"value": value, "frequency": freq, "pattern": names.get(value)}
+            for value, freq in ranked
+        ]
+
+    def deleted_self_join_mass(self) -> int:
+        """``Σ f_v²`` over tracked values across streams — the self-join
+        mass the trackers hold out of the counters (what the Section 5.2
+        optimisation bought).  0 when ``topk_size=0``."""
+        return sum(
+            tracker.deleted_self_join_mass()
+            for _, tracker in self._tracker_items()
+        )
+
     def memory_report(self) -> MemoryReport:
         """Paper-style memory accounting (see :mod:`repro.core.memory`)."""
         cfg = self.config
@@ -706,9 +761,6 @@ class SketchTree:  # sketchlint: single-writer
         """Merge another synopsis built with the *same config and seed*
         over a disjoint sub-stream (distributed-ingest scenario).
 
-        Top-k state cannot be merged soundly (deletions are per-synopsis
-        estimates), so merging requires ``topk_size = 0``.
-
         This is the cross-thread combination point of the serving tier:
         each shard's ingest thread owns its synopsis; a query/admin
         thread merges *quiesced* shards (no in-flight updates) into a
@@ -716,15 +768,39 @@ class SketchTree:  # sketchlint: single-writer
         shard shares one ξ family, the merge is bit-identical to a
         single-threaded run over the concatenated stream (AMS
         linearity) — pinned by ``tests/test_thread_safety.py``.
+
+        Top-k-bearing operands compose through the fold/unfold protocol
+        (:mod:`repro.core.topk`): the summed counters are *unfolded* —
+        each source's tracked frequencies are added back into the merged
+        copy, restoring the pure linear counters of the concatenated
+        stream bit-exactly — and a fresh tracker is *refolded* per
+        stream over the union of the sources' tracked values.  The
+        operands themselves are never mutated (shards keep serving), so
+        the unfold is applied to the merged copy via each source's fold
+        vector rather than by calling ``unfold()`` on live trackers.
         """
         if other.config != self.config:
             raise ConfigError("can only merge synopses with identical configs")
-        if self.config.topk_size:
-            raise ConfigError("cannot merge synopses with top-k tracking enabled")
         merged = SketchTree(self.config)
         for source in (self, other):
             for residue, matrix in source._streams.iter_sketches():
                 merged._streams.sketch(residue).counters += matrix.counters
+        if self.config.topk_size:
+            candidates: dict[int, dict[int, int]] = {}
+            for source in (self, other):
+                for residue, tracker in source._streams.iter_trackers():
+                    state = tracker.tracked
+                    if not state:
+                        continue
+                    union = candidates.setdefault(residue, {})
+                    for value, freq in state.items():
+                        # Frequencies of a value tracked on both sides
+                        # add: each side deleted its own count of it.
+                        union[value] = union.get(value, 0) + freq
+            for residue, state in candidates.items():
+                sketch = merged._streams.sketch(residue)
+                sketch.counters += fold_vector(sketch, state)  # unfold
+                merged._streams.refold_tracker(residue, state)
         merged.n_trees = self.n_trees + other.n_trees
         merged.n_values = self.n_values + other.n_values
         if self.summary is not None and other.summary is not None:

@@ -34,6 +34,27 @@ bit-faithfully and raises :class:`~repro.errors.SnapshotVersionError`
 otherwise.  Pre-versioned pickle blobs are handled only by the guarded
 :meth:`SketchTree.from_legacy_pickle` loader (deprecated, one release).
 
+Window container format (version 1)
+-----------------------------------
+
+:class:`~repro.core.window.WindowedSketchTree` state is a *container* of
+per-bucket synopsis snapshots::
+
+    WINDOW_MAGIC (8 bytes) | header length (8 bytes, big-endian) | header
+    | length-prefixed SKTSNAP blobs (complete buckets oldest-first, then
+      the in-progress bucket)
+
+The header carries the window geometry (``window_trees``,
+``bucket_trees``), the absolute stream position (``n_trees_seen``, which
+resume skip counts key on), the merge-on-expiry churn counters, and the
+same config/fingerprint/checksum discipline as the synopsis format.
+Because each nested blob is a full SKTSNAP snapshot, **per-bucket top-k
+tracker state rides along versioned** — a restored window compensates
+queries exactly like the one that was saved.  :func:`save_snapshot` /
+:func:`load_snapshot` and :class:`CheckpointManager` dispatch on the
+object type / leading magic, so windows checkpoint and resume through
+:class:`~repro.stream.engine.StreamProcessor` unchanged.
+
 Checkpointing
 -------------
 
@@ -55,9 +76,13 @@ import os
 import threading
 import time
 import zipfile
+from collections import deque
 from dataclasses import asdict
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.core.window import WindowedSketchTree
 
 import numpy as np
 
@@ -79,12 +104,20 @@ from repro.query.summary import StructuralSummary
 #: text-mode corruption (CRLF translation) fail the magic check loudly.
 MAGIC = b"SKTSNAP\n"
 
+#: First 8 bytes of a sliding-window container snapshot.
+WINDOW_MAGIC = b"SKTWSNP\n"
+
 #: Current snapshot format version.  Bumped on any incompatible change to
 #: the layout, header schema, or payload encoding; see the module
 #: docstring for the acceptance policy.
 FORMAT_VERSION = 1
 
+#: Current window container format version (independent of the nested
+#: synopsis blobs' own versioning).
+WINDOW_FORMAT_VERSION = 1
+
 _FORMAT_NAME = "sketchtree-snapshot"
+_WINDOW_FORMAT_NAME = "sketchtree-window-snapshot"
 _HEADER_LEN_BYTES = 8
 _PREFIX_LEN = len(MAGIC) + _HEADER_LEN_BYTES
 
@@ -351,17 +384,255 @@ def snapshot_from_bytes(blob: bytes) -> SketchTree:
 
 
 # ---------------------------------------------------------------------------
+# Window container format
+# ---------------------------------------------------------------------------
+
+_WINDOW_REQUIRED_KEYS = frozenset(
+    {
+        "format",
+        "format_version",
+        "config",
+        "fingerprint",
+        "window_trees",
+        "bucket_trees",
+        "n_trees_seen",
+        "n_refolds",
+        "n_refold_candidates",
+        "n_buckets",
+        "payload_size",
+        "payload_sha256",
+    }
+)
+
+
+def window_to_bytes(window: "WindowedSketchTree") -> bytes:
+    """Serialise a sliding window into the versioned container format.
+
+    Every retained bucket (complete buckets oldest-first, then the
+    in-progress one) becomes a nested :func:`snapshot_to_bytes` blob —
+    counters, per-bucket top-k tracker state, bookkeeping — so the
+    restore compensates queries exactly like the saved window did.
+    """
+    with window._lock:
+        buckets = [*window._complete, window._current]
+        n_trees_seen = window.n_trees_seen
+    blobs = [snapshot_to_bytes(bucket) for bucket in buckets]
+    payload = b"".join(
+        len(blob).to_bytes(_HEADER_LEN_BYTES, "big") + blob for blob in blobs
+    )
+    header: dict[str, Any] = {
+        "format": _WINDOW_FORMAT_NAME,
+        "format_version": WINDOW_FORMAT_VERSION,
+        "config": asdict(window.config),
+        "fingerprint": config_fingerprint(window.config),
+        "window_trees": window.window_trees,
+        "bucket_trees": window.bucket_trees,
+        "n_trees_seen": n_trees_seen,
+        "n_refolds": window.n_refolds,
+        "n_refold_candidates": window.n_refold_candidates,
+        "n_buckets": len(blobs),
+        "payload_size": len(payload),
+        "payload_sha256": hashlib.sha256(payload).hexdigest(),
+    }
+    header_bytes = json.dumps(
+        header, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return (
+        WINDOW_MAGIC
+        + len(header_bytes).to_bytes(_HEADER_LEN_BYTES, "big")
+        + header_bytes
+        + payload
+    )
+
+
+def _split_window_blob(blob: bytes) -> tuple[dict[str, Any], bytes]:
+    """Validate window-container framing; return (header, payload)."""
+    if not blob.startswith(WINDOW_MAGIC[: min(len(blob), len(WINDOW_MAGIC))]) or not blob:
+        raise SnapshotFormatError(
+            "not a SketchTree window snapshot (bad magic)"
+        )
+    if len(blob) < _PREFIX_LEN:
+        raise SnapshotIntegrityError(
+            f"window snapshot truncated inside the {_PREFIX_LEN}-byte prefix"
+        )
+    header_len = int.from_bytes(blob[len(WINDOW_MAGIC) : _PREFIX_LEN], "big")
+    if _PREFIX_LEN + header_len > len(blob):
+        raise SnapshotIntegrityError(
+            "window snapshot truncated inside its header "
+            f"(need {header_len} bytes, have {len(blob) - _PREFIX_LEN})"
+        )
+    header_bytes = blob[_PREFIX_LEN : _PREFIX_LEN + header_len]
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotFormatError(
+            f"window snapshot header is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(header, dict) or header.get("format") != _WINDOW_FORMAT_NAME:
+        raise SnapshotFormatError(
+            "window snapshot header is not a sketchtree-window-snapshot header"
+        )
+    version = header.get("format_version")
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise SnapshotFormatError(
+            f"window format_version must be an integer, got {version!r}"
+        )
+    if version != WINDOW_FORMAT_VERSION:
+        raise SnapshotVersionError(
+            f"window snapshot format version {version} is not supported by "
+            f"this loader (supports exactly {WINDOW_FORMAT_VERSION})"
+        )
+    missing = _WINDOW_REQUIRED_KEYS - header.keys()
+    if missing:
+        raise SnapshotFormatError(
+            f"window snapshot header is missing keys: {sorted(missing)}"
+        )
+    payload = blob[_PREFIX_LEN + header_len :]
+    expected_size = header["payload_size"]
+    if not isinstance(expected_size, int) or expected_size != len(payload):
+        raise SnapshotIntegrityError(
+            f"window snapshot payload is {len(payload)} bytes, header "
+            f"declares {expected_size} — truncated or corrupt"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header["payload_sha256"]:
+        raise SnapshotIntegrityError(
+            "window snapshot payload checksum mismatch — the snapshot is corrupt"
+        )
+    return header, payload
+
+
+def window_from_bytes(blob: bytes) -> "WindowedSketchTree":
+    """Restore a window from :func:`window_to_bytes` output.
+
+    Raises a :class:`~repro.errors.SnapshotError` subclass — never
+    returns a partially restored window — for corrupt, truncated,
+    version-mismatched, or internally inconsistent containers (including
+    any nested bucket snapshot failing its own validation, or bucket
+    geometry disagreeing with the declared window parameters).
+    """
+    from repro.core.window import WindowedSketchTree
+
+    header, payload = _split_window_blob(blob)
+    config = _config_from_header(header)
+    for key in ("window_trees", "bucket_trees", "n_buckets"):
+        count = header[key]
+        if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+            raise SnapshotFormatError(
+                f"window snapshot {key} must be a positive integer, got {count!r}"
+            )
+    for key in ("n_trees_seen", "n_refolds", "n_refold_candidates"):
+        count = header[key]
+        if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+            raise SnapshotFormatError(
+                f"window snapshot {key} must be a non-negative integer, "
+                f"got {count!r}"
+            )
+    try:
+        window = WindowedSketchTree(
+            config, header["window_trees"], header["bucket_trees"]
+        )
+    except ConfigError as exc:
+        raise SnapshotFormatError(
+            f"window snapshot geometry is invalid: {exc}"
+        ) from exc
+    buckets: list[SketchTree] = []
+    offset = 0
+    while offset < len(payload):
+        if offset + _HEADER_LEN_BYTES > len(payload):
+            raise SnapshotIntegrityError(
+                "window snapshot payload truncated inside a bucket length "
+                "prefix"
+            )
+        length = int.from_bytes(
+            payload[offset : offset + _HEADER_LEN_BYTES], "big"
+        )
+        offset += _HEADER_LEN_BYTES
+        if offset + length > len(payload):
+            raise SnapshotIntegrityError(
+                f"window snapshot payload truncated inside bucket "
+                f"{len(buckets)} (need {length} bytes)"
+            )
+        buckets.append(snapshot_from_bytes(payload[offset : offset + length]))
+        offset += length
+    if len(buckets) != header["n_buckets"]:
+        raise SnapshotIntegrityError(
+            f"window snapshot carries {len(buckets)} buckets, header "
+            f"declares {header['n_buckets']}"
+        )
+    if not buckets:
+        raise SnapshotFormatError(
+            "window snapshot carries no buckets (needs at least the "
+            "in-progress one)"
+        )
+    if len(buckets) - 1 > window.n_buckets:
+        raise SnapshotFormatError(
+            f"window snapshot carries {len(buckets) - 1} complete buckets, "
+            f"geometry retains at most {window.n_buckets}"
+        )
+    for position, bucket in enumerate(buckets):
+        if bucket.config != config:
+            raise SnapshotFormatError(
+                f"window snapshot bucket {position} was written with a "
+                "different config than the container declares"
+            )
+    for position, bucket in enumerate(buckets[:-1]):
+        if bucket.n_trees != window.bucket_trees:
+            raise SnapshotFormatError(
+                f"window snapshot complete bucket {position} holds "
+                f"{bucket.n_trees} trees, expected exactly "
+                f"{window.bucket_trees}"
+            )
+    current = buckets[-1]
+    if current.n_trees >= window.bucket_trees:
+        raise SnapshotFormatError(
+            f"window snapshot in-progress bucket holds {current.n_trees} "
+            f"trees, expected fewer than {window.bucket_trees}"
+        )
+    covered = sum(bucket.n_trees for bucket in buckets)
+    if header["n_trees_seen"] < covered:
+        raise SnapshotIntegrityError(
+            f"window snapshot n_trees_seen={header['n_trees_seen']} is "
+            f"smaller than the {covered} trees its buckets cover"
+        )
+    window._complete = deque(buckets[:-1])
+    window._current = current
+    window.n_trees_seen = header["n_trees_seen"]
+    window.n_refolds = header["n_refolds"]
+    window.n_refold_candidates = header["n_refold_candidates"]
+    return window
+
+
+# ---------------------------------------------------------------------------
 # Files
 # ---------------------------------------------------------------------------
 
-def save_snapshot(synopsis: SketchTree, path: str | Path) -> Path:
+def _serialise(synopsis: "SketchTree | WindowedSketchTree") -> bytes:
+    """Dispatch on the synopsis type: plain snapshot or window container."""
+    if isinstance(synopsis, SketchTree):
+        return snapshot_to_bytes(synopsis)
+    from repro.core.window import WindowedSketchTree
+
+    if isinstance(synopsis, WindowedSketchTree):
+        return window_to_bytes(synopsis)
+    raise ConfigError(
+        f"cannot snapshot a {type(synopsis).__name__}: expected a "
+        "SketchTree or WindowedSketchTree"
+    )
+
+
+def save_snapshot(
+    synopsis: "SketchTree | WindowedSketchTree", path: str | Path
+) -> Path:
     """Write a snapshot atomically: temp file, fsync, then rename.
 
     A crash at any point leaves either the previous file or the new one,
     never a torn mixture — the property periodic checkpointing relies on.
+    Accepts plain synopses and sliding windows (dispatching to the
+    matching format; see the module docstring).
     """
     target = Path(path)
-    blob = snapshot_to_bytes(synopsis)
+    blob = _serialise(synopsis)
     tmp = target.with_name(f".{target.name}.{os.getpid()}.tmp")
     with open(tmp, "wb") as handle:
         handle.write(blob)
@@ -380,15 +651,24 @@ def save_snapshot(synopsis: SketchTree, path: str | Path) -> Path:
 
 def load_snapshot(
     path: str | Path, expected_config: SketchTreeConfig | None = None
-) -> SketchTree:
+) -> "SketchTree | WindowedSketchTree":
     """Load a snapshot file, optionally insisting on a specific config.
+
+    Dispatches on the file's leading magic: a plain synopsis snapshot
+    restores a :class:`SketchTree`, a window container restores a
+    :class:`~repro.core.window.WindowedSketchTree`.
 
     ``expected_config`` guards resume paths: restoring a synopsis whose
     config (and therefore ξ randomness) differs from the running job's
     would silently produce garbage estimates, so a mismatch raises
     :class:`~repro.errors.SnapshotConfigError` instead.
     """
-    synopsis = snapshot_from_bytes(Path(path).read_bytes())
+    blob = Path(path).read_bytes()
+    synopsis: "SketchTree | WindowedSketchTree"
+    if blob.startswith(WINDOW_MAGIC):
+        synopsis = window_from_bytes(blob)
+    else:
+        synopsis = snapshot_from_bytes(blob)
     if expected_config is not None and synopsis.config != expected_config:
         raise SnapshotConfigError(
             f"snapshot {path} was written with a different configuration "
@@ -451,8 +731,13 @@ class CheckpointManager:  # sketchlint: thread-safe
         existing = self.paths()
         return existing[-1] if existing else None
 
-    def save(self, synopsis: SketchTree) -> Path:
-        """Checkpoint ``synopsis`` now and prune to ``keep_last`` files."""
+    def save(self, synopsis: "SketchTree | WindowedSketchTree") -> Path:
+        """Checkpoint ``synopsis`` now and prune to ``keep_last`` files.
+
+        Accepts plain synopses and sliding windows; a window's file is
+        named by its absolute stream position (``n_trees_seen``), so
+        lexicographic order stays stream order either way.
+        """
         name = f"{self.prefix}-{synopsis.n_trees:012d}{self.SUFFIX}"
         obs = self.metrics
         with self._lock:
@@ -489,7 +774,7 @@ class CheckpointManager:  # sketchlint: thread-safe
         self,
         path: str | Path,
         expected_config: SketchTreeConfig | None = None,
-    ) -> SketchTree:
+    ) -> "SketchTree | WindowedSketchTree":
         """Load one checkpoint file (see :func:`load_snapshot`)."""
         obs = self.metrics
         if not obs.enabled:
@@ -509,7 +794,7 @@ class CheckpointManager:  # sketchlint: thread-safe
 
     def load_latest(
         self, expected_config: SketchTreeConfig | None = None
-    ) -> SketchTree | None:
+    ) -> "SketchTree | WindowedSketchTree | None":
         """Restore from the newest checkpoint that validates.
 
         Returns ``None`` when the directory holds no checkpoints.  When

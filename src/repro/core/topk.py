@@ -22,6 +22,23 @@ At query time the deleted occurrences of *queried* values must be
 compensated: :meth:`adjustment` returns the per-instance vector
 ``d = Σ_{q ∈ L ∩ query} ξ_q · f_q`` which the estimator adds to the
 counters (the paper's modification of Algorithm 2).
+
+The fold/unfold protocol
+------------------------
+
+Tracking *folds* frequent mass out of the counters; the inverse,
+:meth:`TopKTracker.unfold`, adds every tracked ``f_v · ξ(v)`` back.
+Because AMS counters are exact int64 sums and the delete condition
+guarantees exactly ``f_v`` occurrences of ``v`` were subtracted,
+unfolding restores counters **bit-identical** to a ``topk_size=0`` run
+of the same stream — pure linearity again.  On linear counters every
+composition the paper proves for plain sketches works: summing across
+shards, summing across window buckets, differencing landmarks.  The
+module-level :func:`refold` then rebuilds a tracker over any candidate
+value set via :meth:`TopKTracker.bulk_build`, re-deleting the (now
+combined) heavy mass and re-establishing the delete condition.  This is
+what makes top-k state *mergeable*: unfold each operand, sum the linear
+counters, refold over the union of previously tracked values.
 """
 
 from __future__ import annotations
@@ -34,6 +51,19 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.sketch.ams import SketchMatrix
+
+
+def fold_vector(sketch: SketchMatrix, state: Mapping[int, int]) -> np.ndarray:
+    """The per-instance counter mass a tracked state has deleted.
+
+    ``Σ_{v ∈ state} ξ(v) · f_v`` over ``sketch``'s ξ family — exactly
+    what Algorithm 4's deletions subtracted (delete condition), so
+    *adding* it to counters undoes the fold.  Exact int64 arithmetic:
+    callers on the bit-identity path (merge, unfold) rely on that.
+    """
+    signs = sketch.xi.xi_values(list(state))
+    freqs = np.asarray(list(state.values()), dtype=np.int64)
+    return signs @ freqs
 
 
 class TopKTracker:  # sketchlint: thread-safe
@@ -157,6 +187,29 @@ class TopKTracker:  # sketchlint: thread-safe
             return signs @ freqs
 
     # ------------------------------------------------------------------
+    # Fold/unfold protocol (see the module docstring)
+    # ------------------------------------------------------------------
+    def unfold(self) -> dict[int, int]:
+        """Add every tracked frequency back and clear the tracker.
+
+        The inverse of the fold Algorithm 4 performs: afterwards the
+        bound sketch holds the **pure linear counters** of the stream it
+        saw — bit-identical to a ``topk_size=0`` run (the delete
+        condition guarantees exactly the returned frequencies were
+        deleted, and int64 addition is exact).  Returns the tracked
+        value → frequency map that was folded, which callers typically
+        feed to :func:`refold` (possibly unioned with other unfolds)
+        after combining counters.
+        """
+        with self._lock:
+            state = self._freq
+            self._freq = {}
+            self._heap = []
+            if state:
+                self.sketch.counters += fold_vector(self.sketch, state)
+            return state
+
+    # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[int, int]:
@@ -215,15 +268,18 @@ class TopKTracker:  # sketchlint: thread-safe
 
     @property
     def n_tracked(self) -> int:
-        return len(self._freq)
+        with self._lock:
+            return len(self._freq)
 
     def deleted_frequency(self, value: int) -> int:
         """Occurrences of ``value`` currently deleted from the sketch."""
-        return self._freq.get(value, 0)
+        with self._lock:
+            return self._freq.get(value, 0)
 
     def deleted_self_join_mass(self) -> int:
         """``Σ f_v²`` over tracked values — the self-join mass removed."""
-        return sum(f * f for f in self._freq.values())
+        with self._lock:
+            return sum(f * f for f in self._freq.values())
 
     def memory_bytes(self) -> int:
         """Paper-style accounting: 16 bytes per tracked slot (value +
@@ -231,4 +287,24 @@ class TopKTracker:  # sketchlint: thread-safe
         return self.size * 16
 
     def __repr__(self) -> str:
-        return f"TopKTracker(size={self.size}, tracked={len(self._freq)})"
+        return f"TopKTracker(size={self.size}, tracked={self.n_tracked})"
+
+
+def refold(
+    sketch: SketchMatrix, candidates: Iterable[int], size: int
+) -> TopKTracker:
+    """Build a fresh tracker over *linear* counters from candidate values.
+
+    The second half of the fold/unfold protocol: given a sketch whose
+    counters are pure sums (every contributing tracker unfolded), replay
+    :meth:`TopKTracker.bulk_build` over the union of candidate values —
+    typically the values the unfolded trackers had been tracking, which
+    by construction include every heavy hitter either operand knew
+    about.  The returned tracker has re-deleted the top estimates, so
+    the delete-condition invariant holds on the combined stream exactly
+    as it would had one tracker watched it end to end.
+    """
+    tracker = TopKTracker(size, sketch)
+    distinct = [int(value) for value in dict.fromkeys(candidates)]
+    tracker.bulk_build(distinct)
+    return tracker

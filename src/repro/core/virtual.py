@@ -18,7 +18,7 @@ from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
-from repro.core.topk import TopKTracker
+from repro.core.topk import TopKTracker, refold
 
 if TYPE_CHECKING:
     from repro.core.batch import EncodedBatch
@@ -201,6 +201,22 @@ class VirtualStreams:  # sketchlint: single-writer
         if not self.topk_size:
             return None
         return self._trackers.get(residue)
+
+    def refold_tracker(
+        self, residue: int, candidates: Iterable[int]
+    ) -> TopKTracker:
+        """Replace stream ``residue``'s tracker via the fold/unfold
+        protocol (:func:`repro.core.topk.refold`).
+
+        The caller must have restored the stream's counters to pure
+        linear sums first (every contributing tracker unfolded) — this
+        is the merge/expiry composition point, writer-side only.
+        """
+        if not self.topk_size:
+            raise ConfigError("refold_tracker needs topk_size > 0")
+        tracker = refold(self.sketch(residue), candidates, self.topk_size)
+        self._trackers[residue] = tracker
+        return tracker
 
     # ------------------------------------------------------------------
     # Query-side combination

@@ -19,31 +19,53 @@ bucket compromise implemented here keeps memory bounded:
   boundary is quantised to a bucket, the usual accuracy/memory trade of
   bucketed windows.
 
-Memory: ``(n_buckets + 1) ×`` one synopsis.  Top-k tracking is disabled
-inside buckets (tracked deletions would not be additive across bucket
-drops); virtual streams work unchanged.
+Memory: ``(n_buckets + 1) ×`` one synopsis.  Virtual streams work
+unchanged.  Top-k tracking (Section 5.2) runs **per bucket**: each
+bucket's synopsis folds its own heavy hitters out of its counters, so
+per-bucket estimates stay compensated through the buckets' own
+trackers, and windowed queries keep the self-join-size reduction
+exactly where skew matters most (trending patterns).  On bucket expiry
+the tracked state composes through the fold/unfold protocol of
+:mod:`repro.core.topk` (*merge-on-expiry*): the expiring bucket's
+tracker is unfolded — its counters are discarded anyway, but the
+unfold yields the candidate heavy hitters it knew — and the surviving
+oldest bucket's tracker is unfolded and *refolded* over the union of
+both candidate sets, so a pattern that was hot in the expired bucket
+keeps being watched if it is still heavy in the surviving window.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Iterable
+
+import numpy as np
 
 from repro.core.config import SketchTreeConfig
 from repro.core.sketchtree import SketchTree
 from repro.errors import ConfigError
+from repro.obs.registry import Registry, get_default_registry
 from repro.sketch.ams import SketchMatrix
-from repro.trees.tree import LabeledTree
+from repro.trees.tree import LabeledTree, Nested
 
 
-class WindowedSketchTree:
+class WindowedSketchTree:  # sketchlint: single-writer
     """Approximate pattern counts over a sliding window of trees.
+
+    Single-writer: one thread drives :meth:`update`/:meth:`update_batch`
+    (in the serving tier, the shard's drain thread); query threads read
+    concurrently under the racy-but-benign counter semantics of
+    docs/concurrency.md.  The bucket *list* itself is the one structure
+    a rotation mutates non-atomically, so rotations and reader snapshots
+    of it serialise on a small internal lock.
 
     Parameters
     ----------
     config:
-        Configuration for the per-bucket synopses (``topk_size`` must be
-        0 — see the module docstring).
+        Configuration for the per-bucket synopses.  ``topk_size > 0``
+        runs one tracker per bucket per virtual stream, merged across
+        bucket expiry via the fold/unfold protocol (module docstring).
     window_trees:
         Target window length in trees.
     bucket_trees:
@@ -57,11 +79,6 @@ class WindowedSketchTree:
         window_trees: int,
         bucket_trees: int | None = None,
     ):
-        if config.topk_size:
-            raise ConfigError(
-                "windowed counting requires topk_size=0: top-k deletions "
-                "are not additive across bucket expiry"
-            )
         if window_trees < 1:
             raise ConfigError(f"window_trees must be >= 1, got {window_trees}")
         if bucket_trees is None:
@@ -76,7 +93,14 @@ class WindowedSketchTree:
         self.n_buckets = -(-window_trees // bucket_trees)  # ceil
         self._complete: deque[SketchTree] = deque()
         self._current = SketchTree(config)
+        self._lock = threading.Lock()
         self.n_trees_seen = 0
+        #: Merge-on-expiry churn (plain ints, always on — surfaced as
+        #: pull counters by :meth:`set_metrics`): trackers refolded and
+        #: candidate values replayed through ``bulk_build``.
+        self.n_refolds = 0
+        self.n_refold_candidates = 0
+        self._obs: Registry = get_default_registry()
 
     # ------------------------------------------------------------------
     # Stream side
@@ -110,11 +134,56 @@ class WindowedSketchTree:
                 self._rotate()
 
     def _rotate(self) -> None:
-        """Retire the full in-progress bucket and expire the oldest."""
-        self._complete.append(self._current)
-        self._current = SketchTree(self.config)
-        while len(self._complete) > self.n_buckets:
-            self._complete.popleft()  # expire the oldest bucket whole
+        """Retire the full in-progress bucket and expire the oldest.
+
+        The structural swap happens under the lock (readers snapshot the
+        bucket list); the merge-on-expiry work — tracker unfold/refold —
+        runs after it, outside the lock, under the same racy-benign
+        read semantics as ingest itself.
+        """
+        expired: list[SketchTree] = []
+        with self._lock:
+            self._complete.append(self._current)
+            self._current = SketchTree(self.config)
+            while len(self._complete) > self.n_buckets:
+                expired.append(self._complete.popleft())
+            successor = self._complete[0]
+        for bucket in expired:
+            self._merge_on_expiry(bucket, successor)
+
+    def _merge_on_expiry(self, expired: SketchTree, successor: SketchTree) -> None:
+        """Fold the expiring bucket's tracked state into the successor.
+
+        Per stream: :meth:`~repro.core.topk.TopKTracker.unfold` the
+        expiring bucket's tracker (its counters leave the window either
+        way; the unfold yields its candidate heavy hitters), unfold the
+        surviving oldest bucket's tracker — restoring that bucket's pure
+        linear counters — and refold it over the union of both candidate
+        sets.  A value the expired bucket was tracking survives exactly
+        when it is still heavy in the successor's sub-stream; per-bucket
+        ``adjustment()`` compensation keeps working because each
+        bucket's tracker still describes precisely its own deletions.
+        """
+        if not self.config.topk_size:
+            return
+        # Plain iteration is safe here: this runs on the window's single
+        # writer thread, which is the only mutator of tracker tables in
+        # both the expired bucket (frozen) and the successor (complete).
+        for residue, tracker in list(expired.streams.iter_trackers()):
+            candidates = tracker.unfold()
+            if not candidates:
+                continue
+            if successor.streams.sketch_if_allocated(residue) is None:
+                # The surviving window never routed a value to this
+                # stream: every candidate's surviving count is exactly 0.
+                continue
+            union = dict.fromkeys(candidates)
+            surviving = successor.streams.tracker(residue)
+            if surviving is not None:
+                union.update(dict.fromkeys(surviving.unfold()))
+            successor.streams.refold_tracker(residue, union)
+            self.n_refolds += 1
+            self.n_refold_candidates += len(union)
 
     def ingest(
         self, trees: Iterable[LabeledTree], batch_trees: int = 64
@@ -135,13 +204,21 @@ class WindowedSketchTree:
     # ------------------------------------------------------------------
     # Query side
     # ------------------------------------------------------------------
-    def _live_buckets(self):
-        yield from self._complete
-        if self._current.n_trees:
-            yield self._current
+    def _live_buckets(self) -> list[SketchTree]:
+        """A stable snapshot of the retained buckets, oldest first."""
+        with self._lock:
+            buckets = list(self._complete)
+            current = self._current
+        if current.n_trees:
+            buckets.append(current)
+        return buckets
 
     def estimate_ordered(self, query) -> float:
-        """Approximate ``COUNT_ord(Q)`` over the current window."""
+        """Approximate ``COUNT_ord(Q)`` over the current window.
+
+        Per-bucket estimates are already top-k compensated through each
+        bucket's own trackers, so their sum is too.
+        """
         return sum(b.estimate_ordered(query) for b in self._live_buckets())
 
     def estimate_unordered(self, query) -> float:
@@ -171,7 +248,10 @@ class WindowedSketchTree:
         (:meth:`_combined_matrix`) — summing per-bucket
         ``estimate_self_join_size`` instead would ignore cross-bucket
         repetitions of a value (``SJ`` is quadratic in frequencies, which
-        add across buckets) and systematically undercount.
+        add across buckets) and systematically undercount.  "Residual"
+        as in :meth:`SketchTree.estimate_self_join_size`: per-bucket
+        top-k-deleted mass stays deleted, which is the quantity the
+        Theorem 1 error bound depends on.
         """
         residues = set()
         for bucket in self._live_buckets():
@@ -193,7 +273,12 @@ class WindowedSketchTree:
         whole-stream quantities of :meth:`SketchTree.estimate_ordered_interval`.
         (The centre is the merged-counter estimate, which can differ by
         median nonlinearity from :meth:`estimate_ordered`'s per-bucket
-        sum; both are valid estimators of the same count.)
+        sum; both are valid estimators of the same count.)  The point
+        estimate is compensated with every live bucket's per-bucket
+        :meth:`~repro.core.topk.TopKTracker.adjustment`; the half-width
+        stays on the *residual* (uncompensated) counters, which is what
+        Theorem 1's variance bound measures after the Section 5.2
+        optimisation.
         """
         from repro.core.intervals import Interval, chebyshev_half_width
 
@@ -203,12 +288,15 @@ class WindowedSketchTree:
         matrix = self._combined_matrix(residue)
         if matrix is None:
             return Interval(0.0, 0.0, confidence, 0.0)
-        estimate = matrix.estimate(value)
+        adjust = self._combined_adjustment(residue, [value])
+        estimate = matrix.estimate(value, adjust=adjust)
         self_join = max(0.0, matrix.estimate_self_join_size())
         half_width = chebyshev_half_width(self_join, self.config.s1, confidence)
         return Interval(estimate, half_width, confidence, self_join)
 
-    def _combined_matrix(self, residue: int) -> SketchMatrix | None:
+    def _combined_matrix(
+        self, residue: int, adjust_values: Iterable[int] | None = None
+    ) -> SketchMatrix | None:
         """Stream ``residue``'s counters summed across live buckets, as a
         fresh read-only :class:`~repro.sketch.ams.SketchMatrix` view.
 
@@ -217,6 +305,12 @@ class WindowedSketchTree:
         so summed counters are exactly the stream's counters over the
         window's trees (linearity).  Returns ``None`` when no live
         bucket ever routed a value to the stream (an exact zero).
+
+        ``adjust_values`` applies every live bucket's per-bucket top-k
+        :meth:`~repro.core.topk.TopKTracker.adjustment` for those query
+        values into the view — each bucket deleted its own tracked
+        occurrences, so the compensations add just like the counters do.
+        Leave it ``None`` for residual quantities (self-join size).
         """
         total = None
         for bucket in self._live_buckets():
@@ -229,25 +323,173 @@ class WindowedSketchTree:
             )
         if total is None:
             return None
+        if adjust_values is not None:
+            adjust = self._combined_adjustment(residue, list(adjust_values))
+            if adjust is not None:
+                total = total + adjust
         view = SketchMatrix(
             self.config.s1, self.config.s2, xi=self._current.streams.xi
         )
         view.counters = total
         return view
 
+    def _combined_adjustment(
+        self, residue: int, values: list[int]
+    ) -> np.ndarray | None:
+        """Summed per-bucket top-k compensation for stream ``residue``.
+
+        ``None`` when no live bucket tracks any of the queried values
+        (always, when ``topk_size=0``).
+        """
+        if not self.config.topk_size:
+            return None
+        total: np.ndarray | None = None
+        for bucket in self._live_buckets():
+            tracker = bucket.streams.tracker(residue)
+            if tracker is None:
+                continue
+            part = tracker.adjustment(values)
+            if part is not None:
+                total = part if total is None else total + part
+        return total
+
     def merged(self) -> SketchTree:
         """The live buckets collapsed into one fresh synopsis.
 
-        Windows always run with ``topk_size=0``, so
-        :meth:`~repro.core.sketchtree.SketchTree.merge` applies; the
-        result is bit-identical to a single synopsis fed the window's
-        trees (linearity).  The returned synopsis is a snapshot-in-time
-        copy — later window updates do not flow into it.
+        :meth:`~repro.core.sketchtree.SketchTree.merge` composes the
+        buckets — including per-bucket top-k state, via the fold/unfold
+        protocol — into a synopsis equivalent to one fed the window's
+        trees (bit-identical counters once unfolded; the refolded
+        tracker re-selects the heavy hitters of the combined stream).
+        The returned synopsis is a snapshot-in-time copy — later window
+        updates do not flow into it.
         """
         combined = SketchTree(self.config)
         for bucket in self._live_buckets():
             combined = combined.merge(bucket)
         return combined
+
+    # ------------------------------------------------------------------
+    # Top-k introspection (the live windowed-trend surface)
+    # ------------------------------------------------------------------
+    def tracked(self) -> dict[int, int]:
+        """Tracked value → deleted-frequency map, summed across buckets.
+
+        Each bucket deleted its own occurrences of a value, so the sums
+        are the window's total tracked mass per value — the raw form of
+        the "trending patterns" list.
+        """
+        total: dict[int, int] = {}
+        for bucket in self._live_buckets():
+            for value, freq in bucket.tracked().items():
+                total[value] = total.get(value, 0) + freq
+        return total
+
+    def tracked_patterns(self, limit: int | None = None) -> list[dict]:
+        """The window's tracked patterns, most frequent first.
+
+        Each entry carries the encoded ``value`` (as a decimal string —
+        pairing-mode values exceed JSON-safe integers), the summed
+        tracked ``frequency``, and the decoded ``pattern`` nested tuple
+        when any live bucket's encoder still memoises it (``None`` after
+        LRU eviction — the value is still servable, just nameless).
+        """
+        ranked = sorted(self.tracked().items(), key=lambda kv: (-kv[1], kv[0]))
+        if limit is not None:
+            ranked = ranked[:limit]
+        values = [value for value, _ in ranked]
+        names: dict[int, Nested] = {}
+        for bucket in self._live_buckets():
+            missing = [v for v in values if v not in names]
+            if not missing:
+                break
+            names.update(bucket.encoder.lookup_values(missing))
+        return [
+            {"value": value, "frequency": freq, "pattern": names.get(value)}
+            for value, freq in ranked
+        ]
+
+    def deleted_self_join_mass(self) -> int:
+        """``Σ f_v²`` over tracked values, summed across live buckets —
+        the self-join mass the window's trackers hold out of the
+        counters (what the Section 5.2 optimisation bought)."""
+        return sum(
+            bucket.deleted_self_join_mass() for bucket in self._live_buckets()
+        )
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def set_metrics(self, metrics: Registry | None) -> None:
+        """Attach a metrics registry (``None`` → the process default).
+
+        Pull instruments over live window state, same semantics as
+        :meth:`SketchTree.set_metrics` (re-registering rebinds; nothing
+        here mutates window state).
+        """
+        obs = metrics if metrics is not None else get_default_registry()
+        self._obs = obs
+        if not obs.enabled:
+            return
+        obs.gauge(
+            "window_live_buckets",
+            help="buckets currently retained (complete + in-progress)",
+            fn=lambda: self.n_live_buckets,
+        )
+        obs.gauge(
+            "window_trees_covered",
+            help="trees currently covered by the retained buckets",
+            fn=lambda: self.window_size_actual,
+        )
+        if self.config.topk_size:
+            obs.counter(
+                "window_topk_refolds_total",
+                help="per-stream trackers refolded on bucket expiry",
+                fn=lambda: self.n_refolds,
+            )
+            obs.counter(
+                "window_topk_refold_candidates_total",
+                help="candidate values replayed through refolds on expiry",
+                fn=lambda: self.n_refold_candidates,
+            )
+            obs.gauge(
+                "window_topk_deleted_self_join_mass",
+                help="self-join mass deleted by the live buckets' trackers",
+                fn=lambda: float(self.deleted_self_join_mass()),
+            )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @property
+    def n_trees(self) -> int:
+        """Absolute stream position: every tree ever seen, expired or not.
+
+        This is what checkpoint naming and
+        :meth:`~repro.stream.engine.StreamProcessor.resume` skip counts
+        key on — a resumed window must skip all consumed trees, not just
+        the retained ones (:attr:`window_size_actual`).
+        """
+        return self.n_trees_seen
+
+    def to_bytes(self) -> bytes:
+        """Serialise the whole window (every retained bucket, including
+        per-bucket tracker state) into the versioned container format of
+        :mod:`repro.core.snapshot`."""
+        from repro.core.snapshot import window_to_bytes
+
+        return window_to_bytes(self)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "WindowedSketchTree":
+        """Restore a window serialised with :meth:`to_bytes`.
+
+        Raises a typed :class:`~repro.errors.SnapshotError` for corrupt,
+        truncated, or version-mismatched blobs.
+        """
+        from repro.core.snapshot import window_from_bytes
+
+        return window_from_bytes(blob)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -271,10 +513,10 @@ class WindowedSketchTree:
             reports = [SketchTree(self.config).memory_report()]
         return MemoryReport(
             provisioned_sketch_bytes=sum(r.provisioned_sketch_bytes for r in reports),
-            provisioned_topk_bytes=0,
+            provisioned_topk_bytes=sum(r.provisioned_topk_bytes for r in reports),
             seed_bytes=reports[0].seed_bytes,
             allocated_sketch_bytes=sum(r.allocated_sketch_bytes for r in reports),
-            allocated_topk_bytes=0,
+            allocated_topk_bytes=sum(r.allocated_topk_bytes for r in reports),
         )
 
     def __repr__(self) -> str:

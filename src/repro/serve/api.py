@@ -13,13 +13,19 @@ Endpoints::
     GET  /readyz                  readiness (200 ready / 503 not yet)
     GET  /metrics                 Prometheus text exposition, live
     GET  /stats                   per-shard JSON introspection
+    GET  /window/topk[?limit=N]   the live window's trending patterns
+    GET  /admin/topk[?limit=N]    quiesce + merge(): whole-stream top-k
     POST /ingest                  {"trees": ["(A (B))", ...]}
     POST /estimate/<kind>         lock-free sum of per-shard estimates
+    POST /window/estimate/<kind>  same, over the shards' sliding windows
     POST /admin/estimate/<kind>   quiesce + merge(): the exact answer
     POST /admin/drain             quiesce only (apply every queued batch)
     POST /admin/snapshot          quiesce + checkpoint every shard
 
-``<kind>`` is one of ``ordered``, ``unordered``, ``sum``, ``xpath``.
+``<kind>`` is one of ``ordered``, ``unordered``, ``sum``, ``xpath``
+(window estimates: no ``xpath``).  The top-k and window surfaces need
+the service configured with ``--topk`` / ``--window-trees`` — without
+them those routes answer 409.
 
 Error mapping (one place, for every route): :class:`ApiError` carries
 its own status; ``queue.Full`` is 503 backpressure with a
@@ -34,6 +40,7 @@ from __future__ import annotations
 import json
 import queue
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import ReproError, SnapshotError
 from repro.obs.export import to_prometheus_text
@@ -41,6 +48,7 @@ from repro.serve.models import (
     ApiError,
     parse_estimate_request,
     parse_ingest_request,
+    parse_topk_limit,
 )
 from repro.serve.service import ShardedService
 
@@ -82,23 +90,31 @@ class ApiHandler(BaseHTTPRequestHandler):  # sketchlint: thread-confined
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 — http.server's naming
         try:
-            if self.path == "/healthz":
+            parts = urlsplit(self.path)
+            path, params = parts.path, parse_qs(parts.query)
+            if path == "/healthz":
                 health = self.server.service.health()
                 self._send_json(
                     health, status=200 if health["status"] == "ok" else 503
                 )
-            elif self.path == "/readyz":
+            elif path == "/readyz":
                 ready = self.server.service.ready()
                 self._send_json(ready, status=200 if ready["ready"] else 503)
-            elif self.path == "/metrics":
+            elif path == "/metrics":
                 self._send_text(
                     to_prometheus_text(self.server.service.metrics),
                     content_type="text/plain; version=0.0.4; charset=utf-8",
                 )
-            elif self.path == "/stats":
+            elif path == "/stats":
                 self._send_json(self.server.service.stats())
+            elif path == "/window/topk":
+                limit = parse_topk_limit(params)
+                self._send_json(self.server.service.window_topk(limit))
+            elif path == "/admin/topk":
+                limit = parse_topk_limit(params)
+                self._send_json(self.server.service.topk(limit))
             else:
-                self._send_json({"error": f"no such path {self.path!r}"}, 404)
+                self._send_json({"error": f"no such path {path!r}"}, 404)
         except Exception as exc:  # noqa: BLE001 — boundary: map, don't crash
             self._send_error(exc)
 
@@ -112,6 +128,10 @@ class ApiHandler(BaseHTTPRequestHandler):  # sketchlint: thread-confined
                 kind = self.path[len("/estimate/"):]
                 parsed = parse_estimate_request(kind, self._read_json())
                 self._send_json(service.estimate(kind, parsed))
+            elif self.path.startswith("/window/estimate/"):
+                kind = self.path[len("/window/estimate/"):]
+                parsed = parse_estimate_request(kind, self._read_json())
+                self._send_json(service.window_estimate(kind, parsed))
             elif self.path.startswith("/admin/estimate/"):
                 kind = self.path[len("/admin/estimate/"):]
                 parsed = parse_estimate_request(kind, self._read_json())

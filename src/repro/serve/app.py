@@ -152,6 +152,21 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         "--checkpoint-dir before serving",
     )
     group.add_argument(
+        "--window-trees",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run a sliding window of ~N trees per shard, enabling the "
+        "/window/* query surface (0 = no windows)",
+    )
+    group.add_argument(
+        "--bucket-trees",
+        type=int,
+        default=None,
+        metavar="N",
+        help="window bucket granularity in trees (default window/8)",
+    )
+    group.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     synopsis = parser.add_argument_group("synopsis configuration")
@@ -170,6 +185,15 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="maintain the structural summary (enables * and // queries)",
     )
+    synopsis.add_argument(
+        "--topk",
+        type=int,
+        default=0,
+        metavar="K",
+        help="track the K heaviest values per virtual stream (Section "
+        "5.2); enables /admin/topk and, with --window-trees, "
+        "/window/topk (0 = off)",
+    )
     synopsis.add_argument("--seed", type=int, default=0, help="master seed")
 
 
@@ -184,14 +208,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def config_from_args(args: argparse.Namespace) -> SketchTreeConfig:
-    # topk_size is pinned to 0: per-shard top-k deletions cannot be
-    # merged, so the serving tier never exposes the flag.
     return SketchTreeConfig(
         s1=args.s1,
         s2=args.s2,
         max_pattern_edges=args.k,
         n_virtual_streams=args.streams,
-        topk_size=0,
+        topk_size=args.topk,
         maintain_summary=args.summary,
         seed=args.seed,
     )
@@ -206,6 +228,8 @@ def service_from_args(args: argparse.Namespace) -> ShardedService:
         checkpoint_dir=args.checkpoint_dir,
         keep_last=args.keep,
         resume=args.resume,
+        window_trees=args.window_trees,
+        bucket_trees=args.bucket_trees,
     )
 
 

@@ -14,7 +14,7 @@ XPath subset of :mod:`repro.query.xpath`.
 from __future__ import annotations
 
 from repro.errors import ReproError, TreeError
-from repro.trees.builders import from_sexpr
+from repro.trees.builders import from_nested, from_sexpr, to_sexpr
 from repro.trees.tree import LabeledTree
 
 __all__ = [
@@ -23,6 +23,8 @@ __all__ = [
     "ApiError",
     "parse_estimate_request",
     "parse_ingest_request",
+    "parse_topk_limit",
+    "render_topk_entries",
     "require_mapping",
 ]
 
@@ -107,3 +109,43 @@ def parse_estimate_request(kind: str, payload: object) -> object:
     if not isinstance(query, str) or not query:
         raise ApiError(f'estimate/{kind} body needs a "query" string')
     return query
+
+
+def parse_topk_limit(params: dict) -> int | None:
+    """The optional ``?limit=N`` of the top-k endpoints, or a 400.
+
+    ``params`` is ``urllib.parse.parse_qs`` output; absence means "all
+    tracked patterns" (the list is bounded by ``topk_size ×`` streams).
+    """
+    raw = params.get("limit")
+    if raw is None:
+        return None
+    try:
+        limit = int(raw[-1])
+    except (TypeError, ValueError) as exc:
+        raise ApiError(f"limit must be an integer, got {raw[-1]!r}") from exc
+    if limit < 1:
+        raise ApiError(f"limit must be >= 1, got {limit}")
+    return limit
+
+
+def render_topk_entries(entries: list[dict]) -> list[dict]:
+    """Tracked-pattern entries → JSON-safe wire form.
+
+    Encoded values travel as decimal strings (pairing-mode values exceed
+    the 2⁵³ integers JSON consumers handle exactly); patterns travel as
+    s-expressions, or ``null`` when no live encoder still names the
+    value (LRU eviction — the count is real, the name is lost).
+    """
+    return [
+        {
+            "value": str(entry["value"]),
+            "frequency": entry["frequency"],
+            "pattern": (
+                None
+                if entry["pattern"] is None
+                else to_sexpr(from_nested(entry["pattern"]))
+            ),
+        }
+        for entry in entries
+    ]

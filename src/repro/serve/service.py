@@ -32,9 +32,10 @@ from pathlib import Path
 from repro.core.config import SketchTreeConfig
 from repro.core.sketchtree import SketchTree
 from repro.core.snapshot import CheckpointManager
+from repro.core.window import WindowedSketchTree
 from repro.errors import ConfigError
 from repro.obs.registry import MetricsRegistry, Registry
-from repro.serve.models import ESTIMATE_KINDS, ApiError
+from repro.serve.models import ESTIMATE_KINDS, ApiError, render_topk_entries
 from repro.serve.shards import IngestShard
 from repro.trees.tree import LabeledTree
 
@@ -57,9 +58,23 @@ class ShardedService:  # sketchlint: thread-safe
         The one synopsis configuration every shard shares — the
         ``merge()`` contract (same config and seed) is what makes both
         summed estimates and exact-merge admin queries sound.
-        ``topk_size`` must be 0: top-k deletions cannot be merged.
+        ``topk_size > 0`` runs per-shard trackers freely: the fold/
+        unfold protocol of :mod:`repro.core.topk` lets quiesce-and-merge
+        compose them, and ``/admin/topk`` serves the merged heavy-hitter
+        list.
     n_shards:
         Ingest parallelism (one drain thread per shard).
+    window_trees, bucket_trees:
+        ``window_trees > 0`` additionally runs one
+        :class:`~repro.core.window.WindowedSketchTree` per shard (fed by
+        that shard's drain thread), enabling the ``/window/*`` query
+        surface — sliding-window estimates and, with ``topk_size > 0``,
+        the live trending-pattern list of ``/window/topk``.  Each shard
+        windows its *own* sub-stream, so the served window covers the
+        last ``≈ n_shards × window_trees`` trees of the interleaved
+        stream; size ``window_trees`` accordingly.  Windows are
+        in-memory only: checkpoints persist the whole-stream synopses,
+        and a resumed service re-fills its windows from live traffic.
     max_pending:
         Per-shard queue capacity in batches (backpressure bound).
     metrics:
@@ -84,14 +99,13 @@ class ShardedService:  # sketchlint: thread-safe
         checkpoint_dir: str | Path | None = None,
         keep_last: int = 3,
         resume: bool = False,
+        window_trees: int = 0,
+        bucket_trees: int | None = None,
     ):
         if n_shards < 1:
             raise ConfigError(f"n_shards must be >= 1, got {n_shards}")
-        if config.topk_size:
-            raise ConfigError(
-                "the serving tier requires topk_size=0: per-shard top-k "
-                "deletions cannot be merged soundly (see SketchTree.merge)"
-            )
+        if window_trees < 0:
+            raise ConfigError(f"window_trees must be >= 0, got {window_trees}")
         if resume and checkpoint_dir is None:
             raise ConfigError("resume=True needs a checkpoint_dir")
         self.config = config
@@ -109,6 +123,8 @@ class ShardedService:  # sketchlint: thread-safe
                 )
                 for index in range(n_shards)
             )
+        self.window_trees = window_trees
+        self.bucket_trees = bucket_trees
         self.shards: tuple[IngestShard, ...] = tuple(
             IngestShard(
                 index,
@@ -116,8 +132,11 @@ class ShardedService:  # sketchlint: thread-safe
                 metrics=self.metrics,
                 max_pending=max_pending,
                 synopsis=(
-                    self.checkpoints[index].load_latest(expected_config=config)
-                    if resume
+                    self._resumed_synopsis(index) if resume else None
+                ),
+                window=(
+                    WindowedSketchTree(config, window_trees, bucket_trees)
+                    if window_trees
                     else None
                 ),
             )
@@ -130,6 +149,24 @@ class ShardedService:  # sketchlint: thread-safe
         self._gate = threading.Lock()
         self._stopped = False
         self._register_metrics()
+
+    def _resumed_synopsis(self, index: int) -> SketchTree | None:
+        """Shard ``index``'s newest checkpoint, narrowed to a synopsis.
+
+        Shard checkpoints are whole-stream :class:`SketchTree` snapshots;
+        a window container in the shard's slot means the directory is
+        being shared with some other producer — refuse rather than adopt
+        the wrong synopsis type.
+        """
+        restored = self.checkpoints[index].load_latest(
+            expected_config=self.config
+        )
+        if restored is not None and not isinstance(restored, SketchTree):
+            raise ConfigError(
+                f"checkpoint for shard {index} holds a windowed snapshot; "
+                "shard checkpoints are whole-stream synopses"
+            )
+        return restored
 
     # ------------------------------------------------------------------
     # Observability (the health surface)
@@ -178,6 +215,51 @@ class ShardedService:  # sketchlint: thread-safe
             help="trees absorbed into shard synopses since (re)start",
             fn=lambda: sum(shard.synopsis.n_trees for shard in shards),
         )
+        if self.config.topk_size:
+            obs.gauge(
+                "serve_topk_deleted_self_join_mass",
+                help="self-join mass held out of the whole-stream counters "
+                "by the shards' top-k trackers",
+                fn=lambda: float(
+                    sum(
+                        shard.synopsis.deleted_self_join_mass()
+                        for shard in shards
+                    )
+                ),
+            )
+        if self.window_trees:
+            obs.gauge(
+                "serve_window_trees_covered",
+                help="trees currently covered by the shards' sliding windows",
+                fn=lambda: sum(
+                    shard.window.window_size_actual
+                    for shard in shards
+                    if shard.window is not None
+                ),
+            )
+            if self.config.topk_size:
+                obs.counter(
+                    "serve_window_topk_refolds_total",
+                    help="per-stream trackers refolded on window bucket "
+                    "expiry, summed across shards",
+                    fn=lambda: sum(
+                        shard.window.n_refolds
+                        for shard in shards
+                        if shard.window is not None
+                    ),
+                )
+                obs.gauge(
+                    "serve_window_topk_deleted_self_join_mass",
+                    help="self-join mass deleted by the live window "
+                    "buckets' trackers, summed across shards",
+                    fn=lambda: float(
+                        sum(
+                            shard.window.deleted_self_join_mass()
+                            for shard in shards
+                            if shard.window is not None
+                        )
+                    ),
+                )
 
     def health(self) -> dict:
         """Liveness, derived from the registry's gauges.
@@ -233,7 +315,21 @@ class ShardedService:  # sketchlint: thread-safe
                 "n_virtual_streams": self.config.n_virtual_streams,
                 "seed": self.config.seed,
                 "maintain_summary": self.config.maintain_summary,
+                "topk_size": self.config.topk_size,
             },
+            "window": (
+                {
+                    "window_trees": self.window_trees,
+                    "bucket_trees": self.shards[0].window.bucket_trees,
+                    "trees_covered": sum(
+                        shard.window.window_size_actual
+                        for shard in self.shards
+                        if shard.window is not None
+                    ),
+                }
+                if self.window_trees
+                else None
+            ),
             "n_trees": sum(shard.synopsis.n_trees for shard in self.shards),
             "shards": [
                 {
@@ -331,6 +427,79 @@ class ShardedService:  # sketchlint: thread-safe
         }
 
     # ------------------------------------------------------------------
+    # Window read path (lock-free, like /estimate)
+    # ------------------------------------------------------------------
+    def _windows(self) -> list[WindowedSketchTree]:
+        """Every shard's window, or a 409 when none were configured."""
+        if not self.window_trees:
+            raise ApiError(
+                "no sliding window configured (--window-trees)", status=409
+            )
+        return [
+            shard.window for shard in self.shards if shard.window is not None
+        ]
+
+    def window_estimate(self, kind: str, parsed: object) -> dict:
+        """A ``/window/estimate/<kind>`` request: the same lock-free
+        sum-of-shards read path as :meth:`estimate`, over the shards'
+        sliding windows instead of their whole-stream synopses."""
+        windows = self._windows()
+        if kind == "sum":
+            queries = list(parsed)  # type: ignore[call-overload]
+            estimate = sum(w.estimate_sum(queries) for w in windows)
+        elif kind == "ordered":
+            estimate = sum(w.estimate_ordered(parsed) for w in windows)
+        elif kind == "unordered":
+            estimate = sum(w.estimate_unordered(parsed) for w in windows)
+        else:
+            raise ApiError(
+                f"window estimates support ordered, unordered and sum, "
+                f"not {kind!r}",
+                status=404,
+            )
+        return {
+            "kind": kind,
+            "estimate": estimate,
+            "window_trees": self.window_trees,
+            "trees_covered": sum(w.window_size_actual for w in windows),
+        }
+
+    def window_topk(self, limit: int | None = None) -> dict:
+        """``GET /window/topk``: the live window's trending patterns.
+
+        Aggregates every shard window's tracked-pattern list (each shard
+        windows its own sub-stream; tracked frequencies of the same
+        value add across shards, exactly as in a tracker merge) without
+        quiescing — the racy-benign read semantics of the whole tier.
+        """
+        windows = self._windows()
+        if not self.config.topk_size:
+            raise ApiError(
+                "top-k tracking disabled (topk_size=0, see --topk)",
+                status=409,
+            )
+        merged: dict[int, dict] = {}
+        for window in windows:
+            for entry in window.tracked_patterns():
+                slot = merged.get(entry["value"])
+                if slot is None:
+                    merged[entry["value"]] = dict(entry)
+                else:
+                    slot["frequency"] += entry["frequency"]
+                    if slot["pattern"] is None:
+                        slot["pattern"] = entry["pattern"]
+        ranked = sorted(
+            merged.values(), key=lambda e: (-e["frequency"], e["value"])
+        )
+        if limit is not None:
+            ranked = ranked[:limit]
+        return {
+            "window_trees": self.window_trees,
+            "trees_covered": sum(w.window_size_actual for w in windows),
+            "patterns": render_topk_entries(ranked),
+        }
+
+    # ------------------------------------------------------------------
     # Admin path (quiesce-and-merge under the gate)
     # ------------------------------------------------------------------
     def merged_synopsis(self) -> SketchTree:
@@ -369,6 +538,40 @@ class ShardedService:  # sketchlint: thread-safe
             "estimate": estimate,
             "merged": True,
             "n_trees": merged.n_trees,
+        }
+
+    def topk(self, limit: int | None = None) -> dict:
+        """``GET /admin/topk``: the whole stream's heavy hitters, exact-merged.
+
+        Quiesces the shards and merges them (fold/unfold composition of
+        the per-shard trackers, see :meth:`SketchTree.merge`), then
+        lists the merged trackers' state — the heavy hitters the
+        refolded trackers selected over the *combined* stream.  The
+        merged synopsis' encoder is fresh, so pattern names are
+        re-resolved from the shard encoders that actually saw the
+        stream.
+        """
+        if not self.config.topk_size:
+            raise ApiError(
+                "top-k tracking disabled (topk_size=0, see --topk)",
+                status=409,
+            )
+        merged = self.merged_synopsis()
+        entries = merged.tracked_patterns(limit)
+        missing = [e["value"] for e in entries if e["pattern"] is None]
+        names: dict[int, object] = {}
+        for shard in self.shards:
+            if not missing:
+                break
+            names.update(shard.synopsis.encoder.lookup_values(missing))
+            missing = [v for v in missing if v not in names]
+        for entry in entries:
+            if entry["pattern"] is None:
+                entry["pattern"] = names.get(entry["value"])
+        return {
+            "merged": True,
+            "n_trees": merged.n_trees,
+            "patterns": render_topk_entries(entries),
         }
 
     def drain(self) -> dict:

@@ -22,6 +22,7 @@ import threading
 
 from repro.core.config import SketchTreeConfig
 from repro.core.sketchtree import SketchTree
+from repro.core.window import WindowedSketchTree
 from repro.errors import ConfigError
 from repro.obs.registry import Registry
 from repro.trees.tree import LabeledTree
@@ -57,6 +58,11 @@ class IngestShard:  # sketchlint: thread-safe
     synopsis:
         A restored synopsis to adopt (checkpoint resume); ``None``
         builds a fresh one from ``config``.
+    window:
+        An optional :class:`~repro.core.window.WindowedSketchTree` the
+        drain thread feeds alongside the whole-stream synopsis — the
+        shard's slice of the service's sliding window.  Same
+        single-writer contract: only the drain thread mutates it.
     """
 
     def __init__(
@@ -66,6 +72,7 @@ class IngestShard:  # sketchlint: thread-safe
         metrics: Registry | None = None,
         max_pending: int = 64,
         synopsis: SketchTree | None = None,
+        window: WindowedSketchTree | None = None,
     ):
         if max_pending < 1:
             raise ConfigError(f"max_pending must be >= 1, got {max_pending}")
@@ -81,6 +88,12 @@ class IngestShard:  # sketchlint: thread-safe
         )
         if synopsis is not None and metrics is not None:
             self.synopsis.set_metrics(metrics)
+        if window is not None and window.config != config:
+            raise ConfigError(
+                f"window for shard {index} was built with a different "
+                "config than the service's"
+            )
+        self.window = window
         self._queue: queue.Queue[list[LabeledTree]] = queue.Queue(
             maxsize=max_pending
         )
@@ -130,7 +143,8 @@ class IngestShard:  # sketchlint: thread-safe
     def _drain_loop(self) -> None:
         """Apply queued batches to the synopsis until stopped.
 
-        The one writer of ``self.synopsis``.  A batch that raises is
+        The one writer of ``self.synopsis`` (and of ``self.window``,
+        when the service configured one).  A batch that raises is
         recorded as the shard's fault (surfaced through ``/healthz``)
         and the shard stops *applying* — but keeps consuming and
         acknowledging batches, so ``Queue.join()``-based quiescing can
@@ -147,6 +161,8 @@ class IngestShard:  # sketchlint: thread-safe
             try:
                 if self.error() is None:
                     self.synopsis.update_batch(batch)
+                    if self.window is not None:
+                        self.window.update_batch(batch)
             except BaseException as exc:  # noqa: BLE001 — recorded, not raised
                 with self._lock:
                     self._error = exc

@@ -57,8 +57,13 @@ class AmsSketch:
         return float(self._xi.xi(value)[0] * self.counter)
 
 
-class SketchMatrix:
+class SketchMatrix:  # sketchlint: single-writer
     """``s2`` groups of ``s1`` AMS instances sharing one value domain.
+
+    Single-writer: counters are mutated by exactly one thread at a time —
+    the ingest thread of the owning synopsis, or the constructing thread
+    of a fresh merge/refold copy that no other thread can reach yet.
+    Readers see racy-but-benign int64 sums (docs/concurrency.md).
 
     Parameters
     ----------

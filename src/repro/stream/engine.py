@@ -6,7 +6,10 @@ nearly free).  :class:`StreamProcessor` captures the timings those claims
 are checked against, and — for long-running deployments — can checkpoint
 the synopsis crash-safely while the stream flows and resume an
 interrupted run from the last checkpoint
-(:mod:`repro.core.snapshot`).
+(:mod:`repro.core.snapshot`).  Windowed consumers
+(:class:`~repro.core.window.WindowedSketchTree`) checkpoint the same
+way: the snapshot layer writes their multi-bucket container format and
+restores the right class on resume.
 """
 
 from __future__ import annotations

@@ -198,13 +198,19 @@ class TestIngestShard:
 
 
 class TestShardedService:
-    def test_rejects_topk_config(self):
+    def test_accepts_topk_config(self):
+        """Fold/unfold merging lifts the old shard-level topk ban."""
+        service = ShardedService(
+            SketchTreeConfig(
+                s1=10, s2=3, n_virtual_streams=31, topk_size=2, seed=3
+            ),
+            n_shards=2,
+        )
+        assert service.stats()["config"]["topk_size"] == 2
+
+    def test_rejects_negative_window_trees(self):
         with pytest.raises(ConfigError):
-            ShardedService(
-                SketchTreeConfig(
-                    s1=10, s2=3, n_virtual_streams=31, topk_size=2
-                )
-            )
+            ShardedService(CONFIG, window_trees=-1)
 
     def test_rejects_resume_without_dir(self):
         with pytest.raises(ConfigError):

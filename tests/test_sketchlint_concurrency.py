@@ -676,6 +676,27 @@ class TestAcceptanceMutations:
             for v in violations
         )
 
+    def test_unguarded_tracker_transitions_trip_skl201(self):
+        # TopKTracker._process carries the guarded-by annotation that
+        # asserts every caller (ingest, and now the admin/http merge
+        # path through refold → bulk_build) holds the tracker lock.
+        # Dropping the assertion leaves Algorithm 4's heap/map/counter
+        # writes unguarded from a parallel group's point of view.
+        mutated = _src_pairs(
+            mutate={
+                "repro/core/topk.py": (
+                    "    def _process(self, value: int) -> None:"
+                    "  # sketchlint: guarded-by=_lock\n",
+                    "    def _process(self, value: int) -> None:\n",
+                )
+            }
+        )
+        violations = analyze_project(mutated, select={"SKL201"})
+        assert any(
+            v.rule == "SKL201" and v.path.endswith("repro/core/topk.py")
+            for v in violations
+        )
+
     def test_unguarded_lru_insert_trips_skl202(self):
         # PatternEncoder.encode without its lock re-introduces the
         # canonical get-miss-insert race and the unguarded hit counters.

@@ -307,12 +307,17 @@ class TestPersistence:
         with pytest.raises(ConfigError):
             a.merge(b)
 
-    def test_merge_rejects_topk(self):
+    def test_merge_accepts_topk(self):
+        """The fold/unfold protocol makes top-k operands mergeable; the
+        detailed semantics live in tests/test_topk_merge.py."""
         config = SketchTreeConfig(
-            s1=10, s2=3, n_virtual_streams=31, topk_size=2
+            s1=20, s2=3, n_virtual_streams=31, topk_size=2, seed=4
         )
-        with pytest.raises(ConfigError):
-            SketchTree(config).merge(SketchTree(config))
+        a, b = SketchTree(config), SketchTree(config)
+        a.update(from_sexpr("(A (B))"))
+        b.update(from_sexpr("(A (C))"))
+        merged = a.merge(b)
+        assert merged.n_trees == 2
 
 
 class TestExtendedQueries:

@@ -18,12 +18,15 @@ LATE = from_sexpr("(L (L1))")
 
 
 class TestConstruction:
-    def test_rejects_topk(self):
+    def test_accepts_topk(self):
+        """Fold/unfold (merge-on-expiry) lifts the old topk_size ban; the
+        tracker semantics live in tests/test_topk_merge.py."""
         config = SketchTreeConfig(
-            s1=10, s2=3, n_virtual_streams=31, topk_size=2
+            s1=10, s2=3, n_virtual_streams=31, topk_size=2, seed=6
         )
-        with pytest.raises(ConfigError):
-            WindowedSketchTree(config, window_trees=10)
+        window = WindowedSketchTree(config, window_trees=10, bucket_trees=5)
+        window.ingest([EARLY] * 20)
+        assert window.n_trees == 20
 
     def test_rejects_bad_sizes(self):
         with pytest.raises(ConfigError):

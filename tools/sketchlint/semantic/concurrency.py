@@ -128,12 +128,22 @@ DEFAULT_CONFIG = ConcurrencyConfig(
                 # Each serving shard's drain loop is the single writer of
                 # its own synopsis — the same thread kind as `ingest`.
                 "repro.serve.shards.IngestShard._drain_loop",
+                # The windowed consumer's stream side rides the same
+                # single-writer thread (the drain loop feeds it).
+                "repro.core.window.WindowedSketchTree.update",
+                "repro.core.window.WindowedSketchTree.update_batch",
+                "repro.core.window.WindowedSketchTree.ingest",
             ),
             parallel=False,
         ),
         EntrypointGroup(
             "query",
-            ("repro.core.sketchtree.SketchTree.estimate_*",),
+            (
+                "repro.core.sketchtree.SketchTree.estimate_*",
+                "repro.core.sketchtree.SketchTree.tracked*",
+                "repro.core.window.WindowedSketchTree.estimate_*",
+                "repro.core.window.WindowedSketchTree.tracked*",
+            ),
             parallel=True,
         ),
         EntrypointGroup(
@@ -142,6 +152,9 @@ DEFAULT_CONFIG = ConcurrencyConfig(
                 "repro.core.sketchtree.SketchTree.merge",
                 "repro.core.sketchtree.SketchTree.to_bytes",
                 "repro.core.sketchtree.SketchTree.set_metrics",
+                "repro.core.window.WindowedSketchTree.merged",
+                "repro.core.window.WindowedSketchTree.to_bytes",
+                "repro.core.window.WindowedSketchTree.set_metrics",
                 "repro.core.snapshot.CheckpointManager.*",
                 "repro.stream.engine.StreamProcessor.snapshot_now",
             ),
