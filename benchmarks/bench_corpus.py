@@ -1,0 +1,221 @@
+"""Accuracy-vs-exact report on real-format corpora (the scenario pack).
+
+Every other benchmark streams synthetic generators; this one runs the
+:mod:`repro.corpora` readers over the committed fixture corpora — real
+Penn-Treebank bracketed trees and a real-shape DBLP XML document — and
+compares SketchTree estimates against :class:`~repro.ExactCounter`
+ground truth on a query set drawn from the corpus itself (the most
+frequent patterns, a mid-frequency band, and singletons).
+
+Real corpora exercise what the synthetic Zipf vocabularies cannot: the
+label alphabet *grows along the stream* (new authors, venues, words keep
+arriving), so the report also records distinct-label counts at ten
+checkpoints of each stream.
+
+Gates (the CI smoke step relies on these):
+
+* each fixture corpus parses to its expected tree count through
+  :class:`~repro.stream.engine.StreamProcessor`;
+* every exact count in the query set is positive and every estimate is
+  finite;
+* the mean absolute relative error over the frequent-pattern band stays
+  under ``FREQUENT_ERROR_GATE`` (deterministic: fixed seed, fixed
+  fixtures).
+
+Results are written as JSON — by default ``BENCH_corpus.json`` at the
+repo root, which CI uploads as an artifact.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_corpus.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+from repro import ExactCounter, SketchTree, SketchTreeConfig
+from repro.corpora import CorpusReader
+from repro.query.pattern import pattern_edges
+from repro.stream import StreamProcessor
+from repro.trees import from_nested, to_sexpr
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "corpora"
+
+#: The committed fixture corpora and the tree counts they must parse to.
+CORPORA = {
+    "wsj-ptb": {
+        "reader": dict(
+            path=str(FIXTURES / "wsj_sample_*.mrg"),
+            format="ptb",
+            functions="remove",
+            remove_empty=True,
+        ),
+        "expected_trees": 11,
+    },
+    "negra-export": {
+        "reader": dict(
+            path=str(FIXTURES / "negra_sample.export"),
+            format="export",
+        ),
+        "expected_trees": 3,
+    },
+    "dblp-xml": {
+        "reader": dict(
+            path=str(FIXTURES / "dblp_sample.xml"),
+            format="dblp-xml",
+        ),
+        "expected_trees": 8,
+    },
+}
+
+#: Mean |relative error| allowed over the frequent-pattern band
+#: (deterministic runs measure ~0.02-0.06; headroom for config tweaks).
+FREQUENT_ERROR_GATE = 0.25
+
+#: Queries sampled per corpus: most frequent / mid-band / singletons.
+N_FREQUENT, N_MID, N_RARE = 6, 4, 2
+
+
+def make_config(seed: int) -> SketchTreeConfig:
+    """A mid-size synopsis: small enough for CI, sized per Theorem 1."""
+    return SketchTreeConfig(
+        s1=64, s2=7, max_pattern_edges=3, n_virtual_streams=229, seed=seed
+    )
+
+
+def label_growth(trees, checkpoints: int = 10) -> list[dict]:
+    """Distinct-label counts at ``checkpoints`` positions of the stream."""
+    seen: set[str] = set()
+    series: list[dict] = []
+    n = len(trees)
+    marks = sorted({max(1, round(n * i / checkpoints)) for i in range(1, checkpoints + 1)})
+    for position, tree in enumerate(trees, start=1):
+        seen.update(tree.labels)
+        if position in marks or position == n:
+            series.append({"trees": position, "distinct_labels": len(seen)})
+    return series
+
+
+def pick_queries(exact: ExactCounter) -> list[tuple]:
+    """Frequent, mid-band and singleton patterns from the exact table."""
+    ranked = exact.counts.most_common()
+    frequent = [pattern for pattern, _ in ranked[:N_FREQUENT]]
+    mid_start = len(ranked) // 2
+    mid = [pattern for pattern, _ in ranked[mid_start : mid_start + N_MID]]
+    rare = [pattern for pattern, count in reversed(ranked) if count >= 1][:N_RARE]
+    out: list[tuple] = []
+    for pattern in frequent + mid + rare:
+        if pattern not in out:
+            out.append(pattern)
+    return out
+
+
+def run_corpus(name: str, spec: dict, seed: int) -> dict:
+    trees = CorpusReader(**spec["reader"]).trees()
+    if len(trees) != spec["expected_trees"]:
+        raise AssertionError(
+            f"{name}: expected {spec['expected_trees']} trees, parsed {len(trees)}"
+        )
+    config = make_config(seed)
+    synopsis = SketchTree(config)
+    stats = StreamProcessor([synopsis]).run(trees)
+    assert stats.n_trees == len(trees)
+    exact = ExactCounter(config.max_pattern_edges).ingest(trees)
+
+    rows = []
+    frequent_errors = []
+    for rank, pattern in enumerate(pick_queries(exact)):
+        truth = exact.count_ordered(pattern)
+        estimate = synopsis.estimate_ordered(pattern)
+        assert truth > 0, f"{name}: zero exact count for {pattern!r}"
+        assert math.isfinite(estimate), f"{name}: non-finite estimate"
+        relative_error = abs(estimate - truth) / truth
+        if rank < N_FREQUENT:
+            frequent_errors.append(relative_error)
+        rows.append(
+            {
+                "pattern": to_sexpr(from_nested(pattern)),
+                "edges": pattern_edges(pattern),
+                "exact": truth,
+                "estimate": round(estimate, 2),
+                "relative_error": round(relative_error, 4),
+            }
+        )
+    mean_frequent = sum(frequent_errors) / len(frequent_errors)
+    assert mean_frequent <= FREQUENT_ERROR_GATE, (
+        f"{name}: mean frequent-band relative error {mean_frequent:.3f} "
+        f"exceeds gate {FREQUENT_ERROR_GATE}"
+    )
+    all_errors = [row["relative_error"] for row in rows]
+    return {
+        "n_trees": len(trees),
+        "n_values": synopsis.n_values,
+        "distinct_patterns": len(exact.counts),
+        "label_growth": label_growth(trees),
+        "queries": rows,
+        "mean_frequent_relative_error": round(mean_frequent, 4),
+        "mean_relative_error": round(sum(all_errors) / len(all_errors), 4),
+    }
+
+
+def render(report: dict) -> str:
+    lines = []
+    for name, section in report["corpora"].items():
+        growth = section["label_growth"]
+        lines.append(
+            f"{name}: {section['n_trees']} trees, "
+            f"{section['n_values']} pattern occurrences, "
+            f"{section['distinct_patterns']} distinct patterns, "
+            f"labels {growth[0]['distinct_labels']} -> "
+            f"{growth[-1]['distinct_labels']}"
+        )
+        for row in section["queries"]:
+            lines.append(
+                f"  exact {row['exact']:>5}  est {row['estimate']:>8.1f}  "
+                f"relerr {row['relative_error']:>6.3f}  {row['pattern'][:64]}"
+            )
+        lines.append(
+            f"  mean relerr: frequent band "
+            f"{section['mean_frequent_relative_error']:.3f}, "
+            f"all {section['mean_relative_error']:.3f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_corpus.json"),
+        help="JSON report path (default: BENCH_corpus.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    report = {
+        "config": {
+            "s1": 64,
+            "s2": 7,
+            "max_pattern_edges": 3,
+            "n_virtual_streams": 229,
+            "seed": args.seed,
+        },
+        "frequent_error_gate": FREQUENT_ERROR_GATE,
+        "corpora": {
+            name: run_corpus(name, spec, args.seed)
+            for name, spec in CORPORA.items()
+        },
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(render(report))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,8 @@ Package map
 ``repro.query``         pattern helpers, exact matching oracle,
                         structural summary for ``*`` / ``//`` queries
 ``repro.datasets``      synthetic TREEBANK-like / DBLP-like streams
+``repro.corpora``       streaming readers for real corpus formats
+                        (Penn Treebank brackets, Negra export, DBLP XML)
 ``repro.workload``      selectivity-bucketed query workload generation
 ``repro.stream``        stream-processing engine with timing
 ``repro.experiments``   one module per paper table/figure
@@ -48,6 +50,7 @@ from repro.core.expressions import Count, Expression
 from repro.core.sketchtree import SketchTree
 from repro.errors import (
     ConfigError,
+    CorpusParseError,
     HashingError,
     PatternError,
     QueryError,
@@ -66,6 +69,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ConfigError",
+    "CorpusParseError",
     "Count",
     "ExactCounter",
     "Expression",

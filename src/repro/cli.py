@@ -118,6 +118,40 @@ def _add_stream_options(parser: argparse.ArgumentParser) -> None:
     group.add_argument(
         "--data-seed", type=int, default=0, help="corpus generator seed"
     )
+    corpus = parser.add_argument_group(
+        "real corpus input (overrides --dataset; see docs/corpora.md)"
+    )
+    corpus.add_argument(
+        "--corpus",
+        nargs="+",
+        default=None,
+        metavar="GLOB",
+        help="stream real corpus files/globs instead of a synthetic --dataset",
+    )
+    corpus.add_argument(
+        "--corpus-format",
+        default="ptb",
+        choices=("ptb", "export", "dblp-xml"),
+        help="Penn-Treebank brackets, Negra export, or DBLP-style XML",
+    )
+    corpus.add_argument(
+        "--corpus-encoding", default="utf-8", help="corpus file encoding"
+    )
+    corpus.add_argument(
+        "--strip-functions",
+        action="store_true",
+        help="strip grammatical-function suffixes (NP-SBJ -> NP)",
+    )
+    corpus.add_argument(
+        "--drop-punct",
+        action="store_true",
+        help="drop punctuation preterminals",
+    )
+    corpus.add_argument(
+        "--remove-empty",
+        action="store_true",
+        help="drop -NONE- trace preterminals and emptied ancestors",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -234,6 +268,23 @@ def _synopsis_config(args: argparse.Namespace):
 
 
 def _dataset_stream(args: argparse.Namespace):
+    if getattr(args, "corpus", None):
+        from itertools import islice
+
+        from repro.corpora import CorpusReader
+
+        reader = CorpusReader(
+            args.corpus,
+            format=args.corpus_format,
+            encoding=args.corpus_encoding,
+            functions="remove" if args.strip_functions else None,
+            punct="remove" if args.drop_punct else None,
+            remove_empty=args.remove_empty,
+        )
+        # --n-trees caps real corpora too (0 or negative = the whole corpus).
+        if args.n_trees > 0:
+            return islice(reader.itertrees(), args.n_trees)
+        return reader.itertrees()
     from repro.datasets import DblpGenerator, TreebankGenerator, XMarkGenerator
 
     generator_cls = {

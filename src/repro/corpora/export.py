@@ -1,0 +1,240 @@
+"""Negra/Tiger export-format reader (the disco-dop ``export`` format).
+
+One sentence per ``#BOS n`` … ``#EOS n`` block; one node per line::
+
+    #BOS 1
+    The     DT   --   SB   500
+    cat     NN   --   HD   500
+    sat     VBD  --   HD   501
+    #500    NP   --   SB   501
+    #501    S    --   --   0
+    #EOS 1
+
+Columns are WORD TAG MORPH FUNC PARENT (export v3) or WORD LEMMA TAG
+MORPH FUNC PARENT after a ``#FORMAT 4`` directive.  ``#NNN`` first
+fields introduce nonterminals; PARENT ``0`` attaches to the (virtual)
+root.  Secondary-edge column pairs after PARENT are ignored.
+
+Sibling order follows the corpus convention: constituents are ordered
+by the position of their first terminal (terminals keep sentence
+order); childless nonterminals sort last, in declaration order.  The
+terminal mapping matches the rest of the library — a preterminal node
+labeled with the TAG holding the WORD as a leaf child.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.corpora.normalize import NormalizeOptions, normalize_node
+from repro.errors import CorpusParseError
+from repro.trees.node import TreeNode
+from repro.trees.tree import LabeledTree
+
+#: FUNC column values meaning "no function annotated".
+_NO_FUNCTION = frozenset({"", "-", "--"})
+
+#: Sort key for constituents that dominate no terminal at all.
+_NO_SPAN = 1 << 60
+
+
+class _Sentence:
+    """One ``#BOS``…``#EOS`` block under construction."""
+
+    __slots__ = ("number", "line", "terminals", "nonterminals", "order")
+
+    def __init__(self, number: str, line: int):
+        self.number = number
+        self.line = line
+        #: node id -> (label, parent id); terminals get ids 0,1,2,…
+        #: and nonterminals keep their 500+ ids.
+        self.terminals: list[tuple[TreeNode, int]] = []
+        self.nonterminals: dict[int, tuple[str, int, int]] = {}
+        self.order: list[int] = []  # nonterminal ids in declaration order
+
+
+def iter_parse_export(
+    source: str | Iterable[str],
+    normalize: NormalizeOptions | None = None,
+    functions: str | None = None,
+    root_label: str = "VROOT",
+    path: str | None = None,
+) -> Iterator[LabeledTree]:
+    """Lazily parse export-format sentences into labeled trees.
+
+    ``functions='add'`` appends the FUNC column to labels
+    (``NP`` → ``NP-SB``), giving the export reader parity with corpora
+    whose brackets carry function labels; any other value leaves labels
+    as annotated (the export format keeps functions out of the label
+    column, so there is nothing to remove).
+    """
+    if isinstance(source, str):
+        source = source.splitlines()
+    options = normalize if normalize is not None else NormalizeOptions()
+    add_functions = functions == "add"
+    has_lemma = False
+    sentence: _Sentence | None = None
+    for lineno, raw in enumerate(source, start=1):
+        line = raw.strip()
+        if not line or line.startswith("%%"):
+            continue
+        fields = line.split()
+        keyword = fields[0]
+        if keyword == "#FORMAT":
+            has_lemma = len(fields) > 1 and fields[1] == "4"
+            continue
+        if keyword == "#BOS":
+            if sentence is not None:
+                raise CorpusParseError(
+                    f"#BOS inside sentence {sentence.number}", path, lineno, 1
+                )
+            if len(fields) < 2:
+                raise CorpusParseError("#BOS without a number", path, lineno, 1)
+            sentence = _Sentence(fields[1], lineno)
+            continue
+        if keyword == "#EOS":
+            if sentence is None:
+                raise CorpusParseError("#EOS outside any sentence", path, lineno, 1)
+            if len(fields) > 1 and fields[1] != sentence.number:
+                raise CorpusParseError(
+                    f"#EOS {fields[1]} does not match #BOS {sentence.number}",
+                    path,
+                    lineno,
+                    1,
+                )
+            root = _build(sentence, root_label, path, lineno)
+            sentence = None
+            root = normalize_node(root, options)
+            if root is not None:
+                yield LabeledTree(root)
+            continue
+        if sentence is None:
+            raise CorpusParseError(
+                f"node line outside #BOS/#EOS: {line!r}", path, lineno, 1
+            )
+        _add_node(sentence, fields, has_lemma, add_functions, path, lineno)
+    if sentence is not None:
+        raise CorpusParseError(
+            f"sentence {sentence.number} opened at line {sentence.line} "
+            "was never closed with #EOS",
+            path,
+            sentence.line,
+            1,
+        )
+
+
+def _add_node(
+    sentence: _Sentence,
+    fields: list[str],
+    has_lemma: bool,
+    add_functions: bool,
+    path: str | None,
+    lineno: int,
+) -> None:
+    width = 6 if has_lemma else 5
+    if len(fields) < width:
+        raise CorpusParseError(
+            f"expected at least {width} columns, got {len(fields)}",
+            path,
+            lineno,
+            1,
+        )
+    word = fields[0]
+    tag = fields[width - 4]
+    func = fields[width - 2]
+    parent_field = fields[width - 1]
+    if not parent_field.isdigit():
+        raise CorpusParseError(
+            f"parent column {parent_field!r} is not a number", path, lineno, 1
+        )
+    parent = int(parent_field)
+    label = tag
+    if add_functions and func not in _NO_FUNCTION:
+        label = f"{tag}-{func}"
+    if word.startswith("#") and word[1:].isdigit():
+        node_id = int(word[1:])
+        if node_id in sentence.nonterminals:
+            raise CorpusParseError(
+                f"duplicate nonterminal id #{node_id}", path, lineno, 1
+            )
+        sentence.nonterminals[node_id] = (label, parent, lineno)
+        sentence.order.append(node_id)
+    else:
+        preterminal = TreeNode(label)
+        preterminal.add(word)
+        sentence.terminals.append((preterminal, parent))
+
+
+def _build(
+    sentence: _Sentence, root_label: str, path: str | None, lineno: int
+) -> TreeNode:
+    if not sentence.terminals and not sentence.nonterminals:
+        raise CorpusParseError(
+            f"sentence {sentence.number} has no nodes", path, lineno, 1
+        )
+    nodes: dict[int, TreeNode] = {
+        node_id: TreeNode(label)
+        for node_id, (label, _, _) in sentence.nonterminals.items()
+    }
+    # children_of[parent] = [(span_start, declaration_index, node)]
+    children_of: dict[int, list[tuple[int, int, TreeNode]]] = {}
+    span_start: dict[int, int] = {}
+
+    def attach(parent: int, key: tuple[int, int, TreeNode], where: int) -> None:
+        if parent != 0 and parent not in nodes:
+            raise CorpusParseError(
+                f"unknown parent #{parent}", path, where, 1
+            )
+        children_of.setdefault(parent, []).append(key)
+
+    for index, (preterminal, parent) in enumerate(sentence.terminals):
+        attach(parent, (index, index, preterminal), sentence.line)
+        # Propagate the first-terminal position up the nonterminal chain.
+        seen: set[int] = set()
+        while parent != 0 and parent not in seen:
+            seen.add(parent)
+            if parent not in sentence.nonterminals:
+                break
+            if parent in span_start:
+                span_start[parent] = min(span_start[parent], index)
+            else:
+                span_start[parent] = index
+            parent = sentence.nonterminals[parent][1]
+    for declaration, node_id in enumerate(sentence.order):
+        label, parent, where = sentence.nonterminals[node_id]
+        start = span_start.get(node_id, _NO_SPAN)
+        attach(parent, (start, len(sentence.terminals) + declaration, nodes[node_id]), where)
+    for parent, kids in children_of.items():
+        kids.sort(key=lambda item: (item[0], item[1]))
+        if parent != 0:
+            nodes[parent].children = [node for _, _, node in kids]
+    top = [node for _, _, node in sorted(children_of.get(0, []))]
+    if not top:
+        raise CorpusParseError(
+            f"sentence {sentence.number} has no root (parent 0) node",
+            path,
+            sentence.line,
+            1,
+        )
+    if len(top) == 1:
+        return top[0]
+    return TreeNode(root_label, top)
+
+
+def parse_export(
+    source: str | Iterable[str],
+    normalize: NormalizeOptions | None = None,
+    functions: str | None = None,
+    root_label: str = "VROOT",
+    path: str | None = None,
+) -> list[LabeledTree]:
+    """Parse a whole export-format document into a list of trees."""
+    return list(
+        iter_parse_export(
+            source,
+            normalize=normalize,
+            functions=functions,
+            root_label=root_label,
+            path=path,
+        )
+    )

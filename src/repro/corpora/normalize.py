@@ -1,0 +1,140 @@
+"""Tree normalisation shared by the corpus readers.
+
+Real treebank annotation carries information the paper's pattern counts
+usually should not distinguish on: grammatical-function suffixes
+(``NP-SBJ`` vs ``NP``), co-indexing (``NP-SBJ-1``), empty ``-NONE-``
+trace elements, and punctuation preterminals.  The options here mirror
+disco-dop's ``CorpusReader`` knobs (``functions='remove'``,
+``punct='remove'``, ``removeempty``): every reader parses first, then
+runs the arriving tree through :func:`normalize_node` before freezing it
+into a :class:`~repro.trees.tree.LabeledTree`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.trees.node import TreeNode
+
+#: Penn-Treebank / Negra punctuation preterminal tags.
+PUNCTUATION_TAGS = frozenset(
+    {".", ",", ":", "``", "''", "-LRB-", "-RRB-", "$,", "$.", "$(", "$["}
+)
+
+#: The PTB empty-element tag; disco-dop additionally treats ``''``/``None``
+#: terminals as empty, which cannot occur here (labels are non-empty).
+EMPTY_TAG = "-NONE-"
+
+_FUNCTION_CHOICES = (None, "leave", "remove")
+_PUNCT_CHOICES = (None, "leave", "remove")
+
+
+@dataclass(frozen=True)
+class NormalizeOptions:
+    """Label/terminal normalisation applied to every parsed tree.
+
+    Parameters
+    ----------
+    functions:
+        ``None``/``'leave'`` keeps syntactic labels as annotated;
+        ``'remove'`` strips hyphen/equals-separated grammatical function
+        and co-index suffixes from *internal* labels (``NP-SBJ-1`` →
+        ``NP``).  Special tags that start with a hyphen (``-NONE-``,
+        ``-LRB-``) are never touched, and terminal tokens are never
+        rewritten.
+    punct:
+        ``None``/``'leave'`` keeps punctuation; ``'remove'`` drops
+        punctuation preterminals (tag in :data:`PUNCTUATION_TAGS`, or a
+        one-token preterminal whose token has no alphanumerics) together
+        with any ancestors left empty.
+    remove_empty:
+        Drop ``-NONE-`` trace preterminals and any ancestors left empty
+        (the disco-dop ``removeempty`` behaviour).
+    """
+
+    functions: str | None = None
+    punct: str | None = None
+    remove_empty: bool = False
+
+    def __post_init__(self) -> None:
+        if self.functions not in _FUNCTION_CHOICES:
+            raise ConfigError(
+                f"functions must be one of {_FUNCTION_CHOICES}, got {self.functions!r}"
+            )
+        if self.punct not in _PUNCT_CHOICES:
+            raise ConfigError(
+                f"punct must be one of {_PUNCT_CHOICES}, got {self.punct!r}"
+            )
+
+    @property
+    def is_noop(self) -> bool:
+        return (
+            self.functions in (None, "leave")
+            and self.punct in (None, "leave")
+            and not self.remove_empty
+        )
+
+
+def strip_function(label: str) -> str:
+    """``NP-SBJ-1`` → ``NP``; hyphen-initial special tags pass through."""
+    if label.startswith("-"):
+        return label
+    cut = len(label)
+    for separator in "-=":
+        index = label.find(separator)
+        if 0 < index < cut:
+            cut = index
+    return label[:cut]
+
+
+def _is_punctuation(tag: str, token: str) -> bool:
+    if tag in PUNCTUATION_TAGS:
+        return True
+    return not any(ch.isalnum() for ch in token) and tag != EMPTY_TAG
+
+
+def normalize_node(root: TreeNode, options: NormalizeOptions) -> TreeNode | None:
+    """Return a normalised copy of ``root``, or ``None`` if nothing is left.
+
+    The input is never mutated.  Iterative post-order so arbitrarily deep
+    parse trees (treebank sentences are narrow and deep) cannot overflow
+    the recursion limit.
+    """
+    if options.is_noop:
+        return root
+    rebuilt: dict[int, TreeNode | None] = {}
+    stack: list[tuple[TreeNode, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if not expanded:
+            stack.append((node, True))
+            for child in reversed(node.children):
+                stack.append((child, False))
+            continue
+        if not node.children:
+            # A terminal token: kept verbatim; its fate is decided by the
+            # preterminal above it.
+            rebuilt[id(node)] = TreeNode(node.label)
+            continue
+        if options.remove_empty and node.label == EMPTY_TAG:
+            rebuilt[id(node)] = None
+            continue
+        if (
+            options.punct == "remove"
+            and len(node.children) == 1
+            and not node.children[0].children
+            and _is_punctuation(node.label, node.children[0].label)
+        ):
+            rebuilt[id(node)] = None
+            continue
+        kids = [rebuilt[id(child)] for child in node.children]
+        kept = [kid for kid in kids if kid is not None]
+        if not kept:
+            rebuilt[id(node)] = None  # every child pruned: empty ancestor
+            continue
+        label = node.label
+        if options.functions == "remove":
+            label = strip_function(label)
+        rebuilt[id(node)] = TreeNode(label, kept)
+    return rebuilt[id(root)]

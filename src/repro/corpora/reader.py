@@ -1,0 +1,158 @@
+"""Multi-file corpus reader (disco-dop style) over the format parsers.
+
+:class:`CorpusReader` binds a glob'd file set, an encoding, a format and
+the normalisation options into one lazily-streaming ``LabeledTree``
+iterator that plugs directly into
+:class:`~repro.stream.engine.StreamProcessor` / ``SketchTree.ingest`` —
+the same contract as the synthetic :mod:`repro.datasets` generators.
+
+>>> reader = CorpusReader("wsj/*.mrg", functions="remove", punct="remove")
+>>> processor.run(reader)                               # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from glob import glob
+from pathlib import Path
+from typing import Iterator
+
+from repro.corpora.dblp import iter_dblp_trees
+from repro.corpora.export import iter_parse_export
+from repro.corpora.normalize import NormalizeOptions
+from repro.corpora.ptb import iter_parse_ptb
+from repro.errors import ConfigError
+from repro.trees.tree import LabeledTree
+
+#: Supported corpus formats.
+FORMATS = ("ptb", "export", "dblp-xml")
+
+
+class CorpusReader:  # sketchlint: thread-confined
+    """Stream labeled trees from a set of real corpus files.
+
+    Parameters
+    ----------
+    path:
+        A filename, a glob pattern (``"wsj/*.mrg"``), or a sequence of
+        either.  Matches are streamed in sorted order, file by file.
+    format:
+        ``'ptb'`` — Penn-Treebank bracketed trees (``.mrg``);
+        ``'export'`` — Negra/Tiger export format;
+        ``'dblp-xml'`` — one XML document whose root's children are the
+        stream (the paper's DBLP construction).
+    encoding:
+        Text encoding of the corpus files.
+    functions:
+        ``'remove'`` strips grammatical-function suffixes
+        (``NP-SBJ`` → ``NP``); for ``'export'``, ``'add'`` instead
+        appends the FUNC column to labels.  Default: leave labels as is.
+    punct:
+        ``'remove'`` drops punctuation preterminals (and ancestors left
+        empty).  Default: keep.
+    remove_empty:
+        Drop ``-NONE-`` trace preterminals and emptied ancestors.
+    root_label:
+        Label of the virtual root added when an export sentence has
+        several parent-0 constituents.
+    keep_attributes:
+        (``dblp-xml``) map attributes to ``@name`` child nodes, as
+        :func:`~repro.trees.xml.parse_xml` does.
+    record_tags:
+        (``dblp-xml``) restrict records to these element names, e.g.
+        :data:`~repro.corpora.dblp.DBLP_RECORD_TAGS`; ``None`` keeps all.
+    """
+
+    def __init__(
+        self,
+        path,
+        format: str = "ptb",
+        encoding: str = "utf-8",
+        functions: str | None = None,
+        punct: str | None = None,
+        remove_empty: bool = False,
+        root_label: str = "VROOT",
+        keep_attributes: bool = True,
+        record_tags=None,
+    ):
+        if format not in FORMATS:
+            raise ConfigError(f"format must be one of {FORMATS}, got {format!r}")
+        if format == "dblp-xml" and (
+            functions not in (None, "leave")
+            or punct not in (None, "leave")
+            or remove_empty
+        ):
+            raise ConfigError(
+                "functions/punct/remove_empty are treebank options; "
+                "they do not apply to format='dblp-xml'"
+            )
+        if functions == "add" and format != "export":
+            raise ConfigError(
+                "functions='add' needs a FUNC column and is only supported "
+                "for format='export'"
+            )
+        normalize_functions = functions if functions != "add" else None
+        self.format = format
+        self.encoding = encoding
+        self.functions = functions
+        self.root_label = root_label
+        self.keep_attributes = keep_attributes
+        self.record_tags = record_tags
+        self.normalize = NormalizeOptions(
+            functions=normalize_functions, punct=punct, remove_empty=remove_empty
+        )
+        self._patterns = [path] if isinstance(path, (str, Path)) else list(path)
+        if not self._patterns:
+            raise ConfigError("at least one corpus path or pattern is required")
+
+    # ------------------------------------------------------------------
+    def files(self) -> list[Path]:
+        """Resolve the patterns to a sorted, de-duplicated file list."""
+        matched: list[Path] = []
+        for pattern in self._patterns:
+            text = str(pattern)
+            candidate = Path(text)
+            if candidate.is_file():
+                matched.append(candidate)
+            else:
+                matched.extend(Path(hit) for hit in glob(text, recursive=True))
+        unique = sorted({path.resolve() for path in matched})
+        if not unique:
+            raise ConfigError(
+                f"no corpus files matched {[str(p) for p in self._patterns]}"
+            )
+        return unique
+
+    def itertrees(self) -> Iterator[LabeledTree]:
+        """Lazily yield every tree of every matched file, in file order."""
+        for path in self.files():
+            yield from self._read_file(path)
+
+    __iter__ = itertrees
+
+    def trees(self) -> list[LabeledTree]:
+        """Materialise the whole corpus (tests and small fixtures only)."""
+        return list(self.itertrees())
+
+    # ------------------------------------------------------------------
+    def _read_file(self, path: Path) -> Iterator[LabeledTree]:
+        if self.format == "dblp-xml":
+            yield from iter_dblp_trees(
+                str(path),
+                record_tags=self.record_tags,
+                keep_attributes=self.keep_attributes,
+                encoding=self.encoding,
+            )
+            return
+        with open(path, "r", encoding=self.encoding) as handle:
+            if self.format == "ptb":
+                yield from iter_parse_ptb(
+                    handle, normalize=self.normalize, path=str(path)
+                )
+            else:
+                yield from iter_parse_export(
+                    handle,
+                    normalize=self.normalize,
+                    functions=self.functions,
+                    root_label=self.root_label,
+                    path=str(path),
+                )

@@ -28,6 +28,36 @@ class XmlParseError(TreeError):
         self.position = position
 
 
+class CorpusParseError(TreeError):
+    """A corpus file could not be parsed into labeled trees.
+
+    Raised by the :mod:`repro.corpora` readers; carries the source
+    location (``path``, 1-based ``line``, 1-based ``column``) so a bad
+    line in a multi-thousand-file treebank is findable.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: str | None = None,
+        line: int | None = None,
+        column: int | None = None,
+    ):
+        where = []
+        if path is not None:
+            where.append(str(path))
+        if line is not None:
+            where.append(f"line {line}")
+        if column is not None:
+            where.append(f"column {column}")
+        if where:
+            message = f"{message} ({', '.join(where)})"
+        super().__init__(message)
+        self.path = path
+        self.line = line
+        self.column = column
+
+
 class PatternError(ReproError):
     """A query pattern was malformed or violated a size constraint."""
 

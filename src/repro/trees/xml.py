@@ -199,7 +199,7 @@ class _Parser:
             end = text.find(quote, self.pos + 1)
             if end < 0:
                 raise XmlParseError(f"unterminated value for attribute {name!r}", self.pos)
-            out.append((name, _unescape(text[self.pos + 1 : end])))
+            out.append((name, _unescape(text[self.pos + 1 : end], self.pos + 1)))
             self.pos = end + 1
 
     # -- event mode (SAX-style) -------------------------------------------
@@ -260,7 +260,7 @@ class _Parser:
                     raise XmlParseError(
                         f"unterminated element <{names[-1]}>", self.pos
                     )
-                buffer.append(_unescape(text[self.pos : nxt]))
+                buffer.append(_unescape(text[self.pos : nxt], self.pos))
                 self.pos = nxt
 
     def _open_tag_events(self, names: list[str]):
@@ -291,8 +291,12 @@ class _Parser:
         names.append(name)
 
 
-def _unescape(text: str) -> str:
-    """Resolve the five predefined entities plus numeric references."""
+def _unescape(text: str, base: int = 0) -> str:
+    """Resolve the five predefined entities plus numeric references.
+
+    ``base`` is the absolute document offset of ``text``, so malformed
+    numeric character references are reported at their real position.
+    """
     if "&" not in text:
         return text
     out: list[str] = []
@@ -312,13 +316,30 @@ def _unescape(text: str) -> str:
         if entity in _ENTITY_MAP:
             out.append(_ENTITY_MAP[entity])
         elif entity.startswith("#x") or entity.startswith("#X"):
-            out.append(chr(int(entity[2:], 16)))
+            out.append(_char_reference(entity[2:], 16, base + i))
         elif entity.startswith("#"):
-            out.append(chr(int(entity[1:])))
+            out.append(_char_reference(entity[1:], 10, base + i))
         else:
             out.append(text[i : end + 1])  # unknown entity: keep verbatim
         i = end + 1
     return "".join(out)
+
+
+def _char_reference(digits: str, radix: int, position: int) -> str:
+    """Decode one numeric character reference, refusing malformed input.
+
+    ``int``/``chr`` raise ``ValueError``/``OverflowError`` on empty or
+    non-numeric digit runs and out-of-range code points; callers of the
+    parser expect every malformed-input defect as ``XmlParseError``.
+    """
+    try:
+        return chr(int(digits, radix))
+    except (ValueError, OverflowError):
+        raise XmlParseError(
+            f"malformed numeric character reference &#{'x' if radix == 16 else ''}"
+            f"{digits};",
+            position,
+        ) from None
 
 
 def _escape(text: str) -> str:
@@ -327,6 +348,12 @@ def _escape(text: str) -> str:
         .replace("<", "&lt;")
         .replace(">", "&gt;")
     )
+
+
+def _escape_attribute(text: str) -> str:
+    # Attribute values are always emitted between double quotes, so a
+    # literal '"' must become &quot; (a bare single quote is fine there).
+    return _escape(text).replace('"', "&quot;")
 
 
 def to_xml(tree: LabeledTree) -> str:
@@ -381,7 +408,7 @@ def _emit_open(
         kid_kids = tree.children_of(kid)
         if kid_label.startswith("@") and len(kid_kids) <= 1:
             value = tree.label_of(kid_kids[0]) if kid_kids else ""
-            attrs.append(f' {kid_label[1:]}="{_escape(value)}"')
+            attrs.append(f' {kid_label[1:]}="{_escape_attribute(value)}"')
         else:
             content.append(kid)
     parts.append(f"<{label}{''.join(attrs)}")

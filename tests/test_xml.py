@@ -1,11 +1,11 @@
 """Tests for the from-scratch XML parser and serializer."""
 
 import pytest
-from hypothesis import given
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import XmlParseError
-from repro.trees import from_sexpr, parse_forest, parse_xml, to_xml
+from repro.trees import from_nested, from_sexpr, parse_forest, parse_xml, to_xml
 from repro.trees.xml import iter_parse_forest
 
 
@@ -148,3 +148,124 @@ class TestSerializer:
         text = "<a>" * (depth + 1) + "v" + "</a>" * (depth + 1)
         once = to_xml(parse_xml(text))
         assert to_xml(parse_xml(once)) == once
+
+
+class TestBugRegressions:
+    """Pinned fixes: attribute-quote escaping and malformed charrefs."""
+
+    def test_double_quote_in_attribute_value_roundtrips(self):
+        # to_xml used to emit the quote raw, producing k="x"y" which the
+        # parser rejects.
+        tree = parse_xml('<a k="x&quot;y"/>')
+        assert tree.to_nested() == ("a", (("@k", (('x"y', ()),)),))
+        assert to_xml(tree) == '<a k="x&quot;y"/>'
+        assert parse_xml(to_xml(tree)) == tree
+
+    def test_quote_in_attribute_built_programmatically(self):
+        tree = from_nested(("note", (("@label", (('A"1"', ()),)),)))
+        assert parse_xml(to_xml(tree)) == tree
+
+    def test_single_quoted_attribute_with_double_quote(self):
+        tree = parse_xml("<a k='x\"y'/>")
+        assert parse_xml(to_xml(tree)) == tree
+
+    def test_text_position_quotes_stay_literal(self):
+        # Quotes only need escaping inside attribute values, not text.
+        tree = parse_xml('<a>say "hi"</a>')
+        assert to_xml(tree) == '<a>say "hi"</a>'
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "<a>&#;</a>",              # no digits
+            "<a>&#xZZ;</a>",           # bad hex digits
+            "<a>&#x;</a>",             # hex prefix, no digits
+            "<a>&#12abc;</a>",         # bad decimal digits
+            "<a>&#1114112;</a>",       # beyond max code point
+            "<a>&#x110000;</a>",       # beyond max code point (hex)
+            "<a>&#" + "9" * 40 + ";</a>",  # OverflowError-sized
+            '<a k="&#;"/>',            # same, in attribute position
+            '<a k="&#xZZ;"/>',
+        ],
+    )
+    def test_malformed_charref_raises_xml_parse_error(self, text):
+        # These used to escape as bare ValueError/OverflowError from chr().
+        with pytest.raises(XmlParseError) as excinfo:
+            parse_xml(text)
+        assert excinfo.value.position is not None
+
+    def test_valid_charrefs_still_decode(self):
+        assert parse_xml("<a>&#65;&#x42;</a>").labels[0] == "AB"
+
+
+# ---------------------------------------------------------------------------
+# Property: parse_xml(to_xml(t)) == t over serialisable trees
+# ---------------------------------------------------------------------------
+
+from repro.trees.xml import _is_name  # noqa: E402
+
+
+def _is_text_leaf(nested) -> bool:
+    label, kids = nested
+    return not kids and not _is_name(label)
+
+
+def _merge_adjacent_text(nested):
+    """The parser merges adjacent text runs; fold them in the expectation."""
+    label, kids = nested
+    out = []
+    for kid in (_merge_adjacent_text(k) for k in kids):
+        if out and _is_text_leaf(kid) and _is_text_leaf(out[-1]):
+            out[-1] = (out[-1][0] + kid[0], ())
+        else:
+            out.append(kid)
+    return (label, tuple(out))
+
+
+#: Labels that are legal element names for this parser: non-empty, none of
+#: the markup characters, and not starting with the @/!/? sigils that the
+#: attribute mapping and intertag skipping claim.
+element_names = st.text(
+    alphabet="abcdXYZ019._:-", min_size=1, max_size=8
+).filter(lambda s: s[0].isalpha())
+
+#: Text content with markup characters, quotes and entity-looking
+#: substrings; must be strip-stable and non-empty so the parser's
+#: whitespace trimming is the identity on it.
+text_content = st.one_of(
+    st.sampled_from(
+        ['a "quoted" bit', "x & y", "<looks-like-markup>", "&amp;", "&#65;",
+         "&#xZZ;", "&unknown;", "R&D", "1 < 2 > 0", "it's ok", "]]>"]
+    ),
+    st.text(alphabet='abc &<>"\'#;', min_size=1, max_size=12)
+    .map(str.strip)
+    .filter(lambda t: t and not _is_name(t)),
+)
+
+
+def _serialisable_trees():
+    text_leaves = text_content.map(lambda t: (t, ()))
+    element_leaves = element_names.map(lambda n: (n, ()))
+    return st.recursive(
+        element_leaves | text_leaves,
+        lambda kids: st.tuples(
+            element_names, st.lists(kids, max_size=4).map(tuple)
+        ),
+        max_leaves=12,
+    ).filter(lambda nested: _is_name(nested[0])).map(_merge_adjacent_text)
+
+
+class TestRoundTripProperty:
+    @given(_serialisable_trees())
+    @settings(max_examples=200, deadline=None)
+    def test_parse_inverts_serialise(self, nested):
+        tree = from_nested(nested)
+        assert parse_xml(to_xml(tree)) == tree
+
+    @given(element_names, text_content)
+    @settings(max_examples=100, deadline=None)
+    def test_attribute_values_roundtrip(self, name, value):
+        # Attribute values travel through _escape_attribute and the quoted
+        # value scanner; quotes and entity-looking substrings must survive.
+        tree = from_nested(("a", (("@" + name, ((value, ()),)),)))
+        assert parse_xml(to_xml(tree)) == tree

@@ -133,6 +133,13 @@ DEFAULT_CONFIG = ConcurrencyConfig(
                 "repro.core.window.WindowedSketchTree.update",
                 "repro.core.window.WindowedSketchTree.update_batch",
                 "repro.core.window.WindowedSketchTree.ingest",
+                # Corpus readers feed the single ingest thread: the tree
+                # stream is consumed by StreamProcessor.run on that thread.
+                "repro.corpora.reader.CorpusReader.itertrees",
+                "repro.corpora.reader.CorpusReader.trees",
+                "repro.corpora.ptb.iter_parse_ptb",
+                "repro.corpora.export.iter_parse_export",
+                "repro.corpora.dblp.iter_dblp_trees",
             ),
             parallel=False,
         ),
